@@ -1,0 +1,101 @@
+// Substrate benchmark: the CQ/UCQ/FO/FP evaluation engine itself (joins,
+// unions, quantifiers, fixpoints) as a function of data size.
+#include <benchmark/benchmark.h>
+
+#include "query/fo.h"
+#include "query/fp.h"
+#include "query/query.h"
+
+namespace relcomp {
+namespace {
+
+Instance ChainInstance(int n) {
+  DatabaseSchema schema;
+  schema.AddRelation(
+      RelationSchema("E", {Attribute{"a"}, Attribute{"b"}}));
+  Instance db(schema);
+  for (int i = 0; i < n; ++i) {
+    db.AddTuple("E", {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+void BM_CqTwoHopJoin(benchmark::State& state) {
+  Instance db = ChainInstance(static_cast<int>(state.range(0)));
+  ConjunctiveQuery q({CTerm(VarId{0}), CTerm(VarId{2})},
+                     {RelAtom{"E", {VarId{0}, VarId{1}}},
+                      RelAtom{"E", {VarId{1}, VarId{2}}}});
+  for (auto _ : state) {
+    auto out = q.Eval(db);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CqTwoHopJoin)->Range(8, 512)->Complexity();
+
+void BM_UcqFourDisjuncts(benchmark::State& state) {
+  Instance db = ChainInstance(static_cast<int>(state.range(0)));
+  UnionQuery ucq;
+  for (int k = 0; k < 4; ++k) {
+    ucq.AddDisjunct(ConjunctiveQuery(
+        {CTerm(VarId{0})}, {RelAtom{"E", {VarId{0}, VarId{1}}}},
+        {CondAtom{VarId{1}, true, Value::Int(k)}}));
+  }
+  for (auto _ : state) {
+    auto out = ucq.Eval(db);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UcqFourDisjuncts)->Range(8, 512);
+
+void BM_FoSinkNodes(benchmark::State& state) {
+  Instance db = ChainInstance(static_cast<int>(state.range(0)));
+  FoPtr has_out = FoFormula::Exists(
+      {VarId{1}}, FoFormula::Atom({"E", {VarId{0}, VarId{1}}}));
+  FoQuery q({VarId{0}}, FoFormula::Not(has_out));
+  for (auto _ : state) {
+    auto out = q.Eval(db);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FoSinkNodes)->Range(8, 128);
+
+void BM_FpTransitiveClosure(benchmark::State& state) {
+  Instance db = ChainInstance(static_cast<int>(state.range(0)));
+  FpProgram tc;
+  tc.AddRule(FpRule{{"T", {VarId{0}, VarId{1}}},
+                    {{"E", {VarId{0}, VarId{1}}}},
+                    {}});
+  tc.AddRule(FpRule{{"T", {VarId{0}, VarId{2}}},
+                    {{"T", {VarId{0}, VarId{1}}}, {"E", {VarId{1}, VarId{2}}}},
+                    {}});
+  tc.set_output("T");
+  for (auto _ : state) {
+    auto out = tc.Eval(db);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FpTransitiveClosure)->Range(4, 64)->Complexity();
+
+void BM_EfoPlusToUcqExpansion(benchmark::State& state) {
+  // (A1 | A2) & (A1 | A2) & ... — DNF blowup 2^k.
+  int k = static_cast<int>(state.range(0));
+  std::vector<FoPtr> conjuncts;
+  for (int i = 0; i < k; ++i) {
+    conjuncts.push_back(
+        FoFormula::Or({FoFormula::Atom({"E", {VarId{0}, Value::Int(i)}}),
+                       FoFormula::Atom({"E", {Value::Int(i), VarId{0}}})}));
+  }
+  FoQuery q({VarId{0}}, FoFormula::And(std::move(conjuncts)));
+  for (auto _ : state) {
+    auto ucq = q.ToUcq();
+    benchmark::DoNotOptimize(ucq);
+  }
+}
+BENCHMARK(BM_EfoPlusToUcqExpansion)->DenseRange(2, 10, 2);
+
+}  // namespace
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

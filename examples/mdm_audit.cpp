@@ -1,0 +1,91 @@
+// MDM completeness audit: a workload defined in the textual language is
+// checked query by query — can the partially closed database answer it
+// completely relative to the master data? This is the "user wants to know
+// whether the database in use is complete for a query" scenario from the
+// paper's introduction.
+#include <cstdio>
+#include <string>
+
+#include "core/rcdp.h"
+#include "query/parser.h"
+#include "query/printer.h"
+
+using namespace relcomp;
+
+namespace {
+
+const char* kProgram = R"(
+# Enterprise sales database, partially closed by product master data.
+schema Order(id: int, product: sym, region: {"EU", "US"}, qty: int).
+schema Catalog(product: sym, tier: {"basic", "pro"}).
+
+master ProductM(product: sym, tier: {"basic", "pro"}).
+master RegionM(region: {"EU", "US"}).
+
+minstance dm {
+  ProductM("widget", "basic").
+  ProductM("gadget", "pro").
+}
+
+instance db {
+  Order(1, "widget", "EU", 5).
+  Order(2, "gadget", "US", 3).
+  Catalog("widget", "basic").
+  Catalog("gadget", "pro").
+}
+
+# The catalog is bounded by the product master: closed-world dimension.
+cc catalog_bound(p, t) :- Catalog(p, t) <= ProductM[product, tier].
+
+# Workload.
+query AllCatalog(p, t) :- Catalog(p, t).
+query ProTier(p) :- Catalog(p, t), t = "pro".
+query EuOrders(i) :- Order(i, p, r, q), r = "EU".
+)";
+
+}  // namespace
+
+int main() {
+  Result<ParsedProgram> parsed = ParseProgram(kProgram);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  ParsedProgram& p = *parsed;
+
+  PartiallyClosedSetting setting;
+  setting.schema = p.schema;
+  setting.master_schema = p.master_schema;
+  setting.dm = p.minstances.at("dm");
+  setting.ccs = p.ccs;
+  if (Status st = setting.Validate(); !st.ok()) {
+    std::fprintf(stderr, "invalid setting: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const Instance& db = p.instances.at("db");
+  CInstance t = CInstance::FromInstance(db);
+
+  std::printf("=== MDM completeness audit ===\n\n%s\n",
+              FormatInstance(db).c_str());
+  std::printf("%-14s %-9s %-8s %-8s  answer\n", "query", "strong", "weak",
+              "viable");
+  for (const auto& [name, query] : p.queries) {
+    Result<bool> strong = RcdpStrong(query, t, setting);
+    Result<bool> weak = RcdpWeak(query, t, setting);
+    Result<bool> viable = RcdpViable(query, t, setting);
+    Result<Relation> answer = query.Eval(db);
+    auto verdict = [](const Result<bool>& r) {
+      return !r.ok() ? "err" : (*r ? "YES" : "no");
+    };
+    std::printf("%-14s %-9s %-8s %-8s  %s\n", name.c_str(), verdict(strong),
+                verdict(weak), verdict(viable),
+                answer.ok() ? answer->ToString().c_str() : "?");
+  }
+  std::printf(
+      "\nReading: the catalog queries are complete (the catalog is bounded\n"
+      "by product master data); the order query is open-world and cannot\n"
+      "be complete — new EU orders may always arrive.\n");
+  return 0;
+}

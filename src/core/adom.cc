@@ -1,0 +1,75 @@
+#include "core/adom.h"
+
+#include <algorithm>
+
+namespace relcomp {
+namespace {
+
+void AddAll(std::vector<Value>* dst, const std::vector<Value>& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void SortUnique(std::vector<Value>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+}  // namespace
+
+AdomContext AdomContext::Build(const PartiallyClosedSetting& setting,
+                               const CInstance& cinstance, const Query* query,
+                               AdomOptions options) {
+  AdomContext ctx;
+
+  // S: constants of T, Dm and V (plus the query's, per the Thm 4.1 Adom).
+  std::vector<Value> base = cinstance.Constants();
+  AddAll(&base, setting.dm.ActiveDomain());
+  AddAll(&base, CcConstants(setting.ccs));
+  if (query != nullptr) AddAll(&base, query->Constants());
+
+  // df: all constants of finite attribute domains (database + master).
+  for (const DatabaseSchema* schema : {&setting.schema,
+                                       &setting.master_schema}) {
+    for (const RelationSchema& rel : schema->relations()) {
+      for (const Attribute& attr : rel.attributes()) {
+        if (attr.domain.is_finite()) AddAll(&base, attr.domain.values());
+      }
+    }
+  }
+  SortUnique(&base);
+  ctx.base_ = base;
+
+  // New: one fresh constant per variable of T, V and the query, plus the
+  // requested extras (e.g. one per column for extension tuples).
+  size_t num_fresh = cinstance.Vars().size() + options.extra_fresh;
+  num_fresh += static_cast<size_t>(CcMaxVarId(setting.ccs) + 1);
+  if (query != nullptr) {
+    num_fresh += static_cast<size_t>(query->MaxVarId() + 1);
+  }
+  size_t max_arity = 0;
+  for (const RelationSchema& rel : setting.schema.relations()) {
+    max_arity = std::max(max_arity, rel.arity());
+  }
+  num_fresh += max_arity;
+
+  size_t counter = 0;
+  while (ctx.fresh_.size() < num_fresh) {
+    Value candidate = Value::Sym("@new" + std::to_string(counter++));
+    if (!std::binary_search(base.begin(), base.end(), candidate)) {
+      ctx.fresh_.push_back(candidate);
+    }
+  }
+
+  ctx.values_ = base;
+  AddAll(&ctx.values_, ctx.fresh_);
+  SortUnique(&ctx.values_);
+  return ctx;
+}
+
+AdomContext AdomContext::BuildForGround(const PartiallyClosedSetting& setting,
+                                        const Instance& instance,
+                                        const Query* query, AdomOptions options) {
+  return Build(setting, CInstance::FromInstance(instance), query, options);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,58 @@
+// The active domain Adom = S ∪ New ∪ df of the Prop 3.3 / Thm 4.1 proofs:
+// all constants of T, Dm, V (and the query), plus one fresh ("New") constant
+// per variable, plus every finite-domain constant. All decision procedures
+// enumerate valuations over Adom only — the paper's finite-model argument
+// shows this is sound and complete.
+#ifndef RELCOMP_CORE_ADOM_H_
+#define RELCOMP_CORE_ADOM_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace relcomp {
+
+/// Options for Adom construction.
+struct AdomOptions {
+  /// Extra fresh constants beyond the per-variable ones (e.g. for the
+  /// fresh-variable row of Lemma 5.2).
+  size_t extra_fresh = 0;
+};
+
+/// The finite active domain for a given (T, Dm, V, Q) combination.
+class AdomContext {
+ public:
+  /// Builds Adom for c-instance `T` in `setting`, optionally folding in the
+  /// constants and variables of `query`.
+  static AdomContext Build(const PartiallyClosedSetting& setting,
+                           const CInstance& cinstance, const Query* query,
+                           AdomOptions options = {});
+
+  /// Convenience overload for ground instances.
+  static AdomContext BuildForGround(const PartiallyClosedSetting& setting,
+                                    const Instance& instance,
+                                    const Query* query,
+                                    AdomOptions options = {});
+
+  /// S ∪ New ∪ df, sorted and unique.
+  const std::vector<Value>& values() const { return values_; }
+  /// The fresh ("New") constants only.
+  const std::vector<Value>& fresh() const { return fresh_; }
+  /// S ∪ df (no fresh constants).
+  const std::vector<Value>& base() const { return base_; }
+
+  /// Candidate values for a position typed by `domain`: the finite domain's
+  /// values if finite, the full Adom otherwise.
+  const std::vector<Value>& Candidates(const Domain& domain) const {
+    return domain.is_finite() ? domain.values() : values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<Value> fresh_;
+  std::vector<Value> base_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CORE_ADOM_H_

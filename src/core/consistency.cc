@@ -1,0 +1,50 @@
+#include "core/consistency.h"
+
+namespace relcomp {
+
+Result<bool> IsConsistent(const PartiallyClosedSetting& setting,
+                          const CInstance& cinstance,
+                          const SearchOptions& options, SearchStats* stats,
+                          Instance* witness_world) {
+  AdomContext adom = AdomContext::Build(setting, cinstance, nullptr);
+  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  Result<bool> got = worlds.Next(nullptr, witness_world);
+  if (!got.ok()) return got.status();
+  return *got;
+}
+
+Result<bool> IsExtensible(const PartiallyClosedSetting& setting,
+                          const Instance& instance,
+                          const SearchOptions& options, SearchStats* stats,
+                          ExtensionWitness* witness) {
+  AdomContext adom = AdomContext::BuildForGround(setting, instance, nullptr);
+  uint64_t steps = 0;
+  for (const RelationSchema& rel : setting.schema.relations()) {
+    const Relation& existing = instance.at(rel.name());
+    TupleEnumerator tuples(rel, adom);
+    Tuple t;
+    while (tuples.Next(&t)) {
+      if (++steps > options.max_steps) {
+        return Status::ResourceExhausted(
+            "extensibility search exceeded the step budget");
+      }
+      if (stats != nullptr) ++stats->extensions;
+      if (existing.Contains(t)) continue;
+      Instance extended = instance;
+      extended.AddTuple(rel.name(), t);
+      if (stats != nullptr) ++stats->cc_checks;
+      Result<bool> closed = SatisfiesCCs(extended, setting.dm, setting.ccs);
+      if (!closed.ok()) return closed.status();
+      if (*closed) {
+        if (witness != nullptr) {
+          witness->relation = rel.name();
+          witness->tuple = t;
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,355 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace relcomp {
+namespace {
+
+// Intersects `acc` with `other` (both sorted unique).
+std::vector<Value> IntersectSorted(const std::vector<Value>& acc,
+                                   const std::vector<Value>& other) {
+  std::vector<Value> out;
+  std::set_intersection(acc.begin(), acc.end(), other.begin(), other.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Accumulates a variable-to-finite-domain constraint map.
+class DomainCollector {
+ public:
+  explicit DomainCollector(const AdomContext& adom) : adom_(adom) {}
+
+  void Constrain(VarId var, const Domain& domain) {
+    Touch(var);
+    if (!domain.is_finite()) return;
+    auto it = finite_.find(var.id);
+    if (it == finite_.end()) {
+      finite_.emplace(var.id, domain.values());
+    } else {
+      it->second = IntersectSorted(it->second, domain.values());
+    }
+  }
+
+  void Touch(VarId var) { all_vars_.insert(var.id); }
+
+  VarCandidateList Build() const {
+    VarCandidateList out;
+    for (int32_t id : all_vars_) {
+      auto it = finite_.find(id);
+      if (it != finite_.end()) {
+        out.emplace_back(VarId{id}, it->second);
+      } else {
+        out.emplace_back(VarId{id}, adom_.values());
+      }
+    }
+    return out;
+  }
+
+ private:
+  const AdomContext& adom_;
+  std::set<int32_t> all_vars_;
+  std::map<int32_t, std::vector<Value>> finite_;
+};
+
+}  // namespace
+
+VarCandidateList CInstanceVarCandidates(const CInstance& cinstance,
+                                        const AdomContext& adom) {
+  DomainCollector collector(adom);
+  for (const CTable& table : cinstance.tables()) {
+    for (const CRow& row : table.rows()) {
+      for (size_t i = 0; i < row.cells.size(); ++i) {
+        if (std::holds_alternative<VarId>(row.cells[i])) {
+          collector.Constrain(std::get<VarId>(row.cells[i]),
+                              table.schema().attribute(i).domain);
+        }
+      }
+      std::vector<VarId> cond_vars;
+      row.condition.CollectVars(&cond_vars);
+      for (VarId v : cond_vars) collector.Touch(v);
+    }
+  }
+  return collector.Build();
+}
+
+VarCandidateList CqVarCandidates(const ConjunctiveQuery& q,
+                                 const DatabaseSchema& schema,
+                                 const AdomContext& adom) {
+  DomainCollector collector(adom);
+  for (const RelAtom& atom : q.atoms()) {
+    const RelationSchema* rel = schema.Find(atom.rel);
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (std::holds_alternative<VarId>(atom.args[i])) {
+        VarId v = std::get<VarId>(atom.args[i]);
+        if (rel != nullptr && i < rel->arity()) {
+          collector.Constrain(v, rel->attribute(i).domain);
+        } else {
+          collector.Touch(v);
+        }
+      }
+    }
+  }
+  for (const CondAtom& b : q.builtins()) {
+    if (std::holds_alternative<VarId>(b.lhs)) {
+      collector.Touch(std::get<VarId>(b.lhs));
+    }
+    if (std::holds_alternative<VarId>(b.rhs)) {
+      collector.Touch(std::get<VarId>(b.rhs));
+    }
+  }
+  for (const CTerm& t : q.head()) {
+    if (std::holds_alternative<VarId>(t)) {
+      collector.Touch(std::get<VarId>(t));
+    }
+  }
+  return collector.Build();
+}
+
+std::vector<OpenVarCandidate> CqVarCandidatesOpen(
+    const ConjunctiveQuery& q, const DatabaseSchema& schema,
+    const AdomContext& adom) {
+  // Reuse the closed computation, then mark full-Adom lists as open.
+  VarCandidateList closed = CqVarCandidates(q, schema, adom);
+  std::vector<OpenVarCandidate> out;
+  out.reserve(closed.size());
+  for (auto& [var, values] : closed) {
+    OpenVarCandidate entry;
+    entry.var = var;
+    entry.open = (values == adom.values());
+    if (!entry.open) entry.values = std::move(values);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+CanonicalValuationEnumerator::CanonicalValuationEnumerator(
+    std::vector<OpenVarCandidate> vars, std::vector<Value> base,
+    std::vector<Value> fresh)
+    : vars_(std::move(vars)),
+      base_(std::move(base)),
+      fresh_(std::move(fresh)),
+      indices_(vars_.size(), 0),
+      fresh_used_before_(vars_.size() + 1, 0) {
+  for (const OpenVarCandidate& v : vars_) {
+    if (!v.open && v.values.empty()) exhausted_ = true;
+  }
+  if (base_.empty() && fresh_.empty()) {
+    for (const OpenVarCandidate& v : vars_) {
+      if (v.open) exhausted_ = true;
+    }
+  }
+}
+
+size_t CanonicalValuationEnumerator::Limit(size_t level) const {
+  const OpenVarCandidate& v = vars_[level];
+  if (!v.open) return v.values.size();
+  size_t fresh_avail =
+      std::min(fresh_used_before_[level] + 1, fresh_.size());
+  return base_.size() + fresh_avail;
+}
+
+Value CanonicalValuationEnumerator::At(size_t level, size_t index) const {
+  const OpenVarCandidate& v = vars_[level];
+  if (!v.open) return v.values[index];
+  if (index < base_.size()) return base_[index];
+  return fresh_[index - base_.size()];
+}
+
+void CanonicalValuationEnumerator::RecomputeFreshUsed() {
+  fresh_used_before_[0] = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    size_t used = fresh_used_before_[i];
+    if (vars_[i].open && indices_[i] >= base_.size()) {
+      used = std::max(used, indices_[i] - base_.size() + 1);
+    }
+    fresh_used_before_[i + 1] = used;
+  }
+}
+
+bool CanonicalValuationEnumerator::Next(Valuation* mu) {
+  if (exhausted_) return false;
+  if (!started_) {
+    started_ = true;
+    std::fill(indices_.begin(), indices_.end(), 0);
+    RecomputeFreshUsed();
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (indices_[i] >= Limit(i)) {
+        exhausted_ = true;
+        return false;
+      }
+      mu->Bind(vars_[i].var, At(i, indices_[i]));
+    }
+    if (vars_.empty()) exhausted_ = true;
+    return true;
+  }
+  size_t pos = vars_.size();
+  while (pos > 0) {
+    --pos;
+    ++indices_[pos];
+    RecomputeFreshUsed();
+    if (indices_[pos] < Limit(pos)) {
+      // Reset the suffix.
+      bool ok = true;
+      for (size_t j = pos + 1; j < vars_.size(); ++j) {
+        indices_[j] = 0;
+        RecomputeFreshUsed();
+        if (indices_[j] >= Limit(j)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        continue;  // suffix has an empty level; keep advancing at pos
+      }
+      RecomputeFreshUsed();
+      for (size_t i = 0; i < vars_.size(); ++i) {
+        mu->Bind(vars_[i].var, At(i, indices_[i]));
+      }
+      return true;
+    }
+    indices_[pos] = 0;
+  }
+  exhausted_ = true;
+  return false;
+}
+
+CanonicalValuationEnumerator MakeCanonicalCqEnumerator(
+    const ConjunctiveQuery& q, const DatabaseSchema& schema,
+    const AdomContext& adom, const Instance& around) {
+  // Values of `around` are pinned (they occur in the instance), so they
+  // join the base; the remaining fresh constants stay interchangeable.
+  std::vector<Value> base = adom.base();
+  std::vector<Value> instance_values = around.ActiveDomain();
+  base.insert(base.end(), instance_values.begin(), instance_values.end());
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  std::vector<Value> fresh;
+  for (const Value& f : adom.fresh()) {
+    if (!std::binary_search(base.begin(), base.end(), f)) fresh.push_back(f);
+  }
+  return CanonicalValuationEnumerator(CqVarCandidatesOpen(q, schema, adom),
+                                      std::move(base), std::move(fresh));
+}
+
+ValuationEnumerator::ValuationEnumerator(VarCandidateList vars)
+    : vars_(std::move(vars)), indices_(vars_.size(), 0) {
+  for (const auto& [var, candidates] : vars_) {
+    if (candidates.empty()) exhausted_ = true;
+  }
+}
+
+bool ValuationEnumerator::Next(Valuation* mu) {
+  if (exhausted_) return false;
+  if (!started_) {
+    started_ = true;
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      current_.Bind(vars_[i].first, vars_[i].second[0]);
+    }
+    if (vars_.empty()) exhausted_ = true;  // single empty valuation
+    *mu = current_;
+    return true;
+  }
+  size_t pos = 0;
+  while (pos < vars_.size()) {
+    if (++indices_[pos] < vars_[pos].second.size()) break;
+    indices_[pos] = 0;
+    ++pos;
+  }
+  if (pos == vars_.size()) {
+    exhausted_ = true;
+    return false;
+  }
+  for (size_t i = 0; i <= pos; ++i) {
+    current_.Bind(vars_[i].first, vars_[i].second[indices_[i]]);
+  }
+  *mu = current_;
+  return true;
+}
+
+uint64_t ValuationEnumerator::TotalCount() const {
+  uint64_t total = 1;
+  for (const auto& [var, candidates] : vars_) {
+    total *= candidates.size();
+  }
+  return total;
+}
+
+TupleEnumerator::TupleEnumerator(const RelationSchema& schema,
+                                 const AdomContext& adom)
+    : indices_(schema.arity(), 0) {
+  for (const Attribute& attr : schema.attributes()) {
+    candidates_.push_back(adom.Candidates(attr.domain));
+    if (candidates_.back().empty()) exhausted_ = true;
+  }
+}
+
+bool TupleEnumerator::Next(Tuple* t) {
+  if (exhausted_) return false;
+  if (!started_) {
+    started_ = true;
+    t->resize(candidates_.size());
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      (*t)[i] = candidates_[i][0];
+    }
+    if (candidates_.empty()) exhausted_ = true;  // nullary: single tuple
+    return true;
+  }
+  size_t pos = 0;
+  while (pos < indices_.size()) {
+    if (++indices_[pos] < candidates_[pos].size()) break;
+    indices_[pos] = 0;
+    ++pos;
+  }
+  if (pos == indices_.size()) {
+    exhausted_ = true;
+    return false;
+  }
+  t->resize(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    (*t)[i] = candidates_[i][indices_[i]];
+  }
+  return true;
+}
+
+uint64_t TupleEnumerator::TotalCount() const {
+  uint64_t total = 1;
+  for (const auto& c : candidates_) total *= c.size();
+  return total;
+}
+
+ModEnumerator::ModEnumerator(const CInstance& cinstance,
+                             const PartiallyClosedSetting& setting,
+                             const AdomContext& adom,
+                             const SearchOptions& options, SearchStats* stats)
+    : cinstance_(cinstance),
+      setting_(setting),
+      options_(options),
+      stats_(stats),
+      valuations_(CInstanceVarCandidates(cinstance, adom)) {}
+
+Result<bool> ModEnumerator::Next(Valuation* mu, Instance* world) {
+  Valuation local_mu;
+  Valuation* mu_ptr = mu != nullptr ? mu : &local_mu;
+  while (valuations_.Next(mu_ptr)) {
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted(
+          "Mod(T, Dm, V) enumeration exceeded the step budget");
+    }
+    if (stats_ != nullptr) ++stats_->valuations;
+    Result<Instance> candidate = cinstance_.Apply(*mu_ptr);
+    if (!candidate.ok()) return candidate.status();
+    if (stats_ != nullptr) ++stats_->cc_checks;
+    Result<bool> closed = SatisfiesCCs(*candidate, setting_.dm, setting_.ccs);
+    if (!closed.ok()) return closed.status();
+    if (!*closed) continue;
+    std::string key = candidate->ToString();
+    if (!seen_.insert(std::move(key)).second) continue;
+    if (stats_ != nullptr) ++stats_->worlds;
+    if (world != nullptr) *world = std::move(candidate).value();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,184 @@
+#include "core/rcdp.h"
+
+namespace relcomp {
+namespace {
+
+Status RequireTableauLanguage(const Query& q, const char* problem) {
+  if (q.language() == QueryLanguage::kFO ||
+      q.language() == QueryLanguage::kFP) {
+    return Status::Undecidable(
+        std::string(problem) + " is undecidable for " +
+        QueryLanguageName(q.language()) +
+        " (Table I); use the bounded procedures in core/bounded.h");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
+                        const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats,
+                        CompletenessWitness* witness) {
+  RELCOMP_RETURN_IF_ERROR(RequireTableauLanguage(q, "RCDP (strong model)"));
+  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
+  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  Valuation mu;
+  Instance world;
+  bool any = false;
+  while (true) {
+    Result<bool> got = worlds.Next(&mu, &world);
+    if (!got.ok()) return got.status();
+    if (!*got) break;
+    any = true;
+    Result<bool> complete =
+        IsCompleteGround(q, world, setting, adom, options, stats, witness);
+    if (!complete.ok()) return complete.status();
+    if (!*complete) {
+      if (witness != nullptr) {
+        witness->world_valuation = mu;
+        witness->note =
+            "world " + mu.ToString() + " is incomplete: " + witness->note;
+      }
+      return false;
+    }
+  }
+  if (!any) {
+    if (witness != nullptr) {
+      witness->note = "Mod(T, Dm, V) is empty: T is not partially closed";
+    }
+    return false;
+  }
+  return true;
+}
+
+Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
+                        const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats,
+                        Instance* witness_world) {
+  RELCOMP_RETURN_IF_ERROR(RequireTableauLanguage(q, "RCDP (viable model)"));
+  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
+  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  Instance world;
+  while (true) {
+    Result<bool> got = worlds.Next(nullptr, &world);
+    if (!got.ok()) return got.status();
+    if (!*got) break;
+    Result<bool> complete =
+        IsCompleteGround(q, world, setting, adom, options, stats, nullptr);
+    if (!complete.ok()) return complete.status();
+    if (*complete) {
+      if (witness_world != nullptr) *witness_world = world;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
+                      const PartiallyClosedSetting& setting,
+                      const SearchOptions& options, SearchStats* stats,
+                      CompletenessWitness* witness) {
+  if (q.language() == QueryLanguage::kFO) {
+    return Status::Undecidable(
+        "RCDP (weak model) is undecidable for FO (Theorem 5.1); use the "
+        "bounded procedures in core/bounded.h");
+  }
+  // One extra fresh constant per column of the widest relation backs the
+  // fresh-variable row of the Lemma 5.2 characterization.
+  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
+
+  // Pass 1: certain answers over Mod(T).
+  Result<CertainAnswersResult> certain =
+      CertainAnswers(q, cinstance, setting, adom, options, stats);
+  if (!certain.ok()) return certain.status();
+  if (!certain->mod_nonempty) {
+    if (witness != nullptr) {
+      witness->note = "Mod(T, Dm, V) is empty: T is not partially closed";
+    }
+    return false;
+  }
+
+  // Pass 2: certain answers over all single-tuple partially closed
+  // extensions of all worlds (sufficient by monotonicity).
+  bool any_extension = false;
+  Relation extension_certain;
+  uint64_t steps = 0;
+
+  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  Valuation mu;
+  Instance world;
+  while (true) {
+    Result<bool> got = worlds.Next(&mu, &world);
+    if (!got.ok()) return got.status();
+    if (!*got) break;
+    for (const RelationSchema& rel : setting.schema.relations()) {
+      const Relation& existing = world.at(rel.name());
+      TupleEnumerator tuples(rel, adom);
+      Tuple t;
+      while (tuples.Next(&t)) {
+        if (++steps > options.max_steps) {
+          return Status::ResourceExhausted(
+              "weak-model extension enumeration exceeded the step budget");
+        }
+        if (stats != nullptr) ++stats->extensions;
+        if (existing.Contains(t)) continue;
+        Instance extended = world;
+        extended.AddTuple(rel.name(), t);
+        if (stats != nullptr) ++stats->cc_checks;
+        Result<bool> closed =
+            SatisfiesCCs(extended, setting.dm, setting.ccs);
+        if (!closed.ok()) return closed.status();
+        if (!*closed) continue;
+        if (stats != nullptr) ++stats->query_evals;
+        Result<Relation> answers = q.Eval(extended, adom.values());
+        if (!answers.ok()) return answers.status();
+        if (!any_extension) {
+          any_extension = true;
+          extension_certain = std::move(answers).value();
+        } else {
+          extension_certain = extension_certain.Intersect(*answers);
+        }
+        // Early exit: once the extension-certain set shrinks into the
+        // certain answers, it can never escape them again.
+        if (extension_certain.IsSubsetOf(certain->answers)) {
+          return true;
+        }
+      }
+    }
+  }
+
+  if (!any_extension) {
+    // Ext(I) = ∅ for every world: weakly complete by definition.
+    return true;
+  }
+  Relation gap = extension_certain.Difference(certain->answers);
+  if (gap.empty()) return true;
+  if (witness != nullptr) {
+    witness->answer = gap.rows().front();
+    witness->note =
+        "tuple " + TupleToString(witness->answer) +
+        " is certain over all partially closed extensions but is not a "
+        "certain answer of T";
+  }
+  return false;
+}
+
+Result<bool> RcdpStrongGround(const Query& q, const Instance& instance,
+                              const PartiallyClosedSetting& setting,
+                              const SearchOptions& options, SearchStats* stats,
+                              CompletenessWitness* witness) {
+  RELCOMP_RETURN_IF_ERROR(
+      RequireTableauLanguage(q, "RCDP (strong model, ground)"));
+  return IsCompleteGroundAuto(q, instance, setting, options, stats, witness);
+}
+
+Result<bool> RcdpWeakGround(const Query& q, const Instance& instance,
+                            const PartiallyClosedSetting& setting,
+                            const SearchOptions& options, SearchStats* stats,
+                            CompletenessWitness* witness) {
+  return RcdpWeak(q, CInstance::FromInstance(instance), setting, options,
+                  stats, witness);
+}
+
+}  // namespace relcomp

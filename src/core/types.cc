@@ -1,0 +1,38 @@
+#include "core/types.h"
+
+namespace relcomp {
+
+Status PartiallyClosedSetting::Validate() const {
+  if (dm.schema().size() != master_schema.size()) {
+    return Status::InvalidArgument(
+        "master data does not match the master schema");
+  }
+  for (const ContainmentConstraint& cc : ccs) {
+    RELCOMP_RETURN_IF_ERROR(cc.Validate(schema, master_schema));
+  }
+  return Status::OK();
+}
+
+std::string SearchStats::ToString() const {
+  return "valuations=" + std::to_string(valuations) +
+         " worlds=" + std::to_string(worlds) +
+         " extensions=" + std::to_string(extensions) +
+         " cc_checks=" + std::to_string(cc_checks) +
+         " query_evals=" + std::to_string(query_evals);
+}
+
+std::string CompletenessWitness::ToString() const {
+  std::string out = note;
+  if (!world.relations().empty()) {
+    out += "\nworld I = " + world.ToString();
+  }
+  if (!extension.relations().empty()) {
+    out += "\nextension I' = " + extension.ToString();
+  }
+  if (!answer.empty()) {
+    out += "\nanswer tuple: " + TupleToString(answer);
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,61 @@
+// Shared types for the decision procedures: the partially closed setting
+// (Dm, V), search budgets, statistics, and counterexample witnesses.
+#ifndef RELCOMP_CORE_TYPES_H_
+#define RELCOMP_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ctable/cinstance.h"
+#include "data/instance.h"
+#include "query/containment.h"
+#include "query/query.h"
+
+namespace relcomp {
+
+/// The fixed context of every decision problem: database schema R, master
+/// schema Rm, master data Dm, and the set V of containment constraints.
+struct PartiallyClosedSetting {
+  DatabaseSchema schema;
+  DatabaseSchema master_schema;
+  Instance dm;
+  CCSet ccs;
+
+  /// Validates Dm against the master schema and every CC against both.
+  Status Validate() const;
+};
+
+/// Budget for the (inherently exponential) valuation searches. Every
+/// enumerated valuation / candidate tuple costs one step; procedures fail
+/// with kResourceExhausted when the budget runs out instead of hanging.
+struct SearchOptions {
+  uint64_t max_steps = 50'000'000ULL;
+};
+
+/// Counters reported by the deciders; benchmarks use them to show the
+/// complexity-class shapes of Table I.
+struct SearchStats {
+  uint64_t valuations = 0;   ///< c-instance / tableau valuations enumerated
+  uint64_t worlds = 0;       ///< worlds of Mod(T, Dm, V) visited
+  uint64_t extensions = 0;   ///< candidate extensions examined
+  uint64_t cc_checks = 0;    ///< CC satisfaction tests
+  uint64_t query_evals = 0;  ///< full query evaluations
+
+  std::string ToString() const;
+};
+
+/// A counterexample produced by a decider: the world and extension that
+/// break completeness, plus the answer tuple that appears or disappears.
+struct CompletenessWitness {
+  Valuation world_valuation;  ///< µ selecting the offending world
+  Instance world;             ///< I = µ(T)
+  Instance extension;         ///< I' ∈ Ext(I) with Q(I) ≠ Q(I')
+  Tuple answer;               ///< tuple in Q(I') \ Q(I) (or certain-answer gap)
+  std::string note;           ///< human-readable explanation
+
+  std::string ToString() const;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CORE_TYPES_H_

@@ -1,0 +1,123 @@
+#include "ctable/condition.h"
+
+#include <cassert>
+
+namespace relcomp {
+
+std::string CTermToString(const CTerm& t) {
+  if (std::holds_alternative<VarId>(t)) {
+    return "x" + std::to_string(std::get<VarId>(t).id);
+  }
+  return std::get<Value>(t).ToString();
+}
+
+void Valuation::Bind(VarId var, const Value& value) {
+  assert(var.id >= 0);
+  if (static_cast<size_t>(var.id) >= slots_.size()) {
+    slots_.resize(static_cast<size_t>(var.id) + 1);
+  }
+  slots_[static_cast<size_t>(var.id)] = value;
+}
+
+void Valuation::Unbind(VarId var) {
+  if (var.id >= 0 && static_cast<size_t>(var.id) < slots_.size()) {
+    slots_[static_cast<size_t>(var.id)].reset();
+  }
+}
+
+std::optional<Value> Valuation::Get(VarId var) const {
+  if (var.id < 0 || static_cast<size_t>(var.id) >= slots_.size()) {
+    return std::nullopt;
+  }
+  return slots_[static_cast<size_t>(var.id)];
+}
+
+std::optional<Value> Valuation::Resolve(const CTerm& term) const {
+  if (std::holds_alternative<Value>(term)) return std::get<Value>(term);
+  return Get(std::get<VarId>(term));
+}
+
+std::string Valuation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "x" + std::to_string(i) + "=" + slots_[i]->ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string CondAtom::ToString() const {
+  return CTermToString(lhs) + (neq ? " != " : " = ") + CTermToString(rhs);
+}
+
+Condition Condition::VarNeqConst(VarId v, Value c) {
+  return Condition({CondAtom{v, true, c}});
+}
+
+Condition Condition::VarEqConst(VarId v, Value c) {
+  return Condition({CondAtom{v, false, c}});
+}
+
+Condition Condition::VarNeqVar(VarId a, VarId b) {
+  return Condition({CondAtom{a, true, b}});
+}
+
+std::optional<bool> Condition::Eval(const Valuation& mu) const {
+  for (const CondAtom& atom : atoms_) {
+    std::optional<Value> lhs = mu.Resolve(atom.lhs);
+    std::optional<Value> rhs = mu.Resolve(atom.rhs);
+    if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+    bool eq = (*lhs == *rhs);
+    if (atom.neq ? eq : !eq) return false;
+  }
+  return true;
+}
+
+bool Condition::PossiblySatisfiable(const Valuation& mu) const {
+  for (const CondAtom& atom : atoms_) {
+    std::optional<Value> lhs = mu.Resolve(atom.lhs);
+    std::optional<Value> rhs = mu.Resolve(atom.rhs);
+    if (!lhs.has_value() || !rhs.has_value()) continue;  // unknown: keep going
+    bool eq = (*lhs == *rhs);
+    if (atom.neq ? eq : !eq) return false;
+  }
+  return true;
+}
+
+void Condition::CollectVars(std::vector<VarId>* vars) const {
+  for (const CondAtom& atom : atoms_) {
+    if (std::holds_alternative<VarId>(atom.lhs)) {
+      vars->push_back(std::get<VarId>(atom.lhs));
+    }
+    if (std::holds_alternative<VarId>(atom.rhs)) {
+      vars->push_back(std::get<VarId>(atom.rhs));
+    }
+  }
+}
+
+void Condition::CollectConstants(std::vector<Value>* consts) const {
+  for (const CondAtom& atom : atoms_) {
+    if (std::holds_alternative<Value>(atom.lhs)) {
+      consts->push_back(std::get<Value>(atom.lhs));
+    }
+    if (std::holds_alternative<Value>(atom.rhs)) {
+      consts->push_back(std::get<Value>(atom.rhs));
+    }
+  }
+}
+
+std::string Condition::ToString() const {
+  if (atoms_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " && ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace relcomp

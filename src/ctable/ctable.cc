@@ -1,0 +1,121 @@
+#include "ctable/ctable.h"
+
+#include <cassert>
+
+namespace relcomp {
+
+std::string CellToString(const Cell& cell) {
+  if (std::holds_alternative<VarId>(cell)) {
+    return "x" + std::to_string(std::get<VarId>(cell).id);
+  }
+  return std::get<Value>(cell).ToString();
+}
+
+std::string CRow::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += CellToString(cells[i]);
+  }
+  out += ")";
+  if (!condition.IsTrivial()) {
+    out += " if " + condition.ToString();
+  }
+  return out;
+}
+
+CTable CTable::FromRelation(const Relation& rel) {
+  CTable table(rel.schema());
+  for (const Tuple& t : rel.rows()) {
+    std::vector<Cell> cells(t.begin(), t.end());
+    table.AddRow(std::move(cells));
+  }
+  return table;
+}
+
+void CTable::AddRow(CRow row) {
+  assert(row.cells.size() == schema_.arity());
+  rows_.push_back(std::move(row));
+}
+
+void CTable::AddRow(std::vector<Cell> cells) {
+  AddRow(CRow{std::move(cells), Condition::True()});
+}
+
+Result<Relation> CTable::Apply(const Valuation& mu) const {
+  Relation out(schema_);
+  for (const CRow& row : rows_) {
+    std::optional<bool> keep = row.condition.Eval(mu);
+    if (!keep.has_value()) {
+      return Status::InvalidArgument(
+          "valuation leaves a condition variable unbound in row " +
+          row.ToString());
+    }
+    if (!*keep) continue;
+    Tuple t;
+    t.reserve(row.cells.size());
+    bool complete = true;
+    for (const Cell& cell : row.cells) {
+      if (std::holds_alternative<Value>(cell)) {
+        t.push_back(std::get<Value>(cell));
+      } else {
+        std::optional<Value> v = mu.Get(std::get<VarId>(cell));
+        if (!v.has_value()) {
+          complete = false;
+          break;
+        }
+        t.push_back(*v);
+      }
+    }
+    if (!complete) {
+      return Status::InvalidArgument(
+          "valuation leaves a cell variable unbound in row " + row.ToString());
+    }
+    out.Insert(std::move(t));
+  }
+  return out;
+}
+
+bool CTable::IsGround() const {
+  for (const CRow& row : rows_) {
+    if (!row.condition.IsTrivial()) return false;
+    for (const Cell& cell : row.cells) {
+      if (std::holds_alternative<VarId>(cell)) return false;
+    }
+  }
+  return true;
+}
+
+void CTable::CollectVars(std::vector<VarId>* vars) const {
+  for (const CRow& row : rows_) {
+    for (const Cell& cell : row.cells) {
+      if (std::holds_alternative<VarId>(cell)) {
+        vars->push_back(std::get<VarId>(cell));
+      }
+    }
+    row.condition.CollectVars(vars);
+  }
+}
+
+void CTable::CollectConstants(std::vector<Value>* consts) const {
+  for (const CRow& row : rows_) {
+    for (const Cell& cell : row.cells) {
+      if (std::holds_alternative<Value>(cell)) {
+        consts->push_back(std::get<Value>(cell));
+      }
+    }
+    row.condition.CollectConstants(consts);
+  }
+}
+
+std::string CTable::ToString() const {
+  std::string out = schema_.name() + "[";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += rows_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,72 @@
+// Conditional tables (c-tables): tableaux whose cells are constants or
+// variables, each row guarded by a local condition ξ(t). Applying a valuation
+// µ yields the ground relation µ(T) = { µ(t) | t ∈ T, ξ(µ(t)) true }.
+#ifndef RELCOMP_CTABLE_CTABLE_H_
+#define RELCOMP_CTABLE_CTABLE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ctable/condition.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace relcomp {
+
+/// A tableau cell: constant or variable.
+using Cell = std::variant<Value, VarId>;
+
+/// Renders a cell ("x3" or the constant).
+std::string CellToString(const Cell& cell);
+
+/// One row of a c-table: a cell per attribute plus its local condition.
+struct CRow {
+  std::vector<Cell> cells;
+  Condition condition;  // defaults to `true`
+
+  std::string ToString() const;
+};
+
+/// A c-table (T, ξ) over a relation schema.
+class CTable {
+ public:
+  CTable() = default;
+  explicit CTable(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  /// Lifts a ground relation into a condition-free, variable-free c-table.
+  static CTable FromRelation(const Relation& rel);
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<CRow>& rows() const { return rows_; }
+  std::vector<CRow>& rows() { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Appends a row; arity must match the schema.
+  void AddRow(CRow row);
+  /// Convenience: appends a row of cells with condition `true`.
+  void AddRow(std::vector<Cell> cells);
+
+  /// µ(T): keeps rows whose condition holds under µ; all cells must resolve.
+  /// Fails with kInvalidArgument if a variable in a kept row is unbound.
+  Result<Relation> Apply(const Valuation& mu) const;
+
+  /// True if no cell is a variable and every condition is trivial.
+  bool IsGround() const;
+
+  /// Collects all variables (cells + conditions) into `vars`.
+  void CollectVars(std::vector<VarId>* vars) const;
+  /// Collects all constants (cells + conditions) into `consts`.
+  void CollectConstants(std::vector<Value>* consts) const;
+
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<CRow> rows_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_CTABLE_CTABLE_H_

@@ -1,0 +1,20 @@
+#include "data/domain.h"
+
+namespace relcomp {
+
+Domain Domain::Finite(std::vector<Value> values) {
+  Domain d;
+  d.finite_ = true;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  d.values_ = std::move(values);
+  return d;
+}
+
+Domain Domain::IntRange(int64_t lo, int64_t hi) {
+  std::vector<Value> vals;
+  for (int64_t v = lo; v <= hi; ++v) vals.push_back(Value::Int(v));
+  return Finite(std::move(vals));
+}
+
+}  // namespace relcomp

@@ -1,0 +1,54 @@
+// Attribute domains dom(A): either countably infinite, or an explicit finite
+// set of constants. Finite domains matter throughout the paper: valuations of
+// variables in a finite-domain column must draw from that domain, and the
+// active-domain set Adom includes all finite-domain constants (df).
+#ifndef RELCOMP_DATA_DOMAIN_H_
+#define RELCOMP_DATA_DOMAIN_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "data/value.h"
+
+namespace relcomp {
+
+/// The domain of an attribute: infinite, or an explicit finite value set.
+class Domain {
+ public:
+  /// A countably infinite domain (ints / symbols).
+  static Domain Infinite() { return Domain(); }
+
+  /// A finite domain containing exactly `values` (deduplicated, sorted).
+  static Domain Finite(std::vector<Value> values);
+
+  /// Convenience: the Boolean domain {0, 1} used by the Fig. 2 gadgets.
+  static Domain Boolean() {
+    return Finite({Value::Int(0), Value::Int(1)});
+  }
+
+  /// Convenience: finite integer range [lo, hi].
+  static Domain IntRange(int64_t lo, int64_t hi);
+
+  bool is_finite() const { return finite_; }
+  /// Values of a finite domain (sorted, unique); empty for infinite domains.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// True if `v` is an element of this domain (always true when infinite).
+  bool Contains(const Value& v) const {
+    if (!finite_) return true;
+    return std::binary_search(values_.begin(), values_.end(), v);
+  }
+
+  friend bool operator==(const Domain& a, const Domain& b) {
+    return a.finite_ == b.finite_ && a.values_ == b.values_;
+  }
+
+ private:
+  Domain() : finite_(false) {}
+  bool finite_;
+  std::vector<Value> values_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_DATA_DOMAIN_H_

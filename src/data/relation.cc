@@ -1,0 +1,82 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace relcomp {
+
+bool Relation::Insert(Tuple t) {
+  assert(schema_.arity() == 0 || t.size() == schema_.arity());
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), t);
+  if (it != rows_.end() && *it == t) return false;
+  rows_.insert(it, std::move(t));
+  return true;
+}
+
+void Relation::InsertAll(const Relation& other) {
+  for (const Tuple& t : other.rows_) Insert(t);
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), t);
+  if (it == rows_.end() || *it != t) return false;
+  rows_.erase(it);
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(rows_.begin(), rows_.end(), t);
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  return std::includes(other.rows_.begin(), other.rows_.end(), rows_.begin(),
+                       rows_.end());
+}
+
+Relation Relation::Intersect(const Relation& other) const {
+  Relation out(schema_);
+  std::set_intersection(rows_.begin(), rows_.end(), other.rows_.begin(),
+                        other.rows_.end(), std::back_inserter(out.rows_));
+  return out;
+}
+
+Relation Relation::Union(const Relation& other) const {
+  Relation out(schema_);
+  std::set_union(rows_.begin(), rows_.end(), other.rows_.begin(),
+                 other.rows_.end(), std::back_inserter(out.rows_));
+  return out;
+}
+
+Relation Relation::Difference(const Relation& other) const {
+  Relation out(schema_);
+  std::set_difference(rows_.begin(), rows_.end(), other.rows_.begin(),
+                      other.rows_.end(), std::back_inserter(out.rows_));
+  return out;
+}
+
+Relation Relation::Project(const std::vector<int>& columns) const {
+  std::vector<Attribute> attrs;
+  for (int c : columns) {
+    attrs.push_back(schema_.attribute(static_cast<size_t>(c)));
+  }
+  Relation out(RelationSchema(schema_.name() + "_proj", std::move(attrs)));
+  for (const Tuple& t : rows_) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (int c : columns) projected.push_back(t[static_cast<size_t>(c)]);
+    out.Insert(std::move(projected));
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.name() + "{";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TupleToString(rows_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace relcomp

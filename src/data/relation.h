@@ -1,0 +1,72 @@
+// Relation: a set of ground tuples under a relation schema. The deciders in
+// core/ are set-algebra heavy (Q(I) = Q(I'), subset tests, intersections), so
+// tuples are kept sorted and unique for deterministic iteration and O(log n)
+// membership.
+#ifndef RELCOMP_DATA_RELATION_H_
+#define RELCOMP_DATA_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/tuple.h"
+
+namespace relcomp {
+
+/// A finite set of tuples over a RelationSchema.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Sorted, unique tuple storage.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Inserts a tuple; returns true if it was new. Arity must match.
+  bool Insert(Tuple t);
+  /// Inserts every tuple of `other` (schemas assumed compatible).
+  void InsertAll(const Relation& other);
+  /// Removes a tuple; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+  /// True if every tuple of this relation is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+  /// True if subset and strictly smaller.
+  bool IsProperSubsetOf(const Relation& other) const {
+    return size() < other.size() && IsSubsetOf(other);
+  }
+
+  /// Set intersection (schemas assumed compatible; keeps this->schema()).
+  Relation Intersect(const Relation& other) const;
+  /// Set union (keeps this->schema()).
+  Relation Union(const Relation& other) const;
+  /// Set difference this \ other.
+  Relation Difference(const Relation& other) const;
+  /// Projection onto the given column indices.
+  Relation Project(const std::vector<int>& columns) const;
+
+  /// Equality as tuple sets (schema names ignored).
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.rows_ == b.rows_;
+  }
+  friend bool operator!=(const Relation& a, const Relation& b) {
+    return !(a == b);
+  }
+
+  /// "Rel{(..), (..)}" for debugging and witnesses.
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;  // sorted, unique
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_DATA_RELATION_H_

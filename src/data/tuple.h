@@ -1,0 +1,28 @@
+// Tuples are flat vectors of Values; relations keep them sorted and unique.
+#ifndef RELCOMP_DATA_TUPLE_H_
+#define RELCOMP_DATA_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace relcomp {
+
+/// A ground tuple: fixed-arity row of constants.
+using Tuple = std::vector<Value>;
+
+/// Renders "(v1, v2, ...)".
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_DATA_TUPLE_H_

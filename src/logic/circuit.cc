@@ -1,0 +1,130 @@
+#include "logic/circuit.h"
+
+namespace relcomp {
+
+int Circuit::NumInputs() const {
+  int n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type == GateType::kIn) ++n;
+  }
+  return n;
+}
+
+Status Circuit::Validate() const {
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.type) {
+      case GateType::kIn:
+        break;
+      case GateType::kNot:
+        if (g.in1 < 0 || g.in1 >= static_cast<int>(i)) {
+          return Status::InvalidArgument("NOT gate input out of range");
+        }
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+        if (g.in1 < 0 || g.in1 >= static_cast<int>(i) || g.in2 < 0 ||
+            g.in2 >= static_cast<int>(i)) {
+          return Status::InvalidArgument("binary gate input out of range");
+        }
+        break;
+    }
+  }
+  if (gates_.empty()) {
+    return Status::InvalidArgument("empty circuit");
+  }
+  return Status::OK();
+}
+
+bool Circuit::Eval(uint64_t input) const {
+  std::vector<bool> values(gates_.size());
+  int next_input = 0;
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.type) {
+      case GateType::kIn:
+        values[i] = (input >> next_input) & 1;
+        ++next_input;
+        break;
+      case GateType::kNot:
+        values[i] = !values[static_cast<size_t>(g.in1)];
+        break;
+      case GateType::kAnd:
+        values[i] = values[static_cast<size_t>(g.in1)] &&
+                    values[static_cast<size_t>(g.in2)];
+        break;
+      case GateType::kOr:
+        values[i] = values[static_cast<size_t>(g.in1)] ||
+                    values[static_cast<size_t>(g.in2)];
+        break;
+    }
+  }
+  return values.back();
+}
+
+bool Circuit::IsTautology() const {
+  int n = NumInputs();
+  uint64_t limit = uint64_t{1} << n;
+  for (uint64_t w = 0; w < limit; ++w) {
+    if (!Eval(w)) return false;
+  }
+  return true;
+}
+
+std::string Circuit::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    if (!out.empty()) out += "; ";
+    out += "g" + std::to_string(i) + "=";
+    switch (gates_[i].type) {
+      case GateType::kIn:
+        out += "in";
+        break;
+      case GateType::kNot:
+        out += "!g" + std::to_string(gates_[i].in1);
+        break;
+      case GateType::kAnd:
+        out += "g" + std::to_string(gates_[i].in1) + "&g" +
+               std::to_string(gates_[i].in2);
+        break;
+      case GateType::kOr:
+        out += "g" + std::to_string(gates_[i].in1) + "|g" +
+               std::to_string(gates_[i].in2);
+        break;
+    }
+  }
+  return out;
+}
+
+Circuit RandomCircuit(int num_inputs, int num_gates, uint64_t seed,
+                      bool force_taut) {
+  auto next = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ull;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  Circuit c;
+  for (int i = 0; i < num_inputs; ++i) c.AddGate(Gate{GateType::kIn, -1, -1});
+  for (int i = 0; i < num_gates; ++i) {
+    int size = num_inputs + i;
+    GateType types[] = {GateType::kAnd, GateType::kOr, GateType::kNot};
+    GateType type = types[next() % 3];
+    int in1 = static_cast<int>(next() % static_cast<uint64_t>(size));
+    int in2 = static_cast<int>(next() % static_cast<uint64_t>(size));
+    c.AddGate(Gate{type, in1, in2});
+  }
+  if (force_taut) {
+    // out' = out | x0 | !x0 — a tautology with the same gate structure.
+    int out = static_cast<int>(c.gates().size()) - 1;
+    c.AddGate(Gate{GateType::kNot, 0, -1});
+    int not_x0 = static_cast<int>(c.gates().size()) - 1;
+    c.AddGate(Gate{GateType::kOr, 0, not_x0});
+    int taut = static_cast<int>(c.gates().size()) - 1;
+    c.AddGate(Gate{GateType::kOr, out, taut});
+  }
+  return c;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,63 @@
+// Boolean circuits for the SUCCINCT-TAUT reductions (Theorems 5.1(2) and
+// 5.6(2)): gates g_i = (type, j, k) with j, k < i; the circuit computes
+// f_C : {0,1}^n → {0,1}.
+#ifndef RELCOMP_LOGIC_CIRCUIT_H_
+#define RELCOMP_LOGIC_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relcomp {
+
+/// Gate kinds of a Boolean circuit.
+enum class GateType { kIn, kAnd, kOr, kNot };
+
+/// One gate; inputs refer to earlier gates (indices < own index).
+struct Gate {
+  GateType type = GateType::kIn;
+  int in1 = -1;  // unused for kIn
+  int in2 = -1;  // unused for kIn / kNot
+};
+
+/// A Boolean circuit; gate order is topological by construction, input gates
+/// may appear anywhere and are numbered by order of appearance. The last
+/// gate is the output.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::vector<Gate> gates) : gates_(std::move(gates)) {}
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  void AddGate(Gate gate) { gates_.push_back(gate); }
+
+  /// Number of input gates.
+  int NumInputs() const;
+
+  /// Structural well-formedness (inputs precede use, arities sensible).
+  Status Validate() const;
+
+  /// f_C(w): evaluates on the input bits (bit i of `input` feeds the i-th
+  /// input gate, in gate order).
+  bool Eval(uint64_t input) const;
+
+  /// Brute-force tautology test: f_C(w) = 1 for all w (inputs ≤ ~20).
+  bool IsTautology() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Gate> gates_;
+};
+
+/// Deterministic pseudo-random circuit over `num_inputs` inputs with
+/// `num_gates` internal gates; `force_taut` ORs the output with an always-true
+/// subcircuit to manufacture tautologies.
+Circuit RandomCircuit(int num_inputs, int num_gates, uint64_t seed,
+                      bool force_taut);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_LOGIC_CIRCUIT_H_

@@ -1,0 +1,52 @@
+// 3CNF formulas and brute-force (satisfiability) evaluation. These drive the
+// hardness reductions of the paper (Props 3.1/3.3, Thms 4.8, 5.1, 5.6, 6.1)
+// and serve as ground-truth oracles in tests.
+#ifndef RELCOMP_LOGIC_CNF_H_
+#define RELCOMP_LOGIC_CNF_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+
+/// A literal: variable index (0-based) and sign.
+struct Lit {
+  int var = 0;
+  bool neg = false;
+
+  /// Positive literal of variable v.
+  static Lit Pos(int v) { return Lit{v, false}; }
+  /// Negative literal of variable v.
+  static Lit Neg(int v) { return Lit{v, true}; }
+
+  std::string ToString() const {
+    return (neg ? "!x" : "x") + std::to_string(var);
+  }
+};
+
+/// A 3-literal clause.
+using Clause3 = std::array<Lit, 3>;
+
+/// An instance of 3SAT: ψ = C1 ∧ ... ∧ Cr over variables 0..num_vars-1.
+struct Cnf3 {
+  int num_vars = 0;
+  std::vector<Clause3> clauses;
+
+  /// ψ under the assignment encoded bitwise (bit v of `assignment` is the
+  /// truth value of variable v). num_vars must be ≤ 63.
+  bool Eval(uint64_t assignment) const;
+
+  /// Brute-force satisfiability (num_vars ≤ ~25 practical).
+  bool IsSatisfiable() const;
+
+  std::string ToString() const;
+};
+
+/// A deterministic pseudo-random 3CNF generator (for benchmark workloads).
+Cnf3 RandomCnf3(int num_vars, int num_clauses, uint64_t seed);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_LOGIC_CNF_H_

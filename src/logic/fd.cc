@@ -1,0 +1,80 @@
+#include "logic/fd.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+std::string Fd::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(lhs[i]);
+  }
+  out += "} -> " + std::to_string(rhs);
+  return out;
+}
+
+std::vector<int> FdClosure(const std::vector<int>& attrs,
+                           const std::vector<Fd>& sigma, int num_attrs) {
+  std::vector<bool> in_closure(static_cast<size_t>(num_attrs), false);
+  for (int a : attrs) {
+    if (a >= 0 && a < num_attrs) in_closure[static_cast<size_t>(a)] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : sigma) {
+      if (fd.rhs < 0 || fd.rhs >= num_attrs ||
+          in_closure[static_cast<size_t>(fd.rhs)]) {
+        continue;
+      }
+      bool all = true;
+      for (int a : fd.lhs) {
+        if (a < 0 || a >= num_attrs || !in_closure[static_cast<size_t>(a)]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        in_closure[static_cast<size_t>(fd.rhs)] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int a = 0; a < num_attrs; ++a) {
+    if (in_closure[static_cast<size_t>(a)]) out.push_back(a);
+  }
+  return out;
+}
+
+bool FdImplies(const std::vector<Fd>& sigma, const Fd& phi, int num_attrs) {
+  std::vector<int> closure = FdClosure(phi.lhs, sigma, num_attrs);
+  return std::binary_search(closure.begin(), closure.end(), phi.rhs);
+}
+
+std::vector<Fd> RandomFds(int num_attrs, int num_fds, uint64_t seed) {
+  auto next = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ull;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  std::vector<Fd> fds;
+  for (int i = 0; i < num_fds; ++i) {
+    Fd fd;
+    int lhs_size = 1 + static_cast<int>(next() % 2);
+    for (int j = 0; j < lhs_size; ++j) {
+      fd.lhs.push_back(
+          static_cast<int>(next() % static_cast<uint64_t>(num_attrs)));
+    }
+    std::sort(fd.lhs.begin(), fd.lhs.end());
+    fd.lhs.erase(std::unique(fd.lhs.begin(), fd.lhs.end()), fd.lhs.end());
+    fd.rhs = static_cast<int>(next() % static_cast<uint64_t>(num_attrs));
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+}  // namespace relcomp

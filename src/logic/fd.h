@@ -1,0 +1,35 @@
+// Functional dependencies with Armstrong-closure implication. FD implication
+// is the decidable fragment against which the Prop 3.1 reduction (FDs as
+// constraints → RCDP) is validated; with INDs added the implication problem —
+// and hence RCDP/RCQP — becomes undecidable, which is the point of Prop 3.1.
+#ifndef RELCOMP_LOGIC_FD_H_
+#define RELCOMP_LOGIC_FD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+
+/// An FD X → A over attribute indices of a single relation (A a single
+/// attribute; X → Y decomposes into singletons).
+struct Fd {
+  std::vector<int> lhs;
+  int rhs = 0;
+
+  std::string ToString() const;
+};
+
+/// Attribute-set closure X⁺ under Σ (Armstrong axioms; indices < num_attrs).
+std::vector<int> FdClosure(const std::vector<int>& attrs,
+                           const std::vector<Fd>& sigma, int num_attrs);
+
+/// Σ ⊨ φ via closure: φ.rhs ∈ (φ.lhs)⁺.
+bool FdImplies(const std::vector<Fd>& sigma, const Fd& phi, int num_attrs);
+
+/// Deterministic pseudo-random FD set for property tests / benches.
+std::vector<Fd> RandomFds(int num_attrs, int num_fds, uint64_t seed);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_LOGIC_FD_H_

@@ -1,0 +1,139 @@
+#include "logic/gadgets.h"
+
+namespace relcomp {
+namespace {
+
+const Value kZero = Value::Int(0);
+const Value kOne = Value::Int(1);
+
+}  // namespace
+
+GadgetNames GadgetNames::WithSuffix(const std::string& suffix) const {
+  GadgetNames out;
+  out.r01 = r01 + suffix;
+  out.ror = ror + suffix;
+  out.rand = rand + suffix;
+  out.rnot = rnot + suffix;
+  return out;
+}
+
+void AddGadgetSchemas(DatabaseSchema* schema, const GadgetNames& names) {
+  Domain boolean = Domain::Boolean();
+  schema->AddRelation(
+      RelationSchema(names.r01, {Attribute{"x", boolean}}));
+  schema->AddRelation(RelationSchema(
+      names.ror,
+      {Attribute{"a1", boolean}, Attribute{"a2", boolean},
+       Attribute{"b", boolean}}));
+  schema->AddRelation(RelationSchema(
+      names.rand,
+      {Attribute{"a1", boolean}, Attribute{"a2", boolean},
+       Attribute{"b", boolean}}));
+  schema->AddRelation(RelationSchema(
+      names.rnot, {Attribute{"a", boolean}, Attribute{"abar", boolean}}));
+}
+
+void FillGadgetInstance(Instance* instance, const GadgetNames& names) {
+  instance->AddTuple(names.r01, {kZero});
+  instance->AddTuple(names.r01, {kOne});
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      instance->AddTuple(names.ror,
+                         {Value::Int(a), Value::Int(b), Value::Int(a | b)});
+      instance->AddTuple(names.rand,
+                         {Value::Int(a), Value::Int(b), Value::Int(a & b)});
+    }
+  }
+  instance->AddTuple(names.rnot, {kZero, kOne});
+  instance->AddTuple(names.rnot, {kOne, kZero});
+}
+
+CCSet GadgetBoundCcs(const GadgetNames& names,
+                     const GadgetNames& master_names) {
+  CCSet ccs;
+  auto identity_cc = [](const std::string& name, const std::string& rel,
+                        const std::string& master, int arity) {
+    std::vector<CTerm> head;
+    std::vector<CTerm> args;
+    std::vector<int> cols;
+    for (int i = 0; i < arity; ++i) {
+      VarId v{i};
+      head.push_back(v);
+      args.push_back(v);
+      cols.push_back(i);
+    }
+    ConjunctiveQuery q(std::move(head), {RelAtom{rel, std::move(args)}});
+    return ContainmentConstraint(name, std::move(q), master, std::move(cols));
+  };
+  ccs.push_back(identity_cc("bound_r01", names.r01, master_names.r01, 1));
+  ccs.push_back(identity_cc("bound_ror", names.ror, master_names.ror, 3));
+  ccs.push_back(identity_cc("bound_rand", names.rand, master_names.rand, 3));
+  ccs.push_back(identity_cc("bound_rnot", names.rnot, master_names.rnot, 2));
+  return ccs;
+}
+
+namespace {
+
+// Term carrying the truth value of a literal: the variable's term for a
+// positive literal; a fresh Rnot output for a negative one.
+CTerm LiteralTerm(const Lit& lit, const std::vector<CTerm>& var_terms,
+                  const GadgetNames& names, int32_t* next_var,
+                  std::vector<RelAtom>* atoms) {
+  CTerm base = var_terms[static_cast<size_t>(lit.var)];
+  if (!lit.neg) return base;
+  VarId flipped{(*next_var)++};
+  atoms->push_back(RelAtom{names.rnot, {base, flipped}});
+  return flipped;
+}
+
+}  // namespace
+
+CTerm AppendCnfEvaluation(const Cnf3& cnf, const std::vector<CTerm>& var_terms,
+                          const GadgetNames& names, int32_t* next_var,
+                          std::vector<RelAtom>* atoms) {
+  if (cnf.clauses.empty()) return CTerm(kOne);
+  std::vector<CTerm> clause_terms;
+  clause_terms.reserve(cnf.clauses.size());
+  for (const Clause3& clause : cnf.clauses) {
+    CTerm l1 = LiteralTerm(clause[0], var_terms, names, next_var, atoms);
+    CTerm l2 = LiteralTerm(clause[1], var_terms, names, next_var, atoms);
+    CTerm l3 = LiteralTerm(clause[2], var_terms, names, next_var, atoms);
+    VarId or12{(*next_var)++};
+    atoms->push_back(RelAtom{names.ror, {l1, l2, or12}});
+    VarId or123{(*next_var)++};
+    atoms->push_back(RelAtom{names.ror, {or12, l3, or123}});
+    clause_terms.push_back(or123);
+  }
+  CTerm acc = clause_terms[0];
+  for (size_t i = 1; i < clause_terms.size(); ++i) {
+    VarId conj{(*next_var)++};
+    atoms->push_back(RelAtom{names.rand, {acc, clause_terms[i], conj}});
+    acc = conj;
+  }
+  return acc;
+}
+
+void AppendBooleanGenerators(const std::vector<CTerm>& terms,
+                             const GadgetNames& names,
+                             std::vector<RelAtom>* atoms) {
+  for (const CTerm& t : terms) {
+    atoms->push_back(RelAtom{names.r01, {t}});
+  }
+}
+
+void AppendQallAtoms(const GadgetNames& names, std::vector<RelAtom>* atoms) {
+  atoms->push_back(RelAtom{names.r01, {kZero}});
+  atoms->push_back(RelAtom{names.r01, {kOne}});
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      atoms->push_back(RelAtom{
+          names.ror, {Value::Int(a), Value::Int(b), Value::Int(a | b)}});
+      atoms->push_back(RelAtom{
+          names.rand, {Value::Int(a), Value::Int(b), Value::Int(a & b)}});
+    }
+  }
+  atoms->push_back(RelAtom{names.rnot, {kZero, kOne}});
+  atoms->push_back(RelAtom{names.rnot, {kOne, kZero}});
+}
+
+}  // namespace relcomp

@@ -1,0 +1,61 @@
+// The Boolean gadget relations of Figure 2 — I(0,1), I∨, I∧, I¬ — plus the
+// CQ encoder that evaluates a 3CNF formula ψ through them. CQ supports
+// neither ∨ nor ¬, but the paper's reductions express ψ in CQ by joining
+// against these constant relations; this module is that machinery, shared by
+// all reduction builders.
+#ifndef RELCOMP_LOGIC_GADGETS_H_
+#define RELCOMP_LOGIC_GADGETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/instance.h"
+#include "logic/cnf.h"
+#include "query/containment.h"
+
+namespace relcomp {
+
+/// Relation names used for the gadget tables.
+struct GadgetNames {
+  std::string r01 = "R01";    ///< I(0,1): unary {0, 1}
+  std::string ror = "Ror";    ///< I∨: (a, b, a∨b)
+  std::string rand = "Rand";  ///< I∧: (a, b, a∧b)
+  std::string rnot = "Rnot";  ///< I¬: (a, ¬a)
+
+  /// The same names with a master-data suffix.
+  GadgetNames WithSuffix(const std::string& suffix) const;
+};
+
+/// Adds the four gadget relation schemas (Boolean-domain attributes) to
+/// `schema` under `names`.
+void AddGadgetSchemas(DatabaseSchema* schema, const GadgetNames& names);
+
+/// Populates the gadget relations of `instance` with the Fig. 2 contents.
+void FillGadgetInstance(Instance* instance, const GadgetNames& names);
+
+/// CCs pinning each database gadget relation inside its master copy
+/// (R01 ⊆ Rm01 etc.); these are INDs. Master relations must use
+/// `master_names` in the master schema.
+CCSet GadgetBoundCcs(const GadgetNames& names, const GadgetNames& master_names);
+
+/// Appends to `atoms` a CQ sub-plan that evaluates ψ over the gadget
+/// relations: `var_terms[i]` is the term carrying the truth value of
+/// variable i, fresh variables are drawn from `*next_var`, and the returned
+/// term carries the truth value of ψ. An empty formula returns constant 1.
+CTerm AppendCnfEvaluation(const Cnf3& cnf, const std::vector<CTerm>& var_terms,
+                          const GadgetNames& names, int32_t* next_var,
+                          std::vector<RelAtom>* atoms);
+
+/// Appends atoms R01(t) for each term, generating all truth assignments of
+/// the terms (the paper's "Cartesian products of I(0,1)").
+void AppendBooleanGenerators(const std::vector<CTerm>& terms,
+                             const GadgetNames& names,
+                             std::vector<RelAtom>* atoms);
+
+/// Appends the `Qall` constant atoms asserting all 12 gadget tuples are
+/// present (used by Thm 4.8 / 6.1 reductions to pin the gadget tables).
+void AppendQallAtoms(const GadgetNames& names, std::vector<RelAtom>* atoms);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_LOGIC_GADGETS_H_

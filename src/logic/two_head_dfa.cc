@@ -1,0 +1,72 @@
+#include "logic/two_head_dfa.h"
+
+namespace relcomp {
+
+void TwoHeadDfa::AddTransition(int state, HeadSymbol in1, HeadSymbol in2,
+                               DfaTransition transition) {
+  delta_[{state, static_cast<int>(in1), static_cast<int>(in2)}] = transition;
+}
+
+std::optional<DfaTransition> TwoHeadDfa::Lookup(int state, HeadSymbol in1,
+                                                HeadSymbol in2) const {
+  auto it = delta_.find({state, static_cast<int>(in1), static_cast<int>(in2)});
+  if (it == delta_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TwoHeadDfa::Accepts(const std::string& word) const {
+  int len = static_cast<int>(word.size());
+  auto symbol_at = [&word, len](int pos) -> HeadSymbol {
+    if (pos >= len) return HeadSymbol::kEpsilon;
+    return word[static_cast<size_t>(pos)] == '1' ? HeadSymbol::kOne
+                                                 : HeadSymbol::kZero;
+  };
+  int state = initial_;
+  int pos1 = 0;
+  int pos2 = 0;
+  // The configuration space is finite; bound the run length to avoid cycles.
+  int64_t max_steps =
+      static_cast<int64_t>(num_states_) * (len + 1) * (len + 1) + 1;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    if (state == accepting_) return true;
+    // Strict semantics (matching the Lemma 4.6 encoding): a head reads ε
+    // exactly when it sits on the end-of-word position; the transition must
+    // match the pair of observed symbols exactly.
+    HeadSymbol s1 = symbol_at(pos1);
+    HeadSymbol s2 = symbol_at(pos2);
+    std::optional<DfaTransition> t = Lookup(state, s1, s2);
+    if (!t.has_value()) return false;  // stuck
+    state = t->next_state;
+    pos1 = std::min(pos1 + t->move1, len);
+    pos2 = std::min(pos2 + t->move2, len);
+  }
+  return state == accepting_;
+}
+
+bool TwoHeadDfa::EmptyUpTo(int max_len) const {
+  // Enumerate all binary words of length ≤ max_len.
+  for (int len = 0; len <= max_len; ++len) {
+    uint64_t combos = uint64_t{1} << len;
+    for (uint64_t bits = 0; bits < combos; ++bits) {
+      std::string word;
+      for (int i = 0; i < len; ++i) {
+        word += ((bits >> i) & 1) ? '1' : '0';
+      }
+      if (Accepts(word)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::tuple<int, HeadSymbol, HeadSymbol, DfaTransition>>
+TwoHeadDfa::Transitions() const {
+  std::vector<std::tuple<int, HeadSymbol, HeadSymbol, DfaTransition>> out;
+  for (const auto& [key, value] : delta_) {
+    out.emplace_back(std::get<0>(key),
+                     static_cast<HeadSymbol>(std::get<1>(key)),
+                     static_cast<HeadSymbol>(std::get<2>(key)), value);
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,73 @@
+// Deterministic finite 2-head automata (Lemma 4.6 / Spielmann 2000): the
+// substrate behind the undecidability of FP satisfiability under FDs. The
+// emptiness problem is undecidable in general; this simulator decides
+// membership for concrete words and emptiness up to a length bound, which is
+// what the executable reduction (reductions/lemma46_dfa) is validated
+// against.
+#ifndef RELCOMP_LOGIC_TWO_HEAD_DFA_H_
+#define RELCOMP_LOGIC_TWO_HEAD_DFA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace relcomp {
+
+/// Input symbol for one head: 0, 1, or ε (head reads nothing this step).
+enum class HeadSymbol : uint8_t { kZero = 0, kOne = 1, kEpsilon = 2 };
+
+/// A transition ∆(s, in1, in2) = (s', move1, move2); moves are 0 or +1.
+struct DfaTransition {
+  int next_state = 0;
+  int move1 = 0;
+  int move2 = 0;
+};
+
+/// A deterministic finite 2-head automaton over Σ = {0, 1}.
+class TwoHeadDfa {
+ public:
+  TwoHeadDfa(int num_states, int initial_state, int accepting_state)
+      : num_states_(num_states),
+        initial_(initial_state),
+        accepting_(accepting_state) {}
+
+  int num_states() const { return num_states_; }
+  int initial_state() const { return initial_; }
+  int accepting_state() const { return accepting_; }
+
+  /// Defines ∆(state, in1, in2); overwrites any previous entry.
+  void AddTransition(int state, HeadSymbol in1, HeadSymbol in2,
+                     DfaTransition transition);
+
+  /// The transition for a configuration, if defined.
+  std::optional<DfaTransition> Lookup(int state, HeadSymbol in1,
+                                      HeadSymbol in2) const;
+
+  /// Membership: does the automaton accept `word` (bits as chars '0'/'1')?
+  /// Runs the deterministic computation with cycle detection over the finite
+  /// configuration space S × [0,|w|] × [0,|w|]. A head observes ε exactly
+  /// when it sits on the end-of-word position, and the applied transition
+  /// must match the observed symbol pair exactly (the semantics the
+  /// Lemma 4.6 FP encoding implements).
+  bool Accepts(const std::string& word) const;
+
+  /// True if no word of length ≤ max_len is accepted.
+  bool EmptyUpTo(int max_len) const;
+
+  /// All transitions as (state, in1, in2, transition) tuples.
+  std::vector<std::tuple<int, HeadSymbol, HeadSymbol, DfaTransition>>
+  Transitions() const;
+
+ private:
+  int num_states_;
+  int initial_;
+  int accepting_;
+  std::map<std::tuple<int, int, int>, DfaTransition> delta_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_LOGIC_TWO_HEAD_DFA_H_

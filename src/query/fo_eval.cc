@@ -1,0 +1,150 @@
+// Active-domain evaluator for FO queries: quantifiers and free variables
+// range over adom(I) ∪ constants(Q) ∪ extra_domain.
+#include <algorithm>
+
+#include "query/fo.h"
+
+namespace relcomp {
+namespace {
+
+class FoEvaluator {
+ public:
+  FoEvaluator(const Instance& instance, std::vector<Value> domain)
+      : instance_(instance), domain_(std::move(domain)) {}
+
+  Result<bool> EvalFormula(const FoFormula& f, Valuation* binding) {
+    switch (f.kind()) {
+      case FoFormula::Kind::kAtom: {
+        const Relation* rel = instance_.Find(f.atom().rel);
+        if (rel == nullptr) {
+          return Status::NotFound("FO atom over unknown relation '" +
+                                  f.atom().rel + "'");
+        }
+        if (rel->arity() != f.atom().args.size()) {
+          return Status::InvalidArgument("arity mismatch in FO atom " +
+                                         f.atom().ToString());
+        }
+        Tuple t;
+        t.reserve(f.atom().args.size());
+        for (const CTerm& term : f.atom().args) {
+          std::optional<Value> v = binding->Resolve(term);
+          if (!v.has_value()) {
+            return Status::InvalidArgument(
+                "free variable in FO atom not covered by head/quantifier: " +
+                f.atom().ToString());
+          }
+          t.push_back(*v);
+        }
+        return rel->Contains(t);
+      }
+      case FoFormula::Kind::kCmp: {
+        std::optional<Value> lhs = binding->Resolve(f.cmp().lhs);
+        std::optional<Value> rhs = binding->Resolve(f.cmp().rhs);
+        if (!lhs.has_value() || !rhs.has_value()) {
+          return Status::InvalidArgument("free variable in FO comparison");
+        }
+        bool eq = (*lhs == *rhs);
+        return f.cmp().neq ? !eq : eq;
+      }
+      case FoFormula::Kind::kAnd: {
+        for (const FoPtr& child : f.children()) {
+          Result<bool> r = EvalFormula(*child, binding);
+          if (!r.ok()) return r;
+          if (!*r) return false;
+        }
+        return true;
+      }
+      case FoFormula::Kind::kOr: {
+        for (const FoPtr& child : f.children()) {
+          Result<bool> r = EvalFormula(*child, binding);
+          if (!r.ok()) return r;
+          if (*r) return true;
+        }
+        return false;
+      }
+      case FoFormula::Kind::kNot: {
+        Result<bool> r = EvalFormula(*f.children()[0], binding);
+        if (!r.ok()) return r;
+        return !*r;
+      }
+      case FoFormula::Kind::kExists:
+      case FoFormula::Kind::kForall: {
+        bool exists = f.kind() == FoFormula::Kind::kExists;
+        return EvalQuantifier(f, 0, exists, binding);
+      }
+    }
+    return Status::Internal("unreachable FO kind");
+  }
+
+ private:
+  Result<bool> EvalQuantifier(const FoFormula& f, size_t var_index,
+                              bool exists, Valuation* binding) {
+    if (var_index == f.bound_vars().size()) {
+      return EvalFormula(*f.children()[0], binding);
+    }
+    VarId var = f.bound_vars()[var_index];
+    for (const Value& v : domain_) {
+      binding->Bind(var, v);
+      Result<bool> r = EvalQuantifier(f, var_index + 1, exists, binding);
+      binding->Unbind(var);
+      if (!r.ok()) return r;
+      if (exists && *r) return true;
+      if (!exists && !*r) return false;
+    }
+    return !exists;
+  }
+
+  const Instance& instance_;
+  std::vector<Value> domain_;
+};
+
+}  // namespace
+
+Result<Relation> FoQuery::Eval(const Instance& instance,
+                               const std::vector<Value>& extra_domain) const {
+  if (formula_ == nullptr) {
+    return Status::InvalidArgument("empty FO query");
+  }
+  std::vector<Value> domain = instance.ActiveDomain();
+  std::vector<Value> consts = Constants();
+  domain.insert(domain.end(), consts.begin(), consts.end());
+  domain.insert(domain.end(), extra_domain.begin(), extra_domain.end());
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+
+  FoEvaluator evaluator(instance, domain);
+  Relation out(RelationSchema::Anonymous("out", head_.size()));
+
+  // Enumerate assignments of the head variables over the domain.
+  Valuation binding;
+  Tuple current(head_.size());
+  // Boolean query: no head variables.
+  if (head_.empty()) {
+    Result<bool> r = evaluator.EvalFormula(*formula_, &binding);
+    if (!r.ok()) return r.status();
+    if (*r) out.Insert(Tuple{});
+    return out;
+  }
+  std::vector<size_t> idx(head_.size(), 0);
+  if (domain.empty()) return out;
+  while (true) {
+    for (size_t i = 0; i < head_.size(); ++i) {
+      binding.Bind(head_[i], domain[idx[i]]);
+      current[i] = domain[idx[i]];
+    }
+    Result<bool> r = evaluator.EvalFormula(*formula_, &binding);
+    if (!r.ok()) return r.status();
+    if (*r) out.Insert(current);
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < idx.size()) {
+      if (++idx[pos] < domain.size()) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == idx.size()) break;
+  }
+  return out;
+}
+
+}  // namespace relcomp

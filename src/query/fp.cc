@@ -1,0 +1,137 @@
+#include "query/fp.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+std::string FpRule::ToString() const {
+  std::string out = head.ToString() + " :- ";
+  bool first = true;
+  for (const RelAtom& atom : body) {
+    if (!first) out += ", ";
+    first = false;
+    out += atom.ToString();
+  }
+  for (const CondAtom& b : builtins) {
+    if (!first) out += ", ";
+    first = false;
+    out += b.ToString();
+  }
+  return out;
+}
+
+std::vector<std::string> FpProgram::IdbPredicates() const {
+  std::vector<std::string> idbs;
+  for (const FpRule& rule : rules_) idbs.push_back(rule.head.rel);
+  std::sort(idbs.begin(), idbs.end());
+  idbs.erase(std::unique(idbs.begin(), idbs.end()), idbs.end());
+  return idbs;
+}
+
+size_t FpProgram::OutputArity() const {
+  for (const FpRule& rule : rules_) {
+    if (rule.head.rel == output_) return rule.head.args.size();
+  }
+  return 0;
+}
+
+Status FpProgram::Validate(const DatabaseSchema& edb_schema) const {
+  std::vector<std::string> idbs = IdbPredicates();
+  auto is_idb = [&idbs](const std::string& name) {
+    return std::binary_search(idbs.begin(), idbs.end(), name);
+  };
+  for (const std::string& idb : idbs) {
+    if (edb_schema.Contains(idb)) {
+      return Status::InvalidArgument("IDB predicate '" + idb +
+                                     "' collides with an EDB relation");
+    }
+  }
+  if (!is_idb(output_)) {
+    return Status::InvalidArgument("output predicate '" + output_ +
+                                   "' is not defined by any rule");
+  }
+  // IDB arities must be consistent across occurrences.
+  std::vector<std::pair<std::string, size_t>> arities;
+  auto check_arity = [&arities](const RelAtom& atom) -> Status {
+    for (const auto& known : arities) {
+      if (known.first == atom.rel) {
+        if (known.second != atom.args.size()) {
+          return Status::InvalidArgument("inconsistent arity for IDB '" +
+                                         atom.rel + "'");
+        }
+        return Status::OK();
+      }
+    }
+    arities.emplace_back(atom.rel, atom.args.size());
+    return Status::OK();
+  };
+  for (const FpRule& rule : rules_) {
+    RELCOMP_RETURN_IF_ERROR(check_arity(rule.head));
+    for (const RelAtom& atom : rule.body) {
+      if (is_idb(atom.rel)) {
+        RELCOMP_RETURN_IF_ERROR(check_arity(atom));
+      } else {
+        const RelationSchema* rel = edb_schema.Find(atom.rel);
+        if (rel == nullptr) {
+          return Status::NotFound("rule body references unknown relation '" +
+                                  atom.rel + "'");
+        }
+        if (rel->arity() != atom.args.size()) {
+          return Status::InvalidArgument("arity mismatch in body atom " +
+                                         atom.ToString());
+        }
+      }
+    }
+    // Safety: head variables must occur in the body.
+    std::vector<VarId> body_vars;
+    for (const RelAtom& atom : rule.body) {
+      for (const CTerm& t : atom.args) {
+        if (std::holds_alternative<VarId>(t)) {
+          body_vars.push_back(std::get<VarId>(t));
+        }
+      }
+    }
+    for (const CTerm& t : rule.head.args) {
+      if (std::holds_alternative<VarId>(t)) {
+        VarId v = std::get<VarId>(t);
+        if (std::find(body_vars.begin(), body_vars.end(), v) ==
+            body_vars.end()) {
+          return Status::InvalidArgument("unsafe rule (head var unbound): " +
+                                         rule.ToString());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Value> FpProgram::Constants() const {
+  std::vector<Value> consts;
+  auto add_term = [&consts](const CTerm& t) {
+    if (std::holds_alternative<Value>(t)) consts.push_back(std::get<Value>(t));
+  };
+  for (const FpRule& rule : rules_) {
+    for (const CTerm& t : rule.head.args) add_term(t);
+    for (const RelAtom& atom : rule.body) {
+      for (const CTerm& t : atom.args) add_term(t);
+    }
+    for (const CondAtom& b : rule.builtins) {
+      add_term(b.lhs);
+      add_term(b.rhs);
+    }
+  }
+  std::sort(consts.begin(), consts.end());
+  consts.erase(std::unique(consts.begin(), consts.end()), consts.end());
+  return consts;
+}
+
+std::string FpProgram::ToString() const {
+  std::string out;
+  for (const FpRule& rule : rules_) {
+    out += rule.ToString() + ".\n";
+  }
+  out += "output " + output_ + ".";
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,53 @@
+// Inflationary fixpoint evaluation: S0 = ∅; S_{j+1} = S_j ∪ Q′(S_j, I);
+// iterate until convergence. Rule bodies are evaluated by the CQ engine over
+// the combined EDB ∪ IDB instance.
+#include "query/fp.h"
+
+namespace relcomp {
+
+Result<Relation> FpProgram::Eval(const Instance& edb) const {
+  RELCOMP_RETURN_IF_ERROR(Validate(edb.schema()));
+
+  // Build the combined schema: EDB relations plus one anonymous relation per
+  // IDB predicate.
+  DatabaseSchema combined_schema = edb.schema();
+  std::vector<std::string> idbs = IdbPredicates();
+  for (const std::string& idb : idbs) {
+    size_t arity = 0;
+    for (const FpRule& rule : rules_) {
+      if (rule.head.rel == idb) {
+        arity = rule.head.args.size();
+        break;
+      }
+    }
+    combined_schema.AddRelation(RelationSchema::Anonymous(idb, arity));
+  }
+  Instance combined(combined_schema);
+  for (const Relation& rel : edb.relations()) {
+    combined.at(rel.schema().name()) = rel;
+  }
+
+  // Precompile each rule body into a CQ whose head is the rule head's args.
+  std::vector<ConjunctiveQuery> rule_queries;
+  rule_queries.reserve(rules_.size());
+  for (const FpRule& rule : rules_) {
+    rule_queries.emplace_back(rule.head.args, rule.body, rule.builtins);
+  }
+
+  // Naive inflationary iteration.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      Result<Relation> derived = rule_queries[i].Eval(combined);
+      if (!derived.ok()) return derived.status();
+      Relation& idb_rel = combined.at(rules_[i].head.rel);
+      for (const Tuple& t : derived->rows()) {
+        if (idb_rel.Insert(t)) changed = true;
+      }
+    }
+  }
+  return combined.at(output_);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,153 @@
+#include "query/lemma32.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+Result<SingleRelationCollapse> SingleRelationCollapse::Create(
+    const DatabaseSchema& schema, std::string collapsed_name) {
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("cannot collapse an empty schema");
+  }
+  SingleRelationCollapse out;
+  out.original_schema_ = schema;
+  out.collapsed_name_ = collapsed_name;
+  for (const RelationSchema& rel : schema.relations()) {
+    out.max_arity_ = std::max(out.max_arity_, rel.arity());
+  }
+  // Tag attribute AR with finite domain [0, n).
+  std::vector<Value> tags;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    tags.push_back(Value::Int(static_cast<int64_t>(i)));
+  }
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"AR", Domain::Finite(std::move(tags))});
+  for (size_t i = 0; i < out.max_arity_; ++i) {
+    attrs.push_back(Attribute{"a" + std::to_string(i), Domain::Infinite()});
+  }
+  DatabaseSchema collapsed;
+  collapsed.AddRelation(
+      RelationSchema(std::move(collapsed_name), std::move(attrs)));
+  out.collapsed_schema_ = std::move(collapsed);
+  return out;
+}
+
+Result<int> SingleRelationCollapse::TagOf(const std::string& name) const {
+  for (size_t i = 0; i < original_schema_.size(); ++i) {
+    if (original_schema_.relations()[i].name() == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("relation '" + name + "' not in original schema");
+}
+
+Result<Instance> SingleRelationCollapse::MapInstance(
+    const Instance& instance) const {
+  Instance out(collapsed_schema_);
+  for (size_t i = 0; i < instance.relations().size(); ++i) {
+    const Relation& rel = instance.relations()[i];
+    for (const Tuple& t : rel.rows()) {
+      Tuple mapped;
+      mapped.reserve(max_arity_ + 1);
+      mapped.push_back(Value::Int(static_cast<int64_t>(i)));
+      mapped.insert(mapped.end(), t.begin(), t.end());
+      while (mapped.size() < max_arity_ + 1) mapped.push_back(pad_);
+      out.AddTuple(collapsed_name_, std::move(mapped));
+    }
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> SingleRelationCollapse::MapCq(
+    const ConjunctiveQuery& q, int32_t* next_var) const {
+  std::vector<RelAtom> atoms;
+  atoms.reserve(q.atoms().size());
+  for (const RelAtom& atom : q.atoms()) {
+    Result<int> tag = TagOf(atom.rel);
+    if (!tag.ok()) return tag.status();
+    RelAtom mapped;
+    mapped.rel = collapsed_name_;
+    mapped.args.push_back(Value::Int(*tag));
+    mapped.args.insert(mapped.args.end(), atom.args.begin(), atom.args.end());
+    while (mapped.args.size() < max_arity_ + 1) {
+      mapped.args.push_back(VarId{(*next_var)++});
+    }
+    atoms.push_back(std::move(mapped));
+  }
+  return ConjunctiveQuery(q.head(), std::move(atoms), q.builtins());
+}
+
+Result<Query> SingleRelationCollapse::MapQuery(const Query& q) const {
+  int32_t next_var = q.MaxVarId() + 1;
+  switch (q.language()) {
+    case QueryLanguage::kCQ: {
+      Result<ConjunctiveQuery> mapped = MapCq(q.cq(), &next_var);
+      if (!mapped.ok()) return mapped.status();
+      return Query::Cq(std::move(mapped).value());
+    }
+    case QueryLanguage::kUCQ:
+    case QueryLanguage::kEFOPlus: {
+      Result<std::vector<ConjunctiveQuery>> disjuncts = q.Disjuncts();
+      if (!disjuncts.ok()) return disjuncts.status();
+      UnionQuery ucq;
+      for (const ConjunctiveQuery& d : *disjuncts) {
+        Result<ConjunctiveQuery> mapped = MapCq(d, &next_var);
+        if (!mapped.ok()) return mapped.status();
+        ucq.AddDisjunct(std::move(mapped).value());
+      }
+      return Query::Ucq(std::move(ucq));
+    }
+    case QueryLanguage::kFP: {
+      FpProgram mapped;
+      mapped.set_output(q.fp().output());
+      std::vector<std::string> idbs = q.fp().IdbPredicates();
+      auto is_idb = [&idbs](const std::string& name) {
+        return std::binary_search(idbs.begin(), idbs.end(), name);
+      };
+      for (const FpRule& rule : q.fp().rules()) {
+        FpRule new_rule;
+        new_rule.head = rule.head;
+        new_rule.builtins = rule.builtins;
+        for (const RelAtom& atom : rule.body) {
+          if (is_idb(atom.rel)) {
+            new_rule.body.push_back(atom);
+            continue;
+          }
+          Result<int> tag = TagOf(atom.rel);
+          if (!tag.ok()) return tag.status();
+          RelAtom mapped_atom;
+          mapped_atom.rel = collapsed_name_;
+          mapped_atom.args.push_back(Value::Int(*tag));
+          mapped_atom.args.insert(mapped_atom.args.end(), atom.args.begin(),
+                                  atom.args.end());
+          while (mapped_atom.args.size() < max_arity_ + 1) {
+            mapped_atom.args.push_back(VarId{next_var++});
+          }
+          new_rule.body.push_back(std::move(mapped_atom));
+        }
+        mapped.AddRule(std::move(new_rule));
+      }
+      return Query::Fp(std::move(mapped));
+    }
+    case QueryLanguage::kFO:
+      return Status::InvalidArgument(
+          "MapQuery supports CQ/UCQ/EFO+/FP; rewrite FO formulas manually");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<CCSet> SingleRelationCollapse::MapCcs(const CCSet& ccs) const {
+  CCSet out;
+  out.reserve(ccs.size());
+  for (const ContainmentConstraint& cc : ccs) {
+    int32_t next_var = 0;
+    for (VarId v : cc.q().Vars()) next_var = std::max(next_var, v.id + 1);
+    Result<ConjunctiveQuery> mapped = MapCq(cc.q(), &next_var);
+    if (!mapped.ok()) return mapped.status();
+    out.emplace_back(cc.name(), std::move(mapped).value(), cc.master_rel(),
+                     cc.master_cols());
+  }
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,59 @@
+// Lemma 3.2: every multi-relation setting collapses to a single relation via
+// linear-time maps fD (instances), fQ (queries) and fC (CCs) such that
+// Q(I) = fQ(Q)(fD(I)) and (I, Dm) ⊨ V ⇔ (fD(I), Dm) ⊨ fC(V). The collapsed
+// schema extends a uniform schema with a finite-domain relation-tag attribute
+// AR; narrower relations are padded with a designated constant.
+#ifndef RELCOMP_QUERY_LEMMA32_H_
+#define RELCOMP_QUERY_LEMMA32_H_
+
+#include <string>
+
+#include "data/instance.h"
+#include "query/containment.h"
+#include "query/query.h"
+
+namespace relcomp {
+
+/// The collapse transformation of Lemma 3.2 for a fixed database schema.
+class SingleRelationCollapse {
+ public:
+  /// Prepares the collapse for `schema`; the collapsed relation is named
+  /// `collapsed_name`.
+  static Result<SingleRelationCollapse> Create(const DatabaseSchema& schema,
+                                               std::string collapsed_name);
+
+  /// The single-relation target schema (tag attribute first).
+  const DatabaseSchema& collapsed_schema() const { return collapsed_schema_; }
+
+  /// fD: maps an instance of the original schema to the collapsed schema.
+  Result<Instance> MapInstance(const Instance& instance) const;
+
+  /// fQ for CQ: rewrites every atom Ri(x⃗) to R(i, x⃗, pads...), allocating
+  /// fresh pad variables starting at `*next_var`.
+  Result<ConjunctiveQuery> MapCq(const ConjunctiveQuery& q,
+                                 int32_t* next_var) const;
+
+  /// fQ for any monotone query with disjuncts (CQ/UCQ/∃FO⁺ handled via
+  /// disjunct mapping; FP rewrites EDB body atoms in place).
+  Result<Query> MapQuery(const Query& q) const;
+
+  /// fC: rewrites the body of every CC (master side is untouched).
+  Result<CCSet> MapCcs(const CCSet& ccs) const;
+
+  /// The padding constant used for missing columns.
+  const Value& pad() const { return pad_; }
+
+ private:
+  DatabaseSchema original_schema_;
+  DatabaseSchema collapsed_schema_;
+  std::string collapsed_name_;
+  size_t max_arity_ = 0;
+  Value pad_ = Value::Sym("@pad");
+
+  /// Tag value of relation `name` (its index in the original schema).
+  Result<int> TagOf(const std::string& name) const;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_LEMMA32_H_

@@ -1,0 +1,51 @@
+#include "query/ucq.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+Result<Relation> UnionQuery::Eval(const Instance& instance) const {
+  Relation out(RelationSchema::Anonymous("out", OutputArity()));
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    Result<Relation> part = q.Eval(instance);
+    if (!part.ok()) return part.status();
+    out.InsertAll(*part);
+  }
+  return out;
+}
+
+Status UnionQuery::Validate(const DatabaseSchema& schema) const {
+  if (disjuncts_.empty()) {
+    return Status::InvalidArgument("UCQ must have at least one disjunct");
+  }
+  size_t arity = disjuncts_.front().OutputArity();
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (q.OutputArity() != arity) {
+      return Status::InvalidArgument("UCQ disjuncts have differing arities");
+    }
+    RELCOMP_RETURN_IF_ERROR(q.Validate(schema));
+  }
+  return Status::OK();
+}
+
+std::vector<Value> UnionQuery::Constants() const {
+  std::vector<Value> consts;
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    std::vector<Value> qc = q.Constants();
+    consts.insert(consts.end(), qc.begin(), qc.end());
+  }
+  std::sort(consts.begin(), consts.end());
+  consts.erase(std::unique(consts.begin(), consts.end()), consts.end());
+  return consts;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "  UNION  ";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace relcomp

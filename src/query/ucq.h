@@ -1,0 +1,44 @@
+// Unions of conjunctive queries (the paper's UCQ): Q1 ∪ ... ∪ Qk with all
+// disjuncts of the same output arity.
+#ifndef RELCOMP_QUERY_UCQ_H_
+#define RELCOMP_QUERY_UCQ_H_
+
+#include <vector>
+
+#include "query/cq.h"
+
+namespace relcomp {
+
+/// A union of conjunctive queries.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::vector<ConjunctiveQuery>& mutable_disjuncts() { return disjuncts_; }
+  void AddDisjunct(ConjunctiveQuery q) { disjuncts_.push_back(std::move(q)); }
+
+  size_t OutputArity() const {
+    return disjuncts_.empty() ? 0 : disjuncts_.front().OutputArity();
+  }
+
+  /// Q(I) = ⋃ Qi(I).
+  Result<Relation> Eval(const Instance& instance) const;
+
+  /// Validates every disjunct and that arities agree.
+  Status Validate(const DatabaseSchema& schema) const;
+
+  /// Constants across all disjuncts (sorted, unique).
+  std::vector<Value> Constants() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_QUERY_UCQ_H_

@@ -1,0 +1,182 @@
+#include "reductions/examples_fig1.h"
+
+namespace relcomp {
+namespace {
+
+Value S(const char* text) { return Value::Sym(text); }
+
+// Variable ids of the Fig. 1 c-table.
+constexpr VarId kX{0};  // t2[name]
+constexpr VarId kZ{1};  // t2[yob], z ≠ 2001
+constexpr VarId kW{2};  // t3[city], w ≠ EDI
+constexpr VarId kU{3};  // t3[DrID]
+
+DatabaseSchema MakeSchema() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema(
+      "MVisit",
+      {Attribute{"NHS", Domain::Infinite()},
+       Attribute{"name", Domain::Infinite()},
+       Attribute{"city", Domain::Finite({S("EDI"), S("LON"), S("GLA")})},
+       Attribute{"yob", Domain::IntRange(1999, 2002)},
+       Attribute{"GD", Domain::Finite({S("M"), S("F")})},
+       Attribute{"Date",
+                 Domain::Finite({S("15/03/2015"), S("16/03/2015")})},
+       Attribute{"Diag",
+                 Domain::Finite({S("Flu"), S("Diabetes"), S("Influenza")})},
+       Attribute{"DrID", Domain::Finite({S("01"), S("02"), S("03")})}}));
+  return schema;
+}
+
+DatabaseSchema MakeMasterSchema() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema(
+      "Patientm",
+      {Attribute{"NHS", Domain::Infinite()},
+       Attribute{"name", Domain::Infinite()},
+       Attribute{"yob", Domain::IntRange(1999, 2002)},
+       Attribute{"zip", Domain::Infinite()},
+       Attribute{"GD", Domain::Finite({S("M"), S("F")})}}));
+  schema.AddRelation(
+      RelationSchema("Empty1", {Attribute{"W", Domain::Infinite()}}));
+  return schema;
+}
+
+CCSet MakeCcs(const DatabaseSchema& schema) {
+  CCSet ccs;
+  // Example 2.1's q_y for every year of the finite yob range: Edinburgh
+  // patients born in [1999, 2002] must appear in the master data.
+  for (int year = 1999; year <= 2002; ++year) {
+    // head (n, na, y, g); body MVisit(n, na, c, y, g, d, di, i) with
+    // c = 'EDI' and y = year.
+    std::vector<CTerm> args = {VarId{0}, VarId{1}, VarId{2}, VarId{3},
+                               VarId{4}, VarId{5}, VarId{6}, VarId{7}};
+    ConjunctiveQuery q(
+        {CTerm(VarId{0}), CTerm(VarId{1}), CTerm(VarId{3}), CTerm(VarId{4})},
+        {RelAtom{"MVisit", std::move(args)}},
+        {CondAtom{VarId{2}, false, S("EDI")},
+         CondAtom{VarId{3}, false, Value::Int(year)}});
+    ccs.emplace_back("edi_" + std::to_string(year), std::move(q), "Patientm",
+                     std::vector<int>{0, 1, 2, 4});
+  }
+  // FD NHS → name and NHS → GD (Example 2.1).
+  const RelationSchema* mvisit = schema.Find("MVisit");
+  Result<ContainmentConstraint> fd_name = EncodeFdAsCc(*mvisit, {0}, 1,
+                                                       "Empty1");
+  Result<ContainmentConstraint> fd_gd = EncodeFdAsCc(*mvisit, {0}, 4,
+                                                     "Empty1");
+  if (fd_name.ok()) ccs.push_back(std::move(fd_name).value());
+  if (fd_gd.ok()) ccs.push_back(std::move(fd_gd).value());
+  return ccs;
+}
+
+// Q(na) with the given constant constraints; unconstrained positions get
+// distinct fresh variables. Positions: NHS=0, name=1, city=2, yob=3, GD=4,
+// Date=5, Diag=6, DrID=7.
+Query MakePatientQuery(std::vector<std::pair<int, Value>> pinned) {
+  std::vector<CTerm> args;
+  for (int i = 0; i < 8; ++i) args.push_back(VarId{i});
+  for (const auto& [pos, value] : pinned) {
+    args[static_cast<size_t>(pos)] = value;
+  }
+  return Query::Cq(ConjunctiveQuery({CTerm(VarId{1})},
+                                    {RelAtom{"MVisit", std::move(args)}}));
+}
+
+}  // namespace
+
+PatientsFixture MakePatientsFixture() {
+  PatientsFixture fx;
+  DatabaseSchema schema = MakeSchema();
+  DatabaseSchema master_schema = MakeMasterSchema();
+
+  fx.setting.schema = schema;
+  fx.setting.master_schema = master_schema;
+  fx.setting.dm = Instance(master_schema);
+  fx.setting.dm.AddTuple(
+      "Patientm", {S("915-15-335"), S("John"), Value::Int(2000), S("EH8 9AB"),
+                   S("M")});
+  // Both names are admissible for NHS 915-15-356: worlds may instantiate
+  // t2[name] as John or Bob (Example 2.3's µ / µ').
+  fx.setting.dm.AddTuple(
+      "Patientm", {S("915-15-356"), S("John"), Value::Int(2000), S("EH8 9AB"),
+                   S("F")});
+  fx.setting.dm.AddTuple(
+      "Patientm", {S("915-15-356"), S("Bob"), Value::Int(2000), S("EH8 9AB"),
+                   S("F")});
+  fx.setting.ccs = MakeCcs(schema);
+
+  fx.acquisition = fx.setting;
+  fx.acquisition.dm.AddTuple(
+      "Patientm", {S("915-15-321"), S("Alice"), Value::Int(2000), S("EH1 1AA"),
+                   S("F")});
+
+  // The Fig. 1 c-table.
+  fx.ctable = CInstance(schema);
+  CTable& t = fx.ctable.at("MVisit");
+  t.AddRow({S("915-15-335"), S("John"), S("EDI"), Value::Int(2000), S("M"),
+            S("15/03/2015"), S("Flu"), S("01")});
+  t.AddRow(CRow{{S("915-15-356"), kX, S("EDI"), kZ, S("F"), S("15/03/2015"),
+                 S("Diabetes"), S("01")},
+                Condition::VarNeqConst(kZ, Value::Int(2001))});
+  t.AddRow(CRow{{S("915-15-357"), S("Mary"), kW, Value::Int(2000), S("F"),
+                 S("15/03/2015"), S("Influenza"), kU},
+                Condition::VarNeqConst(kW, S("EDI"))});
+  t.AddRow({S("915-15-358"), S("Jack"), S("LON"), Value::Int(2000), S("M"),
+            S("15/03/2015"), S("Influenza"), S("02")});
+  t.AddRow({S("915-15-359"), S("Louis"), S("LON"), Value::Int(2000), S("M"),
+            S("15/03/2015"), S("Diabetes"), S("03")});
+
+  // Ground rows only (t1, t4, t5) — the Example 2.2 database D.
+  fx.ground = Instance(schema);
+  fx.ground.AddTuple("MVisit",
+                     {S("915-15-335"), S("John"), S("EDI"), Value::Int(2000),
+                      S("M"), S("15/03/2015"), S("Flu"), S("01")});
+  fx.ground.AddTuple("MVisit",
+                     {S("915-15-358"), S("Jack"), S("LON"), Value::Int(2000),
+                      S("M"), S("15/03/2015"), S("Influenza"), S("02")});
+  fx.ground.AddTuple("MVisit",
+                     {S("915-15-359"), S("Louis"), S("LON"), Value::Int(2000),
+                      S("M"), S("15/03/2015"), S("Diabetes"), S("03")});
+
+  fx.q1 = MakePatientQuery({{0, S("915-15-335")},
+                            {2, S("EDI")},
+                            {3, Value::Int(2000)}});
+  fx.q2 = MakePatientQuery({{0, S("915-15-321")}, {3, Value::Int(2000)}});
+  fx.q3 = MakePatientQuery({{6, S("Diabetes")}, {3, Value::Int(2000)}});
+  fx.q4 = MakePatientQuery({{2, S("EDI")},
+                            {3, Value::Int(2000)},
+                            {5, S("15/03/2015")}});
+  return fx;
+}
+
+PatientsFixture MakeScaledPatientsFixture(int num_patients, int num_vars) {
+  PatientsFixture fx = MakePatientsFixture();
+  // Extra closed-world London patients: unconstrained by the EDI CCs, they
+  // inflate |T| and |Dm| without changing the Q1/Q4 claims.
+  for (int i = 0; i < num_patients; ++i) {
+    std::string nhs = "999-00-" + std::to_string(i);
+    std::string name = "P" + std::to_string(i);
+    fx.ctable.at("MVisit").AddRow(
+        {S(nhs.c_str()), S(name.c_str()), S("LON"), Value::Int(1999), S("M"),
+         S("16/03/2015"), S("Flu"), S("02")});
+    fx.ground.AddTuple("MVisit", {S(nhs.c_str()), S(name.c_str()), S("LON"),
+                                  Value::Int(1999), S("M"), S("16/03/2015"),
+                                  S("Flu"), S("02")});
+    fx.setting.dm.AddTuple("Patientm",
+                           {S(nhs.c_str()), S(name.c_str()), Value::Int(1999),
+                            S("ZZ1"), S("M")});
+  }
+  // Extra missing values: DrID variables on fresh rows (finite domain, so
+  // each adds a factor of 3 to the world count).
+  for (int i = 0; i < num_vars; ++i) {
+    std::string nhs = "888-00-" + std::to_string(i);
+    std::string name = "V" + std::to_string(i);
+    fx.ctable.at("MVisit").AddRow(
+        {S(nhs.c_str()), S(name.c_str()), S("LON"), Value::Int(1999), S("F"),
+         S("16/03/2015"), S("Flu"), Cell(VarId{10 + i})});
+  }
+  return fx;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,41 @@
+// The paper's running example (Fig. 1, Examples 1.1–2.4): the MVisit
+// c-table of UK patient visits, Patientm master data, the year-range CCs of
+// Example 2.1 plus the FD NHS → name, GD encoded as CCs, and queries Q1–Q4.
+//
+// The master data is engineered so that the paper's claims hold exactly:
+//  - T is strongly complete for Q1 (Example 2.3);
+//  - T is weakly and viably but NOT strongly complete for Q4: the master
+//    associates both names John and Bob with NHS 915-15-356, so worlds
+//    disagree on t2's name (the paper's µ(x) ∈ {John, Bob});
+//  - with the acquisition master (adds NHS 915-15-321/Alice), the ground
+//    instance D is incomplete for Q2 but becomes complete after adding one
+//    tuple, and can never be complete for Q3 (Example 2.2).
+#ifndef RELCOMP_REDUCTIONS_EXAMPLES_FIG1_H_
+#define RELCOMP_REDUCTIONS_EXAMPLES_FIG1_H_
+
+#include "core/types.h"
+
+namespace relcomp {
+
+/// The Fig. 1 workload.
+struct PatientsFixture {
+  PartiallyClosedSetting setting;      ///< Fig. 1 master (Q1/Q4 claims)
+  PartiallyClosedSetting acquisition;  ///< + Alice row (Q2/Q3 claims)
+  CInstance ctable;                    ///< the Fig. 1 c-table (t1..t5)
+  Instance ground;                     ///< the ground rows only (t1, t4, t5)
+  Query q1;  ///< patients named ... with NHS 915-15-335, EDI, born 2000
+  Query q2;  ///< patients born 2000 with NHS 915-15-321
+  Query q3;  ///< diabetics born 2000, any city (not completable)
+  Query q4;  ///< EDI patients born 2000 who visited on 15/03/2015
+};
+
+/// Builds the fixture.
+PatientsFixture MakePatientsFixture();
+
+/// A scaled synthetic variant for benchmarks: `num_patients` extra ground
+/// rows and `num_vars` missing values spread over extra rows.
+PatientsFixture MakeScaledPatientsFixture(int num_patients, int num_vars);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_EXAMPLES_FIG1_H_

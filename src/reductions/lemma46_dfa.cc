@@ -1,0 +1,134 @@
+#include "reductions/lemma46_dfa.h"
+
+namespace relcomp {
+namespace {
+
+// Appends α(pos_var) atoms for one head reading `sym`:
+//   sym = 0/1: the head's position has a successor and carries the letter;
+//   sym = ε:   the head sits on the final position (ΠS(y, y)).
+void AppendAlpha(HeadSymbol sym, VarId pos, int32_t* next_var,
+                 std::vector<RelAtom>* body,
+                 std::vector<CondAtom>* builtins) {
+  if (sym == HeadSymbol::kEpsilon) {
+    // S(1, y, y): the unique final marker.
+    body->push_back(RelAtom{"S", {Value::Int(1), pos, pos}});
+    return;
+  }
+  VarId w{(*next_var)++};
+  VarId succ{(*next_var)++};
+  body->push_back(RelAtom{"S", {w, pos, succ}});
+  builtins->push_back(CondAtom{pos, true, succ});
+  body->push_back(RelAtom{
+      "P", {Value::Int(sym == HeadSymbol::kOne ? 1 : 0), pos}});
+}
+
+// Appends β(pos, pos') atoms for one head's move; returns the term for the
+// head's next position.
+CTerm AppendBeta(int move, VarId pos, int32_t* next_var,
+                 std::vector<RelAtom>* body,
+                 std::vector<CondAtom>* builtins) {
+  if (move == 0) return pos;
+  VarId w{(*next_var)++};
+  VarId next{(*next_var)++};
+  body->push_back(RelAtom{"S", {w, pos, next}});
+  builtins->push_back(CondAtom{pos, true, next});
+  return next;
+}
+
+}  // namespace
+
+GadgetProblem BuildDfaSatisfiabilityGadget(const TwoHeadDfa& dfa) {
+  GadgetProblem out;
+
+  // Schema: P(V, A) and S(W, A1, A2).
+  out.setting.schema.AddRelation(RelationSchema(
+      "P", {Attribute{"V", Domain::Boolean()},
+            Attribute{"A", Domain::Infinite()}}));
+  out.setting.schema.AddRelation(RelationSchema(
+      "S", {Attribute{"W", Domain::Infinite()},
+            Attribute{"A1", Domain::Infinite()},
+            Attribute{"A2", Domain::Infinite()}}));
+
+  // Master: empty unary relation for the FD denials.
+  out.setting.master_schema.AddRelation(
+      RelationSchema("Empty1", {Attribute{"W", Domain::Infinite()}}));
+  out.setting.dm = Instance(out.setting.master_schema);
+
+  // FDs as denial CCs: A → V on P; A1 → A2, W → A1, W → A2 on S.
+  const RelationSchema* p = out.setting.schema.Find("P");
+  const RelationSchema* s = out.setting.schema.Find("S");
+  auto add_fd = [&out](const RelationSchema& rel, std::vector<int> lhs,
+                       int rhs) {
+    Result<ContainmentConstraint> cc =
+        EncodeFdAsCc(rel, lhs, rhs, "Empty1");
+    if (cc.ok()) out.setting.ccs.push_back(std::move(cc).value());
+  };
+  add_fd(*p, {1}, 0);
+  add_fd(*s, {1}, 2);
+  add_fd(*s, {0}, 1);
+  add_fd(*s, {0}, 2);
+
+  // FP program: Config(s, y, z) closure over the transitions, with the
+  // Πini/Πfin conjuncts folded into the accepting rule.
+  FpProgram program;
+  {
+    // Config(s0, 0, 0) ← S(w, 0, x): the initial configuration, guarded by
+    // the existence of an initial edge.
+    FpRule r;
+    r.head = RelAtom{"Config",
+                     {Value::Int(dfa.initial_state()), Value::Int(0),
+                      Value::Int(0)}};
+    r.body = {RelAtom{"S", {VarId{0}, Value::Int(0), VarId{1}}}};
+    program.AddRule(std::move(r));
+  }
+  for (const auto& [state, in1, in2, tr] : dfa.Transitions()) {
+    int32_t next_var = 10;
+    VarId y{0}, z{1};
+    FpRule r;
+    std::vector<RelAtom> body;
+    std::vector<CondAtom> builtins;
+    body.push_back(RelAtom{"Config", {Value::Int(state), y, z}});
+    AppendAlpha(in1, y, &next_var, &body, &builtins);
+    AppendAlpha(in2, z, &next_var, &body, &builtins);
+    CTerm y_next = AppendBeta(tr.move1, y, &next_var, &body, &builtins);
+    CTerm z_next = AppendBeta(tr.move2, z, &next_var, &body, &builtins);
+    r.head = RelAtom{"Config", {Value::Int(tr.next_state), y_next, z_next}};
+    r.body = std::move(body);
+    r.builtins = std::move(builtins);
+    program.AddRule(std::move(r));
+  }
+  {
+    // Accept() ← Config(s_acc, y, z), S(w, 0, x), S(1, f, f).
+    FpRule r;
+    r.head = RelAtom{"Accept", {}};
+    r.body = {
+        RelAtom{"Config", {Value::Int(dfa.accepting_state()), VarId{0},
+                           VarId{1}}},
+        RelAtom{"S", {VarId{2}, Value::Int(0), VarId{3}}},
+        RelAtom{"S", {Value::Int(1), VarId{4}, VarId{4}}},
+    };
+    program.AddRule(std::move(r));
+  }
+  program.set_output("Accept");
+  out.query = Query::Fp(std::move(program));
+
+  out.ground = Instance(out.setting.schema);
+  return out;
+}
+
+Instance EncodeWord(const DatabaseSchema& schema, const std::string& word) {
+  Instance out(schema);
+  int len = static_cast<int>(word.size());
+  for (int i = 0; i < len; ++i) {
+    out.AddTuple("P", {Value::Int(word[static_cast<size_t>(i)] == '1' ? 1 : 0),
+                       Value::Int(i)});
+  }
+  for (int i = 0; i < len; ++i) {
+    // Distinct W tags keep the FDs W → A1, A2 satisfied.
+    out.AddTuple("S", {Value::Int(100 + i), Value::Int(i), Value::Int(i + 1)});
+  }
+  out.AddTuple("S", {Value::Int(1), Value::Int(len), Value::Int(len)});
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,34 @@
+// Lemma 4.6: satisfiability of FP under (fixed) FDs is undecidable, by
+// reduction from 2-head DFA emptiness. The executable construction builds
+// the schema {P(V,A), S(W,A1,A2)}, the FDs (as denial CCs), the FP query Π
+// simulating the automaton over the word encoded in (P, S), and the word
+// encoder. Claim (validated per word): A accepts w ⇔ the encoding I_w
+// satisfies the FDs and Π(I_w) ≠ ∅.
+//
+// Note on determinism: the datalog simulation fires every transition whose
+// guard matches a reachable configuration, i.e. it computes the closure of
+// the transition *relation*; it coincides with the deterministic run when
+// at most one guard applies per configuration (the automata used in tests
+// have non-overlapping guards).
+#ifndef RELCOMP_REDUCTIONS_LEMMA46_DFA_H_
+#define RELCOMP_REDUCTIONS_LEMMA46_DFA_H_
+
+#include <string>
+
+#include "logic/two_head_dfa.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the FP query + FD-CC setting for `dfa`. `ground` is left empty;
+/// use EncodeWord to materialize word instances.
+GadgetProblem BuildDfaSatisfiabilityGadget(const TwoHeadDfa& dfa);
+
+/// Encodes a binary word into the (P, S) representation: letters at
+/// positions 0..|w|-1, successor edges with distinct W tags, the W=1 final
+/// marker at position |w|.
+Instance EncodeWord(const DatabaseSchema& schema, const std::string& word);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_LEMMA46_DFA_H_

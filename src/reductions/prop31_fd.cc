@@ -1,0 +1,53 @@
+#include "reductions/prop31_fd.h"
+
+#include <algorithm>
+
+namespace relcomp {
+
+GadgetProblem BuildFdImplicationGadget(const std::vector<Fd>& theta,
+                                       const Fd& phi, int num_attrs) {
+  GadgetProblem out;
+
+  // Database schema: a single relation R with `num_attrs` columns.
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < num_attrs; ++i) {
+    attrs.push_back(Attribute{"a" + std::to_string(i), Domain::Infinite()});
+  }
+  RelationSchema r("R", std::move(attrs));
+  out.setting.schema.AddRelation(r);
+
+  // Master schema: only the empty unary relation used by denial CCs.
+  out.setting.master_schema.AddRelation(
+      RelationSchema("Empty1", {Attribute{"W", Domain::Infinite()}}));
+  out.setting.dm = Instance(out.setting.master_schema);
+
+  // V: each FD of Θ as a denial CC.
+  for (const Fd& fd : theta) {
+    Result<ContainmentConstraint> cc = EncodeFdAsCc(r, fd.lhs, fd.rhs,
+                                                    "Empty1");
+    if (cc.ok()) out.setting.ccs.push_back(std::move(cc).value());
+  }
+
+  // Q: Boolean CQ detecting violations of φ — two atoms sharing the X
+  // positions, with w ≠ w' at position A.
+  std::vector<CTerm> args1, args2;
+  for (int i = 0; i < num_attrs; ++i) {
+    VarId v1{i};
+    args1.push_back(v1);
+    bool shared =
+        std::find(phi.lhs.begin(), phi.lhs.end(), i) != phi.lhs.end();
+    args2.push_back(shared ? CTerm(v1) : CTerm(VarId{num_attrs + i}));
+  }
+  CTerm w = args1[static_cast<size_t>(phi.rhs)];
+  CTerm w_prime = args2[static_cast<size_t>(phi.rhs)];
+  ConjunctiveQuery q({}, {RelAtom{"R", std::move(args1)},
+                          RelAtom{"R", std::move(args2)}},
+                     {CondAtom{w, true, w_prime}});
+  out.query = Query::Cq(std::move(q));
+
+  // I∅: the empty instance.
+  out.ground = Instance(out.setting.schema);
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,23 @@
+// Proposition 3.1: with FDs (and INDs) as additional constraints, RCDP
+// embeds the implication problem. For the decidable FD-only fragment the
+// reduction is executable end-to-end: given FDs Θ and a candidate FD
+// φ : X → A over R, build the violation-detecting Boolean CQ and encode Θ as
+// denial CCs. Claim: Θ ⊨ φ ⇔ the empty instance I∅ is complete for Q
+// relative to (Dm, V(Θ)). Tests validate this against Armstrong closure.
+#ifndef RELCOMP_REDUCTIONS_PROP31_FD_H_
+#define RELCOMP_REDUCTIONS_PROP31_FD_H_
+
+#include "logic/fd.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the Prop 3.1 gadget: schema R with `num_attrs` attributes, the
+/// FD set `theta` encoded as CCs, and the CQ detecting violations of `phi`.
+/// `ground` is the empty instance I∅.
+GadgetProblem BuildFdImplicationGadget(const std::vector<Fd>& theta,
+                                       const Fd& phi, int num_attrs);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_PROP31_FD_H_

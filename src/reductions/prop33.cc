@@ -1,0 +1,101 @@
+#include "reductions/prop33.h"
+
+#include <cassert>
+
+#include "logic/gadgets.h"
+
+namespace relcomp {
+namespace {
+
+// Shared scaffolding for both gadgets: gadget relations + RX(X1..Xn), the
+// master copies plus the arity-1 empty relation, and the CC set.
+GadgetProblem BuildBase(const Qbf& qbf) {
+  assert(qbf.blocks.size() == 2 && qbf.blocks[0].forall &&
+         !qbf.blocks[1].forall && "expected a \\forall\\exists formula");
+  int nx = qbf.blocks[0].size;
+  int ny = qbf.blocks[1].size;
+
+  GadgetProblem out;
+  GadgetNames names;
+  GadgetNames master_names = names.WithSuffix("m");
+
+  // Database schema: gadgets + RX(X1..Xn) over Boolean columns.
+  AddGadgetSchemas(&out.setting.schema, names);
+  std::vector<Attribute> rx_attrs;
+  for (int i = 0; i < nx; ++i) {
+    rx_attrs.push_back(
+        Attribute{"X" + std::to_string(i), Domain::Boolean()});
+  }
+  out.setting.schema.AddRelation(RelationSchema("RX", std::move(rx_attrs)));
+
+  // Master schema: gadget copies + empty unary Rempty.
+  AddGadgetSchemas(&out.setting.master_schema, master_names);
+  out.setting.master_schema.AddRelation(RelationSchema(
+      "Rempty", {Attribute{"W", Domain::Infinite()}}));
+  out.setting.dm = Instance(out.setting.master_schema);
+  FillGadgetInstance(&out.setting.dm, master_names);
+
+  // V: gadget bounds; ∃-projections of RX into Rm01; the ψ-rejection CC.
+  out.setting.ccs = GadgetBoundCcs(names, master_names);
+  for (int i = 0; i < nx; ++i) {
+    std::vector<CTerm> args;
+    for (int j = 0; j < nx; ++j) args.push_back(VarId{j});
+    ConjunctiveQuery qi({CTerm(VarId{i})}, {RelAtom{"RX", std::move(args)}});
+    out.setting.ccs.emplace_back("rx_bool_" + std::to_string(i),
+                                 std::move(qi), master_names.r01,
+                                 std::vector<int>{0});
+  }
+  // q(w) ⊆ Rempty: QX picks the X-assignment from RX, QY generates all
+  // Y-assignments, Qψ evaluates ψ, and w = 1 is required.
+  {
+    int32_t next_var = 0;
+    std::vector<CTerm> x_terms, y_terms;
+    std::vector<RelAtom> atoms;
+    std::vector<CTerm> rx_args;
+    for (int i = 0; i < nx; ++i) {
+      VarId v{next_var++};
+      x_terms.push_back(v);
+      rx_args.push_back(v);
+    }
+    atoms.push_back(RelAtom{"RX", std::move(rx_args)});
+    for (int j = 0; j < ny; ++j) {
+      VarId v{next_var++};
+      y_terms.push_back(v);
+    }
+    AppendBooleanGenerators(y_terms, names, &atoms);
+    std::vector<CTerm> var_terms = x_terms;
+    var_terms.insert(var_terms.end(), y_terms.begin(), y_terms.end());
+    CTerm w = AppendCnfEvaluation(qbf.matrix, var_terms, names, &next_var,
+                                  &atoms);
+    ConjunctiveQuery q({w}, std::move(atoms),
+                       {CondAtom{w, false, Value::Int(1)}});
+    out.setting.ccs.emplace_back("reject_sat", std::move(q), "Rempty",
+                                 std::vector<int>{0});
+  }
+  return out;
+}
+
+}  // namespace
+
+GadgetProblem BuildConsistencyGadget(const Qbf& qbf) {
+  GadgetProblem out = BuildBase(qbf);
+  int nx = qbf.blocks[0].size;
+  // T: ground gadget tables + the variable row (x1, ..., xn) in RX.
+  Instance ground(out.setting.schema);
+  FillGadgetInstance(&ground, GadgetNames{});
+  out.cinstance = CInstance::FromInstance(ground);
+  std::vector<Cell> row;
+  for (int i = 0; i < nx; ++i) row.push_back(VarId{i});
+  out.cinstance.at("RX").AddRow(std::move(row));
+  return out;
+}
+
+GadgetProblem BuildExtensibilityGadget(const Qbf& qbf) {
+  GadgetProblem out = BuildBase(qbf);
+  // I0: ground gadget tables, RX empty.
+  out.ground = Instance(out.setting.schema);
+  FillGadgetInstance(&out.ground, GadgetNames{});
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,25 @@
+// Proposition 3.3: Σp2-hardness of consistency and extensibility, by
+// reduction from ∀∗∃∗3SAT. Given ϕ = ∀X ∃Y ψ:
+//  - consistency gadget: a c-instance T whose RX c-table row carries the X
+//    variables; the CC q(w) ⊆ Rm∅ rejects any X-assignment for which some
+//    Y-assignment satisfies ψ. Claim: ϕ is FALSE ⇔ Mod(T, Dm, V) ≠ ∅.
+//  - extensibility gadget: the ground instance I0 with RX empty.
+//    Claim: ϕ is TRUE ⇔ Ext(I0, Dm, V) = ∅.
+#ifndef RELCOMP_REDUCTIONS_PROP33_H_
+#define RELCOMP_REDUCTIONS_PROP33_H_
+
+#include "logic/qbf.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the Prop 3.3 consistency gadget for ∀X ∃Y ψ; `qbf` must be a
+/// two-block ∀∃ formula. The query field is unused.
+GadgetProblem BuildConsistencyGadget(const Qbf& qbf);
+
+/// Builds the Prop 3.3 extensibility gadget (ground instance with RX = ∅).
+GadgetProblem BuildExtensibilityGadget(const Qbf& qbf);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_PROP33_H_

@@ -1,0 +1,23 @@
+// Shared output bundle for the executable reductions of the paper's
+// hardness proofs. Each builder constructs the schemas, (c-)instance, master
+// data, CCs and query of one reduction; tests validate the claimed
+// equivalence against brute-force logic oracles, and benchmarks use the
+// same constructions as workload generators.
+#ifndef RELCOMP_REDUCTIONS_REDUCTION_H_
+#define RELCOMP_REDUCTIONS_REDUCTION_H_
+
+#include "core/types.h"
+
+namespace relcomp {
+
+/// A constructed decision-problem instance.
+struct GadgetProblem {
+  PartiallyClosedSetting setting;
+  CInstance cinstance;  ///< used by c-instance reductions
+  Instance ground;      ///< used by ground-instance reductions
+  Query query;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_REDUCTION_H_

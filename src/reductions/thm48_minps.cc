@@ -1,0 +1,97 @@
+#include "reductions/thm48_minps.h"
+
+#include <cassert>
+
+#include "logic/gadgets.h"
+
+namespace relcomp {
+
+GadgetProblem BuildSigma3Gadget(const Qbf& qbf, bool full_rs) {
+  assert(qbf.blocks.size() == 3 && !qbf.blocks[0].forall &&
+         qbf.blocks[1].forall && !qbf.blocks[2].forall &&
+         "expected an \\exists\\forall\\exists formula");
+  int nx = qbf.blocks[0].size;
+  int ny = qbf.blocks[1].size;
+  int nz = qbf.blocks[2].size;
+
+  GadgetProblem out;
+  GadgetNames names;
+  GadgetNames master_names = names.WithSuffix("m");
+
+  // Database schema: gadgets + RX(id, X) + Rs(W), all Boolean-ish columns.
+  AddGadgetSchemas(&out.setting.schema, names);
+  out.setting.schema.AddRelation(RelationSchema(
+      "RX", {Attribute{"id", Domain::IntRange(1, nx)},
+             Attribute{"X", Domain::Boolean()}}));
+  out.setting.schema.AddRelation(
+      RelationSchema("Rs", {Attribute{"W", Domain::Boolean()}}));
+
+  // Master schema: gadget copies + empty unary relation.
+  AddGadgetSchemas(&out.setting.master_schema, master_names);
+  out.setting.master_schema.AddRelation(
+      RelationSchema("Rempty", {Attribute{"W", Domain::Infinite()}}));
+  out.setting.dm = Instance(out.setting.master_schema);
+  FillGadgetInstance(&out.setting.dm, master_names);
+
+  // V: gadget bounds; Rs ⊆ Rm01; RX values in Rm01; id a key for RX.
+  out.setting.ccs = GadgetBoundCcs(names, master_names);
+  {
+    ConjunctiveQuery q({CTerm(VarId{0})}, {RelAtom{"Rs", {VarId{0}}}});
+    out.setting.ccs.emplace_back("rs_bool", std::move(q), master_names.r01,
+                                 std::vector<int>{0});
+  }
+  {
+    ConjunctiveQuery q({CTerm(VarId{1})},
+                       {RelAtom{"RX", {VarId{0}, VarId{1}}}});
+    out.setting.ccs.emplace_back("rx_bool", std::move(q), master_names.r01,
+                                 std::vector<int>{0});
+  }
+  {
+    // qid(x) = ∃y, y' (RX(x, y) ∧ RX(x, y') ∧ y ≠ y') ⊆ Rempty.
+    ConjunctiveQuery q({CTerm(VarId{0})},
+                       {RelAtom{"RX", {VarId{0}, VarId{1}}},
+                        RelAtom{"RX", {VarId{0}, VarId{2}}}},
+                       {CondAtom{VarId{1}, true, VarId{2}}});
+    out.setting.ccs.emplace_back("rx_key", std::move(q), "Rempty",
+                                 std::vector<int>{0});
+  }
+
+  // T: ground gadgets + TX rows (i, x_i) + Is.
+  Instance ground(out.setting.schema);
+  FillGadgetInstance(&ground, names);
+  ground.AddTuple("Rs", {Value::Int(1)});
+  if (full_rs) ground.AddTuple("Rs", {Value::Int(0)});
+  out.cinstance = CInstance::FromInstance(ground);
+  for (int i = 0; i < nx; ++i) {
+    out.cinstance.at("RX").AddRow({Cell(Value::Int(i + 1)), Cell(VarId{i})});
+  }
+
+  // Q(~y) = ∃~x, ~z (QX ∧ QY ∧ QZ ∧ Qψ ∧ Rs(w) ∧ Qall).
+  {
+    int32_t next_var = 0;
+    std::vector<CTerm> x_terms, y_terms, z_terms;
+    std::vector<RelAtom> atoms;
+    for (int i = 0; i < nx; ++i) {
+      VarId v{next_var++};
+      x_terms.push_back(v);
+      atoms.push_back(RelAtom{"RX", {Value::Int(i + 1), v}});
+    }
+    for (int j = 0; j < ny; ++j) y_terms.push_back(VarId{next_var++});
+    for (int k = 0; k < nz; ++k) z_terms.push_back(VarId{next_var++});
+    AppendBooleanGenerators(y_terms, names, &atoms);
+    AppendBooleanGenerators(z_terms, names, &atoms);
+    std::vector<CTerm> var_terms = x_terms;
+    var_terms.insert(var_terms.end(), y_terms.begin(), y_terms.end());
+    var_terms.insert(var_terms.end(), z_terms.begin(), z_terms.end());
+    CTerm w = AppendCnfEvaluation(qbf.matrix, var_terms, names, &next_var,
+                                  &atoms);
+    atoms.push_back(RelAtom{"Rs", {w}});
+    AppendQallAtoms(names, &atoms);
+    std::vector<CTerm> head(y_terms.begin(), y_terms.end());
+    out.query = Query::Cq(
+        ConjunctiveQuery(std::move(head), std::move(atoms), {}));
+  }
+  return out;
+}
+
+}  // namespace relcomp

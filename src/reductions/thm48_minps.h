@@ -1,0 +1,24 @@
+// Theorem 4.8 (and Thm 6.1 / Cor 6.3 share the construction): hardness of
+// MINP in the strong model, and of RCDP/MINP in the viable model, by
+// reduction from ∃X ∀Y ∃Z ψ. The c-instance carries the X-assignment as a
+// variable row; the Rs relation controls which truth values the query may
+// inspect, and Qall pins the gadget tuples so that single-tuple removals
+// break the query. Claims:
+//   Thm 4.8 variant (Is = {0, 1}):  ϕ false ⇔ T minimal strongly complete.
+//   Thm 6.1 variant (Is = {1}):     ϕ true  ⇔ T viably complete
+//                                   ϕ true  ⇔ T minimal viably complete.
+#ifndef RELCOMP_REDUCTIONS_THM48_MINPS_H_
+#define RELCOMP_REDUCTIONS_THM48_MINPS_H_
+
+#include "logic/qbf.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the ∃∀∃ gadget; `qbf` must be a three-block ∃∀∃ formula.
+/// `full_rs` selects Is = {(0), (1)} (Thm 4.8) vs Is = {(1)} (Thm 6.1).
+GadgetProblem BuildSigma3Gadget(const Qbf& qbf, bool full_rs);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THM48_MINPS_H_

@@ -1,0 +1,20 @@
+// Theorem 5.1(2): coNEXPTIME-hardness of RCDP(FP) in the weak model, by
+// reduction from SUCCINCT-TAUT. A 31-column relation R(A0..A30) juxtaposes
+// the Fig. 2 gadget tables in a single tuple; the FP program decodes them
+// through IDB predicates and evaluates the circuit on every input; the only
+// partially closed extension flips A0 to 0, which makes the query return
+// every input vector. Claim: C is a tautology ⇔ I is weakly complete.
+#ifndef RELCOMP_REDUCTIONS_THM51_FP_H_
+#define RELCOMP_REDUCTIONS_THM51_FP_H_
+
+#include "logic/circuit.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the SUCCINCT-TAUT gadget for `circuit` (inputs ≤ ~8 practical).
+GadgetProblem BuildSuccinctTautGadget(const Circuit& circuit);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THM51_FP_H_

@@ -1,0 +1,19 @@
+// Theorem 5.1(3): Πp3-hardness of RCDP in the weak model, by reduction from
+// the complement of ∃X ∀Y ∃Z 3SAT. The ground instance leaves RY empty; CCs
+// force any extension of RY to be a single valid Y-assignment; the query
+// returns the X-assignments for which some Z makes ψ true.
+// Claim: ϕ = ∃X∀Y∃Zψ is TRUE ⇔ I is NOT weakly complete.
+#ifndef RELCOMP_REDUCTIONS_THM51_RCDPW_H_
+#define RELCOMP_REDUCTIONS_THM51_RCDPW_H_
+
+#include "logic/qbf.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the Thm 5.1(3) gadget; `qbf` must be a three-block ∃∀∃ formula.
+GadgetProblem BuildRcdpWeakGadget(const Qbf& qbf);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THM51_RCDPW_H_

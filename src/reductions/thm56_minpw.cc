@@ -1,0 +1,97 @@
+#include "reductions/thm56_minpw.h"
+
+namespace relcomp {
+namespace {
+
+// A denial CC forbidding tuples of R that match the clause-falsifying
+// pattern: positions of the clause's literals fixed to the falsifying
+// values, plus optionally Y = 1.
+ContainmentConstraint ClauseDenial(const std::string& name,
+                                   const Clause3& clause, int col_offset,
+                                   int num_vars, bool require_y1) {
+  int arity = 2 * num_vars + 1;
+  std::vector<CTerm> args;
+  for (int i = 0; i < arity; ++i) args.push_back(VarId{i});
+  // A literal is falsified when the column holds the literal's negation.
+  for (const Lit& lit : clause) {
+    args[static_cast<size_t>(col_offset + lit.var)] =
+        Value::Int(lit.neg ? 1 : 0);
+  }
+  if (require_y1) {
+    args[static_cast<size_t>(arity - 1)] = Value::Int(1);
+  }
+  // Project some variable column as the (never-to-match) head.
+  std::vector<CTerm> head_terms;
+  for (int i = 0; i < arity; ++i) {
+    if (std::holds_alternative<VarId>(args[static_cast<size_t>(i)])) {
+      head_terms = {args[static_cast<size_t>(i)]};
+      break;
+    }
+  }
+  ConjunctiveQuery q(std::move(head_terms), {RelAtom{"R", std::move(args)}});
+  return ContainmentConstraint(name, std::move(q), "Rempty", {0});
+}
+
+}  // namespace
+
+GadgetProblem BuildSatUnsatGadget(const Cnf3& phi, const Cnf3& phi_prime,
+                                  int num_vars) {
+  GadgetProblem out;
+  int arity = 2 * num_vars + 1;
+
+  // Schema: R(X1..Xn, X'1..X'n, Y), all Boolean columns.
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < num_vars; ++i) {
+    attrs.push_back(Attribute{"X" + std::to_string(i), Domain::Boolean()});
+  }
+  for (int i = 0; i < num_vars; ++i) {
+    attrs.push_back(Attribute{"Xp" + std::to_string(i), Domain::Boolean()});
+  }
+  attrs.push_back(Attribute{"Y", Domain::Boolean()});
+  out.setting.schema.AddRelation(RelationSchema("R", std::move(attrs)));
+
+  // Master schema: Boolean bound + empty unary relation.
+  out.setting.master_schema.AddRelation(
+      RelationSchema("R01m", {Attribute{"x", Domain::Boolean()}}));
+  out.setting.master_schema.AddRelation(
+      RelationSchema("Rempty", {Attribute{"W", Domain::Infinite()}}));
+  out.setting.dm = Instance(out.setting.master_schema);
+  out.setting.dm.AddTuple("R01m", {Value::Int(0)});
+  out.setting.dm.AddTuple("R01m", {Value::Int(1)});
+
+  // V: every attribute in {0,1} (redundant with the finite domains, kept
+  // for faithfulness) ...
+  for (int i = 0; i < arity; ++i) {
+    std::vector<CTerm> args;
+    for (int j = 0; j < arity; ++j) args.push_back(VarId{j});
+    ConjunctiveQuery q({CTerm(VarId{i})}, {RelAtom{"R", std::move(args)}});
+    out.setting.ccs.emplace_back("bool_" + std::to_string(i), std::move(q),
+                                 "R01m", std::vector<int>{0});
+  }
+  // ... φ clauses on the X columns (any Y) ...
+  for (size_t c = 0; c < phi.clauses.size(); ++c) {
+    out.setting.ccs.push_back(ClauseDenial("phi_" + std::to_string(c),
+                                           phi.clauses[c], 0, num_vars,
+                                           /*require_y1=*/false));
+  }
+  // ... φ' clauses on the X' columns, active when Y = 1.
+  for (size_t c = 0; c < phi_prime.clauses.size(); ++c) {
+    out.setting.ccs.push_back(ClauseDenial("phip_" + std::to_string(c),
+                                           phi_prime.clauses[c], num_vars,
+                                           num_vars, /*require_y1=*/true));
+  }
+
+  // I = ∅.
+  out.ground = Instance(out.setting.schema);
+  out.cinstance = CInstance::FromInstance(out.ground);
+
+  // Q(y) = πY(R).
+  std::vector<CTerm> args;
+  for (int i = 0; i < arity; ++i) args.push_back(VarId{i});
+  ConjunctiveQuery q({CTerm(VarId{arity - 1})},
+                     {RelAtom{"R", std::move(args)}});
+  out.query = Query::Cq(std::move(q));
+  return out;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,21 @@
+// Theorem 5.6(4): coDP-hardness of MINP(CQ) in the weak model, by reduction
+// from the complement of SAT-UNSAT. The schema R(X1..Xn, X'1..X'n, Y) is
+// constrained so that every tuple's X-part satisfies φ, and tuples with
+// Y = 1 additionally satisfy φ' on the X'-part; the query projects Y.
+// Claim: I = ∅ is a minimal weakly complete instance ⇔ ¬(φ sat ∧ φ' unsat).
+#ifndef RELCOMP_REDUCTIONS_THM56_MINPW_H_
+#define RELCOMP_REDUCTIONS_THM56_MINPW_H_
+
+#include "logic/cnf.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the SAT-UNSAT gadget; both formulas range over `num_vars`
+/// variables (pad the smaller one). `ground` is the empty instance.
+GadgetProblem BuildSatUnsatGadget(const Cnf3& phi, const Cnf3& phi_prime,
+                                  int num_vars);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THM56_MINPW_H_

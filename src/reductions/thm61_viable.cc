@@ -1,0 +1,11 @@
+#include "reductions/thm61_viable.h"
+
+#include "reductions/thm48_minps.h"
+
+namespace relcomp {
+
+GadgetProblem BuildViableGadget(const Qbf& qbf) {
+  return BuildSigma3Gadget(qbf, /*full_rs=*/false);
+}
+
+}  // namespace relcomp

@@ -1,0 +1,18 @@
+// Theorem 6.1 / Corollary 6.3: Σp3-hardness of RCDP and MINP in the viable
+// model. The construction is the Thm 4.8 gadget with Is = {(1)}:
+//   ϕ = ∃X∀Y∃Zψ is TRUE ⇔ T is viably complete
+//                        ⇔ T is a minimal viably complete c-instance.
+#ifndef RELCOMP_REDUCTIONS_THM61_VIABLE_H_
+#define RELCOMP_REDUCTIONS_THM61_VIABLE_H_
+
+#include "logic/qbf.h"
+#include "reductions/reduction.h"
+
+namespace relcomp {
+
+/// Builds the viable-model gadget for a three-block ∃∀∃ formula.
+GadgetProblem BuildViableGadget(const Qbf& qbf);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_REDUCTIONS_THM61_VIABLE_H_

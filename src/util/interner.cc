@@ -1,0 +1,49 @@
+#include "util/interner.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace relcomp {
+namespace {
+
+// A single process-wide table. Deque gives pointer stability for names.
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<std::string_view, SymbolId> index;
+  std::deque<std::string> names;
+};
+
+InternTable& Table() {
+  static InternTable* table = new InternTable();
+  return *table;
+}
+
+}  // namespace
+
+SymbolId InternSymbol(std::string_view name) {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.index.find(name);
+  if (it != t.index.end()) return it->second;
+  t.names.emplace_back(name);
+  SymbolId id = static_cast<SymbolId>(t.names.size() - 1);
+  t.index.emplace(std::string_view(t.names.back()), id);
+  return id;
+}
+
+const std::string& SymbolName(SymbolId id) {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  assert(id < t.names.size());
+  return t.names[id];
+}
+
+size_t InternedSymbolCount() {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.size();
+}
+
+}  // namespace relcomp

@@ -1,0 +1,170 @@
+// Tests for containment constraints: satisfaction, IND detection, and the
+// Example 2.1 FD encoding.
+#include <gtest/gtest.h>
+
+#include "query/containment.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::I;
+using testing::S;
+using testing::V;
+
+struct CcFixture {
+  DatabaseSchema schema;
+  DatabaseSchema master_schema;
+  Instance db;
+  Instance dm;
+
+  CcFixture()
+      : schema(MakeSchema()),
+        master_schema(MakeMasterSchema()),
+        db(schema),
+        dm(master_schema) {}
+
+  static DatabaseSchema MakeSchema() {
+    DatabaseSchema s;
+    s.AddRelation(RelationSchema(
+        "Visit", {Attribute{"nhs"}, Attribute{"city"}, Attribute{"yob"}}));
+    return s;
+  }
+  static DatabaseSchema MakeMasterSchema() {
+    DatabaseSchema s;
+    s.AddRelation(RelationSchema(
+        "Pm", {Attribute{"nhs"}, Attribute{"yob"}, Attribute{"zip"}}));
+    s.AddRelation(RelationSchema("Empty1", {Attribute{"w"}}));
+    return s;
+  }
+
+  // CC: Edinburgh visits' (nhs, yob) must appear in π(nhs, yob)(Pm).
+  ContainmentConstraint EdiCc() const {
+    ConjunctiveQuery q({CTerm(V(0)), CTerm(V(2))},
+                       {RelAtom{"Visit", {V(0), V(1), V(2)}}},
+                       {CondAtom{V(1), false, S("EDI")}});
+    return ContainmentConstraint("edi", std::move(q), "Pm", {0, 1});
+  }
+};
+
+TEST(ContainmentTest, SatisfiedWhenContained) {
+  CcFixture fx;
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  fx.dm.AddTuple("Pm", {S("n1"), I(2000), S("EH1")});
+  ASSERT_OK_AND_ASSIGN(sat, fx.EdiCc().Satisfied(fx.db, fx.dm));
+  EXPECT_TRUE(sat);
+}
+
+TEST(ContainmentTest, ViolatedWhenMissingFromMaster) {
+  CcFixture fx;
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  ASSERT_OK_AND_ASSIGN(sat, fx.EdiCc().Satisfied(fx.db, fx.dm));
+  EXPECT_FALSE(sat);
+}
+
+TEST(ContainmentTest, NonMatchingTuplesUnconstrained) {
+  CcFixture fx;
+  fx.db.AddTuple("Visit", {S("n1"), S("LON"), I(2000)});  // not Edinburgh
+  ASSERT_OK_AND_ASSIGN(sat, fx.EdiCc().Satisfied(fx.db, fx.dm));
+  EXPECT_TRUE(sat);
+}
+
+TEST(ContainmentTest, SatisfiesCCsShortCircuits) {
+  CcFixture fx;
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  CCSet ccs = {fx.EdiCc()};
+  ASSERT_OK_AND_ASSIGN(sat, SatisfiesCCs(fx.db, fx.dm, ccs));
+  EXPECT_FALSE(sat);
+  fx.dm.AddTuple("Pm", {S("n1"), I(2000), S("EH1")});
+  ASSERT_OK_AND_ASSIGN(sat2, SatisfiesCCs(fx.db, fx.dm, ccs));
+  EXPECT_TRUE(sat2);
+}
+
+TEST(ContainmentTest, SubsetClosureLemma47a) {
+  // If (I, Dm) ⊨ V then every subset of I satisfies V too.
+  CcFixture fx;
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  fx.db.AddTuple("Visit", {S("n2"), S("LON"), I(1999)});
+  fx.dm.AddTuple("Pm", {S("n1"), I(2000), S("EH1")});
+  CCSet ccs = {fx.EdiCc()};
+  ASSERT_OK_AND_ASSIGN(sat, SatisfiesCCs(fx.db, fx.dm, ccs));
+  ASSERT_TRUE(sat);
+  Instance smaller = fx.db;
+  smaller.RemoveTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  ASSERT_OK_AND_ASSIGN(sub_sat, SatisfiesCCs(smaller, fx.dm, ccs));
+  EXPECT_TRUE(sub_sat);
+}
+
+TEST(ContainmentTest, ValidationCatchesArityMismatch) {
+  CcFixture fx;
+  ConjunctiveQuery q({CTerm(V(0))}, {RelAtom{"Visit", {V(0), V(1), V(2)}}});
+  ContainmentConstraint cc("bad", std::move(q), "Pm", {0, 1});  // 1 vs 2
+  EXPECT_FALSE(cc.Validate(fx.schema, fx.master_schema).ok());
+}
+
+TEST(ContainmentTest, ValidationCatchesUnknownMaster) {
+  CcFixture fx;
+  ConjunctiveQuery q({CTerm(V(0))}, {RelAtom{"Visit", {V(0), V(1), V(2)}}});
+  ContainmentConstraint cc("bad", std::move(q), "Nope", {0});
+  EXPECT_FALSE(cc.Validate(fx.schema, fx.master_schema).ok());
+}
+
+TEST(ContainmentTest, IndDetection) {
+  CcFixture fx;
+  // π(nhs)(Visit) ⊆ π(nhs)(Pm) is an IND.
+  ConjunctiveQuery proj({CTerm(V(0))}, {RelAtom{"Visit", {V(0), V(1), V(2)}}});
+  ContainmentConstraint ind("ind", proj, "Pm", {0});
+  EXPECT_TRUE(ind.IsInd());
+  // The selection CC is not an IND (it has a builtin).
+  EXPECT_FALSE(fx.EdiCc().IsInd());
+  // Repeated head variables are not INDs.
+  ConjunctiveQuery dup({CTerm(V(0)), CTerm(V(0))},
+                       {RelAtom{"Visit", {V(0), V(1), V(2)}}});
+  EXPECT_FALSE(ContainmentConstraint("d", dup, "Pm", {0, 1}).IsInd());
+  EXPECT_FALSE(AllInds({ind, fx.EdiCc()}));
+  EXPECT_TRUE(AllInds({ind}));
+}
+
+TEST(ContainmentTest, FdEncodingDetectsViolation) {
+  CcFixture fx;
+  // FD nhs → city on Visit.
+  ASSERT_OK_AND_ASSIGN(
+      fd, EncodeFdAsCc(*fx.schema.Find("Visit"), {0}, 1, "Empty1"));
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  fx.db.AddTuple("Visit", {S("n1"), S("LON"), I(2000)});
+  ASSERT_OK_AND_ASSIGN(sat, fd.Satisfied(fx.db, fx.dm));
+  EXPECT_FALSE(sat);  // two cities for one NHS
+  fx.db.RemoveTuple("Visit", {S("n1"), S("LON"), I(2000)});
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(1999)});  // same city, ok
+  ASSERT_OK_AND_ASSIGN(sat2, fd.Satisfied(fx.db, fx.dm));
+  EXPECT_TRUE(sat2);
+}
+
+TEST(ContainmentTest, FdEncodingCompositeLhs) {
+  CcFixture fx;
+  ASSERT_OK_AND_ASSIGN(
+      fd, EncodeFdAsCc(*fx.schema.Find("Visit"), {0, 1}, 2, "Empty1"));
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2000)});
+  fx.db.AddTuple("Visit", {S("n1"), S("LON"), I(1999)});  // differs on lhs
+  ASSERT_OK_AND_ASSIGN(sat, fd.Satisfied(fx.db, fx.dm));
+  EXPECT_TRUE(sat);
+  fx.db.AddTuple("Visit", {S("n1"), S("EDI"), I(2002)});
+  ASSERT_OK_AND_ASSIGN(sat2, fd.Satisfied(fx.db, fx.dm));
+  EXPECT_FALSE(sat2);
+}
+
+TEST(ContainmentTest, FdEncodingRangeChecks) {
+  CcFixture fx;
+  EXPECT_FALSE(EncodeFdAsCc(*fx.schema.Find("Visit"), {0}, 9, "Empty1").ok());
+  EXPECT_FALSE(EncodeFdAsCc(*fx.schema.Find("Visit"), {9}, 0, "Empty1").ok());
+}
+
+TEST(ContainmentTest, CcConstantsAndMaxVar) {
+  CcFixture fx;
+  CCSet ccs = {fx.EdiCc()};
+  EXPECT_EQ(CcConstants(ccs).size(), 1u);  // "EDI"
+  EXPECT_EQ(CcMaxVarId(ccs), 2);
+}
+
+}  // namespace
+}  // namespace relcomp

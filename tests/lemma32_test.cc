@@ -1,0 +1,171 @@
+// Tests for the Lemma 3.2 single-relation collapse: query answers and CC
+// satisfaction are preserved through (fD, fQ, fC).
+#include <gtest/gtest.h>
+
+#include "query/lemma32.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::I;
+using testing::S;
+using testing::V;
+
+struct TwoRelFixture {
+  DatabaseSchema schema;
+  Instance db;
+
+  TwoRelFixture() {
+    schema.AddRelation(RelationSchema("A", {Attribute{"x"}}));
+    schema.AddRelation(RelationSchema("E", {Attribute{"a"}, Attribute{"b"}}));
+    db = Instance(schema);
+    db.AddTuple("A", {I(1)});
+    db.AddTuple("A", {I(2)});
+    db.AddTuple("E", {I(1), I(2)});
+    db.AddTuple("E", {I(2), I(3)});
+  }
+};
+
+TEST(Lemma32Test, InstanceMapTagsAndPads) {
+  TwoRelFixture fx;
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  ASSERT_OK_AND_ASSIGN(mapped, collapse.MapInstance(fx.db));
+  EXPECT_EQ(mapped.TotalTuples(), 4u);
+  // A-tuples carry tag 0 and one pad; E-tuples carry tag 1.
+  EXPECT_TRUE(mapped.at("U").Contains({I(0), I(1), collapse.pad()}));
+  EXPECT_TRUE(mapped.at("U").Contains({I(1), I(1), I(2)}));
+}
+
+TEST(Lemma32Test, CqAnswersPreserved) {
+  TwoRelFixture fx;
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  // Q(x, y) :- A(x), E(x, y).
+  Query q = Query::Cq(ConjunctiveQuery(
+      {CTerm(V(0)), CTerm(V(1))},
+      {RelAtom{"A", {V(0)}}, RelAtom{"E", {V(0), V(1)}}}));
+  ASSERT_OK_AND_ASSIGN(mapped_q, collapse.MapQuery(q));
+  ASSERT_OK_AND_ASSIGN(mapped_db, collapse.MapInstance(fx.db));
+  ASSERT_OK_AND_ASSIGN(direct, q.Eval(fx.db));
+  ASSERT_OK_AND_ASSIGN(via_collapse, mapped_q.Eval(mapped_db));
+  EXPECT_EQ(direct, via_collapse);
+  EXPECT_EQ(direct.size(), 2u);
+}
+
+TEST(Lemma32Test, UcqAnswersPreserved) {
+  TwoRelFixture fx;
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  UnionQuery ucq;
+  ucq.AddDisjunct(ConjunctiveQuery({CTerm(V(0))}, {RelAtom{"A", {V(0)}}}));
+  ucq.AddDisjunct(ConjunctiveQuery({CTerm(V(1))},
+                                   {RelAtom{"E", {V(0), V(1)}}}));
+  Query q = Query::Ucq(ucq);
+  ASSERT_OK_AND_ASSIGN(mapped_q, collapse.MapQuery(q));
+  ASSERT_OK_AND_ASSIGN(mapped_db, collapse.MapInstance(fx.db));
+  ASSERT_OK_AND_ASSIGN(direct, q.Eval(fx.db));
+  ASSERT_OK_AND_ASSIGN(via_collapse, mapped_q.Eval(mapped_db));
+  EXPECT_EQ(direct, via_collapse);
+}
+
+TEST(Lemma32Test, FpAnswersPreserved) {
+  TwoRelFixture fx;
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  FpProgram tc;
+  tc.AddRule(FpRule{{"T", {V(0), V(1)}}, {{"E", {V(0), V(1)}}}, {}});
+  tc.AddRule(FpRule{{"T", {V(0), V(2)}},
+                    {{"T", {V(0), V(1)}}, {"E", {V(1), V(2)}}},
+                    {}});
+  tc.set_output("T");
+  Query q = Query::Fp(tc);
+  ASSERT_OK_AND_ASSIGN(mapped_q, collapse.MapQuery(q));
+  ASSERT_OK_AND_ASSIGN(mapped_db, collapse.MapInstance(fx.db));
+  ASSERT_OK_AND_ASSIGN(direct, q.Eval(fx.db));
+  ASSERT_OK_AND_ASSIGN(via_collapse, mapped_q.Eval(mapped_db));
+  EXPECT_EQ(direct, via_collapse);
+  EXPECT_EQ(direct.size(), 3u);  // (1,2), (2,3), (1,3)
+}
+
+TEST(Lemma32Test, CcSatisfactionPreserved) {
+  TwoRelFixture fx;
+  DatabaseSchema master_schema;
+  master_schema.AddRelation(RelationSchema("Am", {Attribute{"x"}}));
+  Instance dm(master_schema);
+  dm.AddTuple("Am", {I(1)});
+  dm.AddTuple("Am", {I(2)});
+  CCSet ccs;
+  ccs.emplace_back(
+      "bound", ConjunctiveQuery({CTerm(V(0))}, {RelAtom{"A", {V(0)}}}), "Am",
+      std::vector<int>{0});
+
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  ASSERT_OK_AND_ASSIGN(mapped_ccs, collapse.MapCcs(ccs));
+  ASSERT_OK_AND_ASSIGN(mapped_db, collapse.MapInstance(fx.db));
+  ASSERT_OK_AND_ASSIGN(direct_sat, SatisfiesCCs(fx.db, dm, ccs));
+  ASSERT_OK_AND_ASSIGN(mapped_sat, SatisfiesCCs(mapped_db, dm, mapped_ccs));
+  EXPECT_EQ(direct_sat, mapped_sat);
+  EXPECT_TRUE(direct_sat);
+
+  // Break the CC and check both sides agree again.
+  fx.db.AddTuple("A", {I(99)});
+  ASSERT_OK_AND_ASSIGN(mapped_db2, collapse.MapInstance(fx.db));
+  ASSERT_OK_AND_ASSIGN(direct_sat2, SatisfiesCCs(fx.db, dm, ccs));
+  ASSERT_OK_AND_ASSIGN(mapped_sat2, SatisfiesCCs(mapped_db2, dm, mapped_ccs));
+  EXPECT_EQ(direct_sat2, mapped_sat2);
+  EXPECT_FALSE(direct_sat2);
+}
+
+TEST(Lemma32Test, TagAttributeHasFiniteDomain) {
+  TwoRelFixture fx;
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  const RelationSchema* u = collapse.collapsed_schema().Find("U");
+  ASSERT_NE(u, nullptr);
+  EXPECT_TRUE(u->attribute(0).domain.is_finite());
+  EXPECT_EQ(u->attribute(0).domain.values().size(), 2u);
+}
+
+TEST(Lemma32Test, EmptySchemaRejected) {
+  DatabaseSchema empty;
+  EXPECT_FALSE(SingleRelationCollapse::Create(empty, "U").ok());
+}
+
+class Lemma32RandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma32RandomSweep, RandomCqPreserved) {
+  uint64_t seed = GetParam();
+  auto next = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ull;
+    uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return z ^ (z >> 31);
+  };
+  TwoRelFixture fx;
+  // Randomize the instance.
+  Instance db(fx.schema);
+  for (int i = 0; i < 5; ++i) {
+    db.AddTuple("A", {I(static_cast<int64_t>(next() % 4))});
+    db.AddTuple("E", {I(static_cast<int64_t>(next() % 4)),
+                      I(static_cast<int64_t>(next() % 4))});
+  }
+  Query q = Query::Cq(ConjunctiveQuery(
+      {CTerm(V(1))}, {RelAtom{"A", {V(0)}}, RelAtom{"E", {V(0), V(1)}}},
+      {CondAtom{V(0), true, V(1)}}));
+  ASSERT_OK_AND_ASSIGN(collapse,
+                       SingleRelationCollapse::Create(fx.schema, "U"));
+  ASSERT_OK_AND_ASSIGN(mapped_q, collapse.MapQuery(q));
+  ASSERT_OK_AND_ASSIGN(mapped_db, collapse.MapInstance(db));
+  ASSERT_OK_AND_ASSIGN(direct, q.Eval(db));
+  ASSERT_OK_AND_ASSIGN(via_collapse, mapped_q.Eval(mapped_db));
+  EXPECT_EQ(direct, via_collapse);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma32RandomSweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace relcomp

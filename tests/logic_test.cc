@@ -1,0 +1,251 @@
+// Tests for the logic substrate: 3CNF, QBF, gadget relations, circuits,
+// 2-head DFAs, and FD implication.
+#include <gtest/gtest.h>
+
+#include "logic/circuit.h"
+#include "logic/cnf.h"
+#include "logic/fd.h"
+#include "logic/gadgets.h"
+#include "logic/qbf.h"
+#include "logic/two_head_dfa.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::I;
+using testing::V;
+
+TEST(CnfTest, EvalAndSatisfiability) {
+  // (x0 | x1 | !x2) & (!x0 | !x0 | !x0)
+  Cnf3 cnf;
+  cnf.num_vars = 3;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Pos(1), Lit::Neg(2)});
+  cnf.clauses.push_back({Lit::Neg(0), Lit::Neg(0), Lit::Neg(0)});
+  EXPECT_TRUE(cnf.Eval(0b010));   // x1 = 1, x0 = 0
+  EXPECT_FALSE(cnf.Eval(0b001));  // x0 = 1 kills clause 2
+  EXPECT_TRUE(cnf.IsSatisfiable());
+}
+
+TEST(CnfTest, UnsatisfiableFormula) {
+  // x0 & !x0 via two unit-ish clauses.
+  Cnf3 cnf;
+  cnf.num_vars = 1;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Pos(0), Lit::Pos(0)});
+  cnf.clauses.push_back({Lit::Neg(0), Lit::Neg(0), Lit::Neg(0)});
+  EXPECT_FALSE(cnf.IsSatisfiable());
+}
+
+TEST(CnfTest, EmptyCnfIsTrue) {
+  Cnf3 cnf;
+  cnf.num_vars = 2;
+  EXPECT_TRUE(cnf.Eval(0));
+  EXPECT_TRUE(cnf.IsSatisfiable());
+}
+
+TEST(CnfTest, RandomCnfDeterministic) {
+  Cnf3 a = RandomCnf3(4, 6, 42);
+  Cnf3 b = RandomCnf3(4, 6, 42);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(QbfTest, ForallExistsTrue) {
+  // ∀x0 ∃x1: (x0 | x1 | x1) & (!x0 | !x1 | !x1) — pick x1 = !x0.
+  Cnf3 cnf;
+  cnf.num_vars = 2;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Pos(1), Lit::Pos(1)});
+  cnf.clauses.push_back({Lit::Neg(0), Lit::Neg(1), Lit::Neg(1)});
+  EXPECT_TRUE(MakeForallExists(1, 1, cnf).Eval());
+}
+
+TEST(QbfTest, ForallExistsFalse) {
+  // ∀x0 ∃x1: x0 — fails at x0 = 0.
+  Cnf3 cnf;
+  cnf.num_vars = 2;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Pos(0), Lit::Pos(0)});
+  EXPECT_FALSE(MakeForallExists(1, 1, cnf).Eval());
+}
+
+TEST(QbfTest, SigmaThree) {
+  // ∃x0 ∀x1 ∃x2: (x0) & (x1 | x2 | x2): pick x0 = 1, x2 = 1.
+  Cnf3 cnf;
+  cnf.num_vars = 3;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Pos(0), Lit::Pos(0)});
+  cnf.clauses.push_back({Lit::Pos(1), Lit::Pos(2), Lit::Pos(2)});
+  EXPECT_TRUE(MakeExistsForallExists(1, 1, 1, cnf).Eval());
+  // ∃x0 ∀x1 ∃x2: (x1): false — x1 = 0 kills it.
+  Cnf3 cnf2;
+  cnf2.num_vars = 3;
+  cnf2.clauses.push_back({Lit::Pos(1), Lit::Pos(1), Lit::Pos(1)});
+  EXPECT_FALSE(MakeExistsForallExists(1, 1, 1, cnf2).Eval());
+}
+
+TEST(QbfTest, PiFour) {
+  // ∀x0 ∃x1 ∀x2 ∃x3: (x1 | x3 | x3) — trivially satisfiable inner.
+  Cnf3 cnf;
+  cnf.num_vars = 4;
+  cnf.clauses.push_back({Lit::Pos(1), Lit::Pos(3), Lit::Pos(3)});
+  EXPECT_TRUE(MakeForallExistsForallExists(1, 1, 1, 1, cnf).Eval());
+  // ∀x0 ∃x1 ∀x2 ∃x3: (x2) — false.
+  Cnf3 cnf2;
+  cnf2.num_vars = 4;
+  cnf2.clauses.push_back({Lit::Pos(2), Lit::Pos(2), Lit::Pos(2)});
+  EXPECT_FALSE(MakeForallExistsForallExists(1, 1, 1, 1, cnf2).Eval());
+}
+
+TEST(GadgetTest, RelationsMatchFig2) {
+  DatabaseSchema schema;
+  GadgetNames names;
+  AddGadgetSchemas(&schema, names);
+  Instance db(schema);
+  FillGadgetInstance(&db, names);
+  EXPECT_EQ(db.at("R01").size(), 2u);
+  EXPECT_EQ(db.at("Ror").size(), 4u);
+  EXPECT_EQ(db.at("Rand").size(), 4u);
+  EXPECT_EQ(db.at("Rnot").size(), 2u);
+  EXPECT_TRUE(db.at("Ror").Contains({I(0), I(1), I(1)}));
+  EXPECT_TRUE(db.at("Rand").Contains({I(0), I(1), I(0)}));
+  EXPECT_TRUE(db.at("Rnot").Contains({I(1), I(0)}));
+}
+
+TEST(GadgetTest, CnfEvaluationThroughGadgets) {
+  // Encode ψ = (x0 | !x1 | x1) as CQ atoms and check the computed w for all
+  // assignments against direct evaluation.
+  DatabaseSchema schema;
+  GadgetNames names;
+  AddGadgetSchemas(&schema, names);
+  Instance db(schema);
+  FillGadgetInstance(&db, names);
+
+  Cnf3 cnf;
+  cnf.num_vars = 2;
+  cnf.clauses.push_back({Lit::Pos(0), Lit::Neg(1), Lit::Pos(1)});
+
+  for (uint64_t a = 0; a < 4; ++a) {
+    int32_t next_var = 10;
+    std::vector<RelAtom> atoms;
+    std::vector<CTerm> var_terms = {CTerm(I((a >> 0) & 1)),
+                                    CTerm(I((a >> 1) & 1))};
+    CTerm w = AppendCnfEvaluation(cnf, var_terms, names, &next_var, &atoms);
+    ConjunctiveQuery q({w}, std::move(atoms));
+    ASSERT_OK_AND_ASSIGN(out, q.Eval(db));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.rows()[0][0], I(cnf.Eval(a) ? 1 : 0)) << "assignment " << a;
+  }
+}
+
+TEST(GadgetTest, MultiClauseConjunction) {
+  DatabaseSchema schema;
+  GadgetNames names;
+  AddGadgetSchemas(&schema, names);
+  Instance db(schema);
+  FillGadgetInstance(&db, names);
+
+  Cnf3 cnf = RandomCnf3(3, 4, 7);
+  for (uint64_t a = 0; a < 8; ++a) {
+    int32_t next_var = 10;
+    std::vector<RelAtom> atoms;
+    std::vector<CTerm> var_terms;
+    for (int i = 0; i < 3; ++i) var_terms.push_back(CTerm(I((a >> i) & 1)));
+    CTerm w = AppendCnfEvaluation(cnf, var_terms, names, &next_var, &atoms);
+    ConjunctiveQuery q({w}, std::move(atoms));
+    ASSERT_OK_AND_ASSIGN(out, q.Eval(db));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.rows()[0][0], I(cnf.Eval(a) ? 1 : 0));
+  }
+}
+
+TEST(CircuitTest, EvalSmallCircuit) {
+  // out = (x0 & x1) | !x0.
+  Circuit c;
+  c.AddGate({GateType::kIn, -1, -1});   // g0 = x0
+  c.AddGate({GateType::kIn, -1, -1});   // g1 = x1
+  c.AddGate({GateType::kAnd, 0, 1});    // g2
+  c.AddGate({GateType::kNot, 0, -1});   // g3
+  c.AddGate({GateType::kOr, 2, 3});     // g4
+  EXPECT_OK(c.Validate());
+  EXPECT_EQ(c.NumInputs(), 2);
+  EXPECT_TRUE(c.Eval(0b00));
+  EXPECT_TRUE(c.Eval(0b11));
+  EXPECT_FALSE(c.Eval(0b01));  // x0 = 1, x1 = 0
+  EXPECT_FALSE(c.IsTautology());
+}
+
+TEST(CircuitTest, TautologyDetection) {
+  // out = x0 | !x0.
+  Circuit c;
+  c.AddGate({GateType::kIn, -1, -1});
+  c.AddGate({GateType::kNot, 0, -1});
+  c.AddGate({GateType::kOr, 0, 1});
+  EXPECT_TRUE(c.IsTautology());
+}
+
+TEST(CircuitTest, ForcedTautologyGenerator) {
+  Circuit c = RandomCircuit(3, 6, 99, /*force_taut=*/true);
+  EXPECT_OK(c.Validate());
+  EXPECT_TRUE(c.IsTautology());
+}
+
+TEST(CircuitTest, ValidationCatchesForwardEdge) {
+  Circuit c;
+  c.AddGate({GateType::kNot, 0, -1});  // input 0 does not precede it
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(TwoHeadDfaTest, FirstSymbolOneLanguage) {
+  // Accepts words whose first symbol is 1 (both heads start on it).
+  TwoHeadDfa dfa(2, 0, 1);
+  dfa.AddTransition(0, HeadSymbol::kOne, HeadSymbol::kOne, {1, 1, 0});
+  EXPECT_TRUE(dfa.Accepts("1"));
+  EXPECT_TRUE(dfa.Accepts("10"));
+  EXPECT_FALSE(dfa.Accepts("0"));
+  EXPECT_FALSE(dfa.Accepts(""));
+  EXPECT_FALSE(dfa.EmptyUpTo(2));
+}
+
+TEST(TwoHeadDfaTest, EvenLengthLanguage) {
+  // |w| even: head 2 walks the word toggling state parity; head 1 never
+  // moves. Accept when head 2 reaches the end in even parity.
+  TwoHeadDfa dfa(3, 0, 2);
+  for (HeadSymbol s1 :
+       {HeadSymbol::kZero, HeadSymbol::kOne, HeadSymbol::kEpsilon}) {
+    for (HeadSymbol s2 : {HeadSymbol::kZero, HeadSymbol::kOne}) {
+      dfa.AddTransition(0, s1, s2, {1, 0, 1});
+      dfa.AddTransition(1, s1, s2, {0, 0, 1});
+    }
+    dfa.AddTransition(0, s1, HeadSymbol::kEpsilon, {2, 0, 0});
+  }
+  EXPECT_TRUE(dfa.Accepts(""));
+  EXPECT_FALSE(dfa.Accepts("1"));
+  EXPECT_TRUE(dfa.Accepts("10"));
+  EXPECT_FALSE(dfa.Accepts("101"));
+  EXPECT_TRUE(dfa.Accepts("1010"));
+}
+
+TEST(TwoHeadDfaTest, EmptyLanguage) {
+  TwoHeadDfa dfa(2, 0, 1);  // no transitions at all
+  EXPECT_TRUE(dfa.EmptyUpTo(4));
+}
+
+TEST(FdTest, ClosureComputation) {
+  // {0} → 1, {1} → 2: closure of {0} is {0, 1, 2}.
+  std::vector<Fd> sigma = {{{0}, 1}, {{1}, 2}};
+  std::vector<int> closure = FdClosure({0}, sigma, 4);
+  EXPECT_EQ(closure, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FdTest, ImpliesTransitively) {
+  std::vector<Fd> sigma = {{{0}, 1}, {{1}, 2}};
+  EXPECT_TRUE(FdImplies(sigma, {{0}, 2}, 4));
+  EXPECT_FALSE(FdImplies(sigma, {{2}, 0}, 4));
+  EXPECT_TRUE(FdImplies(sigma, {{0}, 0}, 4));  // reflexivity
+}
+
+TEST(FdTest, CompositeLhs) {
+  std::vector<Fd> sigma = {{{0, 1}, 2}};
+  EXPECT_TRUE(FdImplies(sigma, {{0, 1}, 2}, 3));
+  EXPECT_FALSE(FdImplies(sigma, {{0}, 2}, 3));
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -1,0 +1,51 @@
+// Shared helpers for the relcomp test suite.
+#ifndef RELCOMP_TESTS_TEST_UTIL_H_
+#define RELCOMP_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "data/instance.h"
+#include "query/query.h"
+
+namespace relcomp {
+namespace testing {
+
+inline Value I(int64_t v) { return Value::Int(v); }
+inline Value S(const char* s) { return Value::Sym(s); }
+inline VarId V(int32_t id) { return VarId{id}; }
+
+/// Schema with one relation "E(a, b)" over infinite domains.
+inline DatabaseSchema EdgeSchema() {
+  DatabaseSchema schema;
+  schema.AddRelation(RelationSchema(
+      "E", {Attribute{"a", Domain::Infinite()},
+            Attribute{"b", Domain::Infinite()}}));
+  return schema;
+}
+
+/// A setting with no master data and no CCs over `schema`.
+inline PartiallyClosedSetting OpenSetting(DatabaseSchema schema) {
+  PartiallyClosedSetting setting;
+  setting.schema = std::move(schema);
+  setting.dm = Instance(setting.master_schema);
+  return setting;
+}
+
+/// Unwraps a Result<T> in a test, failing loudly on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
+  auto lhs##_result = (expr);                                 \
+  ASSERT_TRUE(lhs##_result.ok()) << lhs##_result.status().ToString(); \
+  auto lhs = std::move(lhs##_result).value()
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    auto _st = (expr);                                  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (0)
+
+}  // namespace testing
+}  // namespace relcomp
+
+#endif  // RELCOMP_TESTS_TEST_UTIL_H_

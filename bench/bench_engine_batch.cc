@@ -1,0 +1,146 @@
+// Experiment ENG-B: batch decision throughput through CompletenessEngine.
+//
+// The workload models MDM audit traffic: a large closed-world patient master
+// (|Dm| = state.range), an IND CC binding visits to it, and a stream of
+// cheap per-query completeness decisions (RCDP strong/viable, ground MINP,
+// and the PTIME IND RCQP of Corollary 7.2). The same request stream is
+// answered three ways:
+//   cold — independent decider calls on the raw setting (the pre-engine call
+//          pattern): every request re-derives the Adom seed (a scan and sort
+//          of all |Dm| constants) and re-projects the master relations;
+//   warm — SubmitBatch on an engine whose PreparedSetting was built once,
+//          memoization off: measures the prepared-artifact savings alone;
+//   memo — the same with the LRU cache on: repeated queries collapse to
+//          fingerprint lookups (the serving-traffic regime).
+// warm must beat cold at every master size, and the gap must widen with
+// |Dm|; memo sits another order of magnitude above.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace relcomp {
+namespace {
+
+Value S(const std::string& s) { return Value::Sym(s); }
+
+/// A setting with `master_rows` patients in Dm and an IND CC
+/// π_nhs(Visit) ⊆ π_nhs(Patientm).
+PartiallyClosedSetting MakeAuditSetting(int master_rows) {
+  PartiallyClosedSetting setting;
+  setting.schema.AddRelation(RelationSchema(
+      "Visit", {Attribute{"nhs", Domain::Infinite()},
+                Attribute{"city", Domain::Finite({S("EDI"), S("LON")})},
+                Attribute{"year", Domain::IntRange(1998, 2001)}}));
+  setting.master_schema.AddRelation(
+      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
+  setting.dm = Instance(setting.master_schema);
+  for (int i = 0; i < master_rows; ++i) {
+    setting.dm.AddTuple("Patientm", {S("nhs-" + std::to_string(i))});
+  }
+  ConjunctiveQuery proj({CTerm(VarId{0})},
+                        {RelAtom{"Visit", {VarId{0}, VarId{1}, VarId{2}}}});
+  setting.ccs.emplace_back("visits_known", std::move(proj), "Patientm",
+                           std::vector<int>{0});
+  return setting;
+}
+
+/// A small audited instance whose patients exist in every MakeAuditSetting.
+CInstance MakeAuditedInstance(const DatabaseSchema& schema) {
+  Instance db(schema);
+  db.AddTuple("Visit", {S("nhs-0"), S("EDI"), Value::Int(1999)});
+  db.AddTuple("Visit", {S("nhs-1"), S("LON"), Value::Int(2000)});
+  db.AddTuple("Visit", {S("nhs-2"), S("EDI"), Value::Int(2001)});
+  return CInstance::FromInstance(db);
+}
+
+/// One audit sweep: `distinct` per-patient queries, each decided in four
+/// problem kinds (mixed RCDP / RCQP / MINP traffic), `repeat` times over.
+std::vector<DecisionRequest> MakeWorkload(const CInstance& audited,
+                                          int distinct, int repeat) {
+  std::vector<DecisionRequest> requests;
+  for (int r = 0; r < repeat; ++r) {
+    for (int i = 0; i < distinct; ++i) {
+      // q_i(c) :- Visit("nhs-i", c, y): which cities has patient i visited?
+      // Head and join variables sit in finite-domain columns, so the
+      // decision itself is cheap — per-request setup is the dominant cost.
+      ConjunctiveQuery cq(
+          {CTerm(VarId{0})},
+          {RelAtom{"Visit",
+                   {CTerm(S("nhs-" + std::to_string(i))), CTerm(VarId{0}),
+                    CTerm(VarId{1})}}});
+      Query q = Query::Cq(std::move(cq));
+      for (ProblemKind kind :
+           {ProblemKind::kRcdpStrong, ProblemKind::kRcdpViable,
+            ProblemKind::kRcqpStrong, ProblemKind::kMinpStrong}) {
+        DecisionRequest request;
+        request.kind = kind;
+        request.query = q;
+        request.cinstance = audited;
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  return requests;
+}
+
+constexpr int kDistinctQueries = 8;
+
+void BM_Cold_IndependentCalls(benchmark::State& state) {
+  PartiallyClosedSetting setting =
+      MakeAuditSetting(static_cast<int>(state.range(0)));
+  CInstance audited = MakeAuditedInstance(setting.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+  for (auto _ : state) {
+    for (const DecisionRequest& request : workload) {
+      Decision decision = DecideCold(request, setting);
+      benchmark::DoNotOptimize(decision);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_Cold_IndependentCalls)->Arg(256)->Arg(2048)->Arg(8192);
+
+void RunEngineBatch(benchmark::State& state, size_t cache_capacity) {
+  PartiallyClosedSetting setting =
+      MakeAuditSetting(static_cast<int>(state.range(0)));
+  CInstance audited = MakeAuditedInstance(setting.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+  EngineOptions options;
+  options.num_workers = 4;
+  options.cache_capacity = cache_capacity;
+  options.memoize = cache_capacity > 0;
+  auto engine = CompletenessEngine::Create(setting, options);
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<Decision> decisions = (*engine)->SubmitBatch(workload);
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  state.counters["cache_hits"] =
+      static_cast<double>((*engine)->counters().cache_hits);
+}
+
+void BM_Engine_WarmBatch(benchmark::State& state) {
+  RunEngineBatch(state, /*cache_capacity=*/0);
+}
+BENCHMARK(BM_Engine_WarmBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+void BM_Engine_MemoizedBatch(benchmark::State& state) {
+  RunEngineBatch(state, /*cache_capacity=*/1024);
+}
+BENCHMARK(BM_Engine_MemoizedBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+}  // namespace
+}  // namespace relcomp
+
+BENCHMARK_MAIN();

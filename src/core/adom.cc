@@ -16,41 +16,61 @@ void SortUnique(std::vector<Value>* values) {
 
 }  // namespace
 
-AdomContext AdomContext::Build(const PartiallyClosedSetting& setting,
-                               const CInstance& cinstance, const Query* query,
-                               AdomOptions options) {
-  AdomContext ctx;
+AdomSeed AdomContext::SeedFor(const PartiallyClosedSetting& setting) {
+  AdomSeed seed;
 
-  // S: constants of T, Dm and V (plus the query's, per the Thm 4.1 Adom).
-  std::vector<Value> base = cinstance.Constants();
-  AddAll(&base, setting.dm.ActiveDomain());
-  AddAll(&base, CcConstants(setting.ccs));
-  if (query != nullptr) AddAll(&base, query->Constants());
+  // The setting's share of S: constants of Dm and V.
+  seed.base = setting.dm.ActiveDomain();
+  AddAll(&seed.base, CcConstants(setting.ccs));
 
   // df: all constants of finite attribute domains (database + master).
   for (const DatabaseSchema* schema : {&setting.schema,
                                        &setting.master_schema}) {
     for (const RelationSchema& rel : schema->relations()) {
       for (const Attribute& attr : rel.attributes()) {
-        if (attr.domain.is_finite()) AddAll(&base, attr.domain.values());
+        if (attr.domain.is_finite()) AddAll(&seed.base, attr.domain.values());
       }
     }
   }
-  SortUnique(&base);
-  ctx.base_ = base;
+  SortUnique(&seed.base);
 
-  // New: one fresh constant per variable of T, V and the query, plus the
-  // requested extras (e.g. one per column for extension tuples).
-  size_t num_fresh = cinstance.Vars().size() + options.extra_fresh;
-  num_fresh += static_cast<size_t>(CcMaxVarId(setting.ccs) + 1);
-  if (query != nullptr) {
-    num_fresh += static_cast<size_t>(query->MaxVarId() + 1);
-  }
+  // The setting's share of New: one fresh constant per CC variable plus one
+  // per column of the widest relation (for extension tuples).
+  seed.fresh = static_cast<size_t>(CcMaxVarId(setting.ccs) + 1);
   size_t max_arity = 0;
   for (const RelationSchema& rel : setting.schema.relations()) {
     max_arity = std::max(max_arity, rel.arity());
   }
-  num_fresh += max_arity;
+  seed.fresh += max_arity;
+  return seed;
+}
+
+AdomContext AdomContext::Build(const PartiallyClosedSetting& setting,
+                               const CInstance& cinstance, const Query* query,
+                               AdomOptions options) {
+  return BuildFromSeed(SeedFor(setting), cinstance, query, options);
+}
+
+AdomContext AdomContext::BuildFromSeed(const AdomSeed& seed,
+                                       const CInstance& cinstance,
+                                       const Query* query,
+                                       AdomOptions options) {
+  AdomContext ctx;
+
+  // S: constants of T (plus the query's, per the Thm 4.1 Adom) on top of the
+  // cached setting constants.
+  std::vector<Value> base = cinstance.Constants();
+  AddAll(&base, seed.base);
+  if (query != nullptr) AddAll(&base, query->Constants());
+  SortUnique(&base);
+  ctx.base_ = base;
+
+  // New: one fresh constant per variable of T and the query, plus the
+  // requested extras, on top of the cached setting budget.
+  size_t num_fresh = cinstance.Vars().size() + options.extra_fresh + seed.fresh;
+  if (query != nullptr) {
+    num_fresh += static_cast<size_t>(query->MaxVarId() + 1);
+  }
 
   size_t counter = 0;
   while (ctx.fresh_.size() < num_fresh) {

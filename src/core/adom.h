@@ -19,6 +19,16 @@ struct AdomOptions {
   size_t extra_fresh = 0;
 };
 
+/// The setting-level contribution to every Adom built over one (Dm, V):
+/// the constants of Dm, V and the finite attribute domains, plus the fresh
+/// budget owed to CC variables and the widest relation. Computing this is
+/// linear in |Dm|; a prepared setting caches it so per-query Adom builds
+/// only fold in the query and instance constants.
+struct AdomSeed {
+  std::vector<Value> base;  ///< sorted, unique setting constants
+  size_t fresh = 0;         ///< setting-level fresh-constant budget
+};
+
 /// The finite active domain for a given (T, Dm, V, Q) combination.
 class AdomContext {
  public:
@@ -27,6 +37,16 @@ class AdomContext {
   static AdomContext Build(const PartiallyClosedSetting& setting,
                            const CInstance& cinstance, const Query* query,
                            AdomOptions options = {});
+
+  /// Precomputes the setting-level seed used by BuildFromSeed.
+  static AdomSeed SeedFor(const PartiallyClosedSetting& setting);
+
+  /// Builds Adom from a cached seed plus the per-call contributions of the
+  /// c-instance and query. Equivalent to Build when the seed matches the
+  /// setting.
+  static AdomContext BuildFromSeed(const AdomSeed& seed,
+                                   const CInstance& cinstance,
+                                   const Query* query, AdomOptions options = {});
 
   /// Convenience overload for ground instances.
   static AdomContext BuildForGround(const PartiallyClosedSetting& setting,

@@ -4,10 +4,10 @@ namespace relcomp {
 
 Result<CertainAnswersResult> CertainAnswers(
     const Query& q, const CInstance& cinstance,
-    const PartiallyClosedSetting& setting, const AdomContext& adom,
+    const PreparedSetting& prepared, const AdomContext& adom,
     const SearchOptions& options, SearchStats* stats) {
   CertainAnswersResult result;
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Instance world;
   while (true) {
     Result<bool> got = worlds.Next(nullptr, &world);
@@ -27,6 +27,14 @@ Result<CertainAnswersResult> CertainAnswers(
     if (result.answers.empty()) break;
   }
   return result;
+}
+
+Result<CertainAnswersResult> CertainAnswers(
+    const Query& q, const CInstance& cinstance,
+    const PartiallyClosedSetting& setting, const AdomContext& adom,
+    const SearchOptions& options, SearchStats* stats) {
+  return CertainAnswers(q, cinstance, PreparedSetting::Borrow(setting), adom,
+                        options, stats);
 }
 
 }  // namespace relcomp

@@ -7,6 +7,7 @@
 #include "core/adom.h"
 #include "core/enumerate.h"
 #include "core/types.h"
+#include "core/prepared_setting.h"
 
 namespace relcomp {
 
@@ -18,6 +19,10 @@ struct CertainAnswersResult {
 };
 
 /// Computes the certain answers of `q` over Mod(T, Dm, V).
+Result<CertainAnswersResult> CertainAnswers(
+    const Query& q, const CInstance& cinstance,
+    const PreparedSetting& prepared, const AdomContext& adom,
+    const SearchOptions& options = {}, SearchStats* stats = nullptr);
 Result<CertainAnswersResult> CertainAnswers(
     const Query& q, const CInstance& cinstance,
     const PartiallyClosedSetting& setting, const AdomContext& adom,

@@ -2,24 +2,32 @@
 
 namespace relcomp {
 
-Result<bool> IsConsistent(const PartiallyClosedSetting& setting,
+Result<bool> IsConsistent(const PreparedSetting& prepared,
                           const CInstance& cinstance,
                           const SearchOptions& options, SearchStats* stats,
                           Instance* witness_world) {
-  AdomContext adom = AdomContext::Build(setting, cinstance, nullptr);
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  AdomContext adom = prepared.BuildAdom(cinstance, nullptr);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Result<bool> got = worlds.Next(nullptr, witness_world);
   if (!got.ok()) return got.status();
   return *got;
 }
 
-Result<bool> IsExtensible(const PartiallyClosedSetting& setting,
+Result<bool> IsConsistent(const PartiallyClosedSetting& setting,
+                          const CInstance& cinstance,
+                          const SearchOptions& options, SearchStats* stats,
+                          Instance* witness_world) {
+  return IsConsistent(PreparedSetting::Borrow(setting), cinstance, options,
+                      stats, witness_world);
+}
+
+Result<bool> IsExtensible(const PreparedSetting& prepared,
                           const Instance& instance,
                           const SearchOptions& options, SearchStats* stats,
                           ExtensionWitness* witness) {
-  AdomContext adom = AdomContext::BuildForGround(setting, instance, nullptr);
+  AdomContext adom = prepared.BuildAdomForGround(instance, nullptr);
   uint64_t steps = 0;
-  for (const RelationSchema& rel : setting.schema.relations()) {
+  for (const RelationSchema& rel : prepared.schema().relations()) {
     const Relation& existing = instance.at(rel.name());
     TupleEnumerator tuples(rel, adom);
     Tuple t;
@@ -33,7 +41,7 @@ Result<bool> IsExtensible(const PartiallyClosedSetting& setting,
       Instance extended = instance;
       extended.AddTuple(rel.name(), t);
       if (stats != nullptr) ++stats->cc_checks;
-      Result<bool> closed = SatisfiesCCs(extended, setting.dm, setting.ccs);
+      Result<bool> closed = prepared.SatisfiesCCs(extended);
       if (!closed.ok()) return closed.status();
       if (*closed) {
         if (witness != nullptr) {
@@ -45,6 +53,14 @@ Result<bool> IsExtensible(const PartiallyClosedSetting& setting,
     }
   }
   return false;
+}
+
+Result<bool> IsExtensible(const PartiallyClosedSetting& setting,
+                          const Instance& instance,
+                          const SearchOptions& options, SearchStats* stats,
+                          ExtensionWitness* witness) {
+  return IsExtensible(PreparedSetting::Borrow(setting), instance, options,
+                      stats, witness);
 }
 
 }  // namespace relcomp

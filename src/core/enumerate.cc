@@ -319,14 +319,21 @@ uint64_t TupleEnumerator::TotalCount() const {
 }
 
 ModEnumerator::ModEnumerator(const CInstance& cinstance,
-                             const PartiallyClosedSetting& setting,
+                             const PreparedSetting& prepared,
                              const AdomContext& adom,
                              const SearchOptions& options, SearchStats* stats)
     : cinstance_(cinstance),
-      setting_(setting),
+      prepared_(prepared),
       options_(options),
       stats_(stats),
       valuations_(CInstanceVarCandidates(cinstance, adom)) {}
+
+ModEnumerator::ModEnumerator(const CInstance& cinstance,
+                             const PartiallyClosedSetting& setting,
+                             const AdomContext& adom,
+                             const SearchOptions& options, SearchStats* stats)
+    : ModEnumerator(cinstance, PreparedSetting::Borrow(setting), adom,
+                    options, stats) {}
 
 Result<bool> ModEnumerator::Next(Valuation* mu, Instance* world) {
   Valuation local_mu;
@@ -340,7 +347,7 @@ Result<bool> ModEnumerator::Next(Valuation* mu, Instance* world) {
     Result<Instance> candidate = cinstance_.Apply(*mu_ptr);
     if (!candidate.ok()) return candidate.status();
     if (stats_ != nullptr) ++stats_->cc_checks;
-    Result<bool> closed = SatisfiesCCs(*candidate, setting_.dm, setting_.ccs);
+    Result<bool> closed = prepared_.SatisfiesCCs(*candidate);
     if (!closed.ok()) return closed.status();
     if (!*closed) continue;
     std::string key = candidate->ToString();

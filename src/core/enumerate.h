@@ -11,6 +11,7 @@
 
 #include "core/adom.h"
 #include "core/types.h"
+#include "core/prepared_setting.h"
 #include "query/cq.h"
 
 namespace relcomp {
@@ -126,6 +127,10 @@ CanonicalValuationEnumerator MakeCanonicalCqEnumerator(
 /// yield the same ground instance).
 class ModEnumerator {
  public:
+  ModEnumerator(const CInstance& cinstance, const PreparedSetting& prepared,
+                const AdomContext& adom, const SearchOptions& options,
+                SearchStats* stats);
+  /// Legacy entry point; prepares the setting artifacts internally.
   ModEnumerator(const CInstance& cinstance,
                 const PartiallyClosedSetting& setting, const AdomContext& adom,
                 const SearchOptions& options, SearchStats* stats);
@@ -137,7 +142,7 @@ class ModEnumerator {
 
  private:
   const CInstance& cinstance_;
-  const PartiallyClosedSetting& setting_;
+  PreparedSetting prepared_;
   SearchOptions options_;
   SearchStats* stats_;
   ValuationEnumerator valuations_;

@@ -2,13 +2,20 @@
 
 namespace relcomp {
 
+Result<bool> IsPartiallyClosed(const PreparedSetting& prepared,
+                               const Instance& instance) {
+  return prepared.SatisfiesCCs(instance);
+}
+
 Result<bool> IsPartiallyClosed(const PartiallyClosedSetting& setting,
                                const Instance& instance) {
+  // One-shot check: deriving the prepared artifacts (Adom seed, master
+  // projections) would cost more than the single CC pass they amortize.
   return SatisfiesCCs(instance, setting.dm, setting.ccs);
 }
 
 Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
-                              const PartiallyClosedSetting& setting,
+                              const PreparedSetting& prepared,
                               const AdomContext& adom,
                               const SearchOptions& options, SearchStats* stats,
                               CompletenessWitness* witness) {
@@ -19,7 +26,7 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
         QueryLanguageName(q.language()) +
         " (Theorem 4.1); use the bounded search in core/bounded.h");
   }
-  Result<bool> closed = IsPartiallyClosed(setting, instance);
+  Result<bool> closed = IsPartiallyClosed(prepared, instance);
   if (!closed.ok()) return closed.status();
   if (!*closed) {
     if (witness != nullptr) {
@@ -40,7 +47,7 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
     // Fresh constants are interchangeable in this existential search, so a
     // symmetry-broken enumeration suffices (values of I stay pinned).
     CanonicalValuationEnumerator nus =
-        MakeCanonicalCqEnumerator(disjunct, setting.schema, adom, instance);
+        MakeCanonicalCqEnumerator(disjunct, prepared.schema(), adom, instance);
     Valuation nu;
     while (nus.Next(&nu)) {
       if (++steps > options.max_steps) {
@@ -59,15 +66,14 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
       if (answers->Contains(*head)) continue;
       // Build I ∪ ν(T_Q) and check partial closure.
       Result<Instance> tableau =
-          disjunct.InstantiateTableau(nu, setting.schema);
+          disjunct.InstantiateTableau(nu, prepared.schema());
       if (!tableau.ok()) return tableau.status();
       Instance extended = instance.Union(*tableau);
       if (stats != nullptr) {
         ++stats->extensions;
         ++stats->cc_checks;
       }
-      Result<bool> ext_closed =
-          SatisfiesCCs(extended, setting.dm, setting.ccs);
+      Result<bool> ext_closed = prepared.SatisfiesCCs(extended);
       if (!ext_closed.ok()) return ext_closed.status();
       if (!*ext_closed) continue;
       if (witness != nullptr) {
@@ -83,13 +89,32 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
   return true;
 }
 
+Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
+                              const PartiallyClosedSetting& setting,
+                              const AdomContext& adom,
+                              const SearchOptions& options, SearchStats* stats,
+                              CompletenessWitness* witness) {
+  return IsCompleteGround(q, instance, PreparedSetting::Borrow(setting), adom,
+                          options, stats, witness);
+}
+
+Result<bool> IsCompleteGroundAuto(const Query& q, const Instance& instance,
+                                  const PreparedSetting& prepared,
+                                  const SearchOptions& options,
+                                  SearchStats* stats,
+                                  CompletenessWitness* witness) {
+  AdomContext adom = prepared.BuildAdomForGround(instance, &q);
+  return IsCompleteGround(q, instance, prepared, adom, options, stats,
+                          witness);
+}
+
 Result<bool> IsCompleteGroundAuto(const Query& q, const Instance& instance,
                                   const PartiallyClosedSetting& setting,
                                   const SearchOptions& options,
                                   SearchStats* stats,
                                   CompletenessWitness* witness) {
-  AdomContext adom = AdomContext::BuildForGround(setting, instance, &q);
-  return IsCompleteGround(q, instance, setting, adom, options, stats, witness);
+  return IsCompleteGroundAuto(q, instance, PreparedSetting::Borrow(setting),
+                              options, stats, witness);
 }
 
 }  // namespace relcomp

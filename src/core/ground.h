@@ -9,10 +9,13 @@
 #include "core/adom.h"
 #include "core/enumerate.h"
 #include "core/types.h"
+#include "core/prepared_setting.h"
 
 namespace relcomp {
 
 /// Is the ground instance I partially closed w.r.t. (Dm, V)?
+Result<bool> IsPartiallyClosed(const PreparedSetting& prepared,
+                               const Instance& instance);
 Result<bool> IsPartiallyClosed(const PartiallyClosedSetting& setting,
                                const Instance& instance);
 
@@ -21,13 +24,24 @@ Result<bool> IsPartiallyClosed(const PartiallyClosedSetting& setting,
 /// FP are undecidable here (Theorem 4.1) and yield kUndecidable.
 /// `adom` must have been built with `q` folded in.
 Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
+                              const PreparedSetting& prepared,
+                              const AdomContext& adom,
+                              const SearchOptions& options = {},
+                              SearchStats* stats = nullptr,
+                              CompletenessWitness* witness = nullptr);
+Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
                               const PartiallyClosedSetting& setting,
                               const AdomContext& adom,
                               const SearchOptions& options = {},
                               SearchStats* stats = nullptr,
                               CompletenessWitness* witness = nullptr);
 
-/// Convenience wrapper that builds the Adom internally.
+/// Convenience wrappers that build the Adom internally.
+Result<bool> IsCompleteGroundAuto(const Query& q, const Instance& instance,
+                                  const PreparedSetting& prepared,
+                                  const SearchOptions& options = {},
+                                  SearchStats* stats = nullptr,
+                                  CompletenessWitness* witness = nullptr);
 Result<bool> IsCompleteGroundAuto(const Query& q, const Instance& instance,
                                   const PartiallyClosedSetting& setting,
                                   const SearchOptions& options = {},

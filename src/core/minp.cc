@@ -8,19 +8,19 @@ namespace {
 // Is the ground world `instance` a *minimal* complete instance? Uses
 // Lemma 4.7(b): it suffices to test single-tuple removals.
 Result<bool> MinimalCompleteWorld(const Query& q, const Instance& instance,
-                                  const PartiallyClosedSetting& setting,
+                                  const PreparedSetting& prepared,
                                   const AdomContext& adom,
                                   const SearchOptions& options,
                                   SearchStats* stats) {
   Result<bool> complete =
-      IsCompleteGround(q, instance, setting, adom, options, stats, nullptr);
+      IsCompleteGround(q, instance, prepared, adom, options, stats, nullptr);
   if (!complete.ok()) return complete.status();
   if (!*complete) return false;
   for (const Relation& rel : instance.relations()) {
     for (const Tuple& t : rel.rows()) {
       Instance smaller = instance;
       smaller.RemoveTuple(rel.schema().name(), t);
-      Result<bool> sub_complete = IsCompleteGround(q, smaller, setting, adom,
+      Result<bool> sub_complete = IsCompleteGround(q, smaller, prepared, adom,
                                                    options, stats, nullptr);
       if (!sub_complete.ok()) return sub_complete.status();
       if (*sub_complete) return false;  // a smaller complete instance exists
@@ -32,18 +32,26 @@ Result<bool> MinimalCompleteWorld(const Query& q, const Instance& instance,
 }  // namespace
 
 Result<bool> MinpStrongGround(const Query& q, const Instance& instance,
+                              const PreparedSetting& prepared,
+                              const SearchOptions& options,
+                              SearchStats* stats) {
+  AdomContext adom = prepared.BuildAdomForGround(instance, &q);
+  return MinimalCompleteWorld(q, instance, prepared, adom, options, stats);
+}
+
+Result<bool> MinpStrongGround(const Query& q, const Instance& instance,
                               const PartiallyClosedSetting& setting,
                               const SearchOptions& options,
                               SearchStats* stats) {
-  AdomContext adom = AdomContext::BuildForGround(setting, instance, &q);
-  return MinimalCompleteWorld(q, instance, setting, adom, options, stats);
+  return MinpStrongGround(q, instance, PreparedSetting::Borrow(setting),
+                          options, stats);
 }
 
 Result<bool> MinpStrong(const Query& q, const CInstance& cinstance,
-                        const PartiallyClosedSetting& setting,
+                        const PreparedSetting& prepared,
                         const SearchOptions& options, SearchStats* stats) {
-  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  AdomContext adom = prepared.BuildAdom(cinstance, &q);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Instance world;
   bool any = false;
   while (true) {
@@ -52,35 +60,49 @@ Result<bool> MinpStrong(const Query& q, const CInstance& cinstance,
     if (!*got) break;
     any = true;
     Result<bool> minimal =
-        MinimalCompleteWorld(q, world, setting, adom, options, stats);
+        MinimalCompleteWorld(q, world, prepared, adom, options, stats);
     if (!minimal.ok()) return minimal.status();
     if (!*minimal) return false;
   }
   return any;
 }
 
-Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
+Result<bool> MinpStrong(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options, SearchStats* stats) {
-  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  return MinpStrong(q, cinstance, PreparedSetting::Borrow(setting), options,
+                    stats);
+}
+
+Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options, SearchStats* stats) {
+  AdomContext adom = prepared.BuildAdom(cinstance, &q);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Instance world;
   while (true) {
     Result<bool> got = worlds.Next(nullptr, &world);
     if (!got.ok()) return got.status();
     if (!*got) break;
     Result<bool> minimal =
-        MinimalCompleteWorld(q, world, setting, adom, options, stats);
+        MinimalCompleteWorld(q, world, prepared, adom, options, stats);
     if (!minimal.ok()) return minimal.status();
     if (*minimal) return true;
   }
   return false;
 }
 
+Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
+                        const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats) {
+  return MinpViable(q, cinstance, PreparedSetting::Borrow(setting), options,
+                    stats);
+}
+
 Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
-                      const PartiallyClosedSetting& setting,
+                      const PreparedSetting& prepared,
                       const SearchOptions& options, SearchStats* stats) {
-  Result<bool> complete = RcdpWeak(q, cinstance, setting, options, stats);
+  Result<bool> complete = RcdpWeak(q, cinstance, prepared, options, stats);
   if (!complete.ok()) return complete.status();
   if (!*complete) return false;
   std::vector<std::pair<int, int>> positions = cinstance.AllRowPositions();
@@ -97,29 +119,43 @@ Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
       if ((mask >> i) & 1) removal.push_back(positions[i]);
     }
     CInstance smaller = cinstance.RemoveRows(removal);
-    Result<bool> sub = RcdpWeak(q, smaller, setting, options, stats);
+    Result<bool> sub = RcdpWeak(q, smaller, prepared, options, stats);
     if (!sub.ok()) return sub.status();
     if (*sub) return false;
   }
   return true;
 }
 
+Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
+                      const PartiallyClosedSetting& setting,
+                      const SearchOptions& options, SearchStats* stats) {
+  return MinpWeak(q, cinstance, PreparedSetting::Borrow(setting), options,
+                  stats);
+}
+
 Result<bool> MinpWeakCq(const Query& q, const CInstance& cinstance,
-                        const PartiallyClosedSetting& setting,
+                        const PreparedSetting& prepared,
                         const SearchOptions& options, SearchStats* stats) {
   if (q.language() != QueryLanguage::kCQ) {
     return Status::InvalidArgument(
         "MinpWeakCq implements the Lemma 5.7 dichotomy for CQ only");
   }
-  CInstance empty(setting.schema);
+  CInstance empty(prepared.schema());
   Result<bool> empty_complete =
-      RcdpWeak(q, empty, setting, options, stats);
+      RcdpWeak(q, empty, prepared, options, stats);
   if (!empty_complete.ok()) return empty_complete.status();
   if (*empty_complete) {
     return cinstance.TotalRows() == 0;
   }
   if (cinstance.TotalRows() != 1) return false;
-  return IsConsistent(setting, cinstance, options, stats);
+  return IsConsistent(prepared, cinstance, options, stats);
+}
+
+Result<bool> MinpWeakCq(const Query& q, const CInstance& cinstance,
+                        const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats) {
+  return MinpWeakCq(q, cinstance, PreparedSetting::Borrow(setting), options,
+                    stats);
 }
 
 }  // namespace relcomp

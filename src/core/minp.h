@@ -11,11 +11,18 @@
 #define RELCOMP_CORE_MINP_H_
 
 #include "core/rcdp.h"
+#include "core/prepared_setting.h"
 
 namespace relcomp {
 
 /// Ground strong (≡ viable) minimality — the Dp2 case of Theorem 4.8:
-/// I complete and no I \ {t} complete.
+/// I complete and no I \ {t} complete. As in core/rcdp.h, every decider has
+/// a PreparedSetting overload (cached artifacts, the engine hot path) and a
+/// PartiallyClosedSetting overload that prepares per call.
+Result<bool> MinpStrongGround(const Query& q, const Instance& instance,
+                              const PreparedSetting& prepared,
+                              const SearchOptions& options = {},
+                              SearchStats* stats = nullptr);
 Result<bool> MinpStrongGround(const Query& q, const Instance& instance,
                               const PartiallyClosedSetting& setting,
                               const SearchOptions& options = {},
@@ -24,12 +31,20 @@ Result<bool> MinpStrongGround(const Query& q, const Instance& instance,
 /// Strong c-instance minimality (Πp3): every world of Mod(T) is a minimal
 /// complete ground instance.
 Result<bool> MinpStrong(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options = {},
+                        SearchStats* stats = nullptr);
+Result<bool> MinpStrong(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options = {},
                         SearchStats* stats = nullptr);
 
 /// Viable c-instance minimality (Σp3): some world of Mod(T) is a minimal
 /// complete ground instance.
+Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options = {},
+                        SearchStats* stats = nullptr);
 Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options = {},
@@ -39,6 +54,10 @@ Result<bool> MinpViable(const Query& q, const CInstance& cinstance,
 /// algorithms): T weakly complete and no proper row-subset weakly complete.
 /// Exponential in the number of rows of T.
 Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
+                      const PreparedSetting& prepared,
+                      const SearchOptions& options = {},
+                      SearchStats* stats = nullptr);
+Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
                       const PartiallyClosedSetting& setting,
                       const SearchOptions& options = {},
                       SearchStats* stats = nullptr);
@@ -46,6 +65,10 @@ Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
 /// Weak-model minimality for CQ via the Lemma 5.7 dichotomy (coDP): if the
 /// empty instance is weakly complete, T is minimal iff T is empty; otherwise
 /// T is minimal iff T is a consistent singleton.
+Result<bool> MinpWeakCq(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options = {},
+                        SearchStats* stats = nullptr);
 Result<bool> MinpWeakCq(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options = {},

@@ -17,12 +17,12 @@ Status RequireTableauLanguage(const Query& q, const char* problem) {
 }  // namespace
 
 Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
-                        const PartiallyClosedSetting& setting,
+                        const PreparedSetting& prepared,
                         const SearchOptions& options, SearchStats* stats,
                         CompletenessWitness* witness) {
   RELCOMP_RETURN_IF_ERROR(RequireTableauLanguage(q, "RCDP (strong model)"));
-  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  AdomContext adom = prepared.BuildAdom(cinstance, &q);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Valuation mu;
   Instance world;
   bool any = false;
@@ -32,7 +32,7 @@ Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
     if (!*got) break;
     any = true;
     Result<bool> complete =
-        IsCompleteGround(q, world, setting, adom, options, stats, witness);
+        IsCompleteGround(q, world, prepared, adom, options, stats, witness);
     if (!complete.ok()) return complete.status();
     if (!*complete) {
       if (witness != nullptr) {
@@ -52,20 +52,28 @@ Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
   return true;
 }
 
-Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
+Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats,
+                        CompletenessWitness* witness) {
+  return RcdpStrong(q, cinstance, PreparedSetting::Borrow(setting), options,
+                    stats, witness);
+}
+
+Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
                         const SearchOptions& options, SearchStats* stats,
                         Instance* witness_world) {
   RELCOMP_RETURN_IF_ERROR(RequireTableauLanguage(q, "RCDP (viable model)"));
-  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  AdomContext adom = prepared.BuildAdom(cinstance, &q);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Instance world;
   while (true) {
     Result<bool> got = worlds.Next(nullptr, &world);
     if (!got.ok()) return got.status();
     if (!*got) break;
     Result<bool> complete =
-        IsCompleteGround(q, world, setting, adom, options, stats, nullptr);
+        IsCompleteGround(q, world, prepared, adom, options, stats, nullptr);
     if (!complete.ok()) return complete.status();
     if (*complete) {
       if (witness_world != nullptr) *witness_world = world;
@@ -75,8 +83,16 @@ Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
   return false;
 }
 
+Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
+                        const PartiallyClosedSetting& setting,
+                        const SearchOptions& options, SearchStats* stats,
+                        Instance* witness_world) {
+  return RcdpViable(q, cinstance, PreparedSetting::Borrow(setting), options,
+                    stats, witness_world);
+}
+
 Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
-                      const PartiallyClosedSetting& setting,
+                      const PreparedSetting& prepared,
                       const SearchOptions& options, SearchStats* stats,
                       CompletenessWitness* witness) {
   if (q.language() == QueryLanguage::kFO) {
@@ -86,11 +102,11 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
   }
   // One extra fresh constant per column of the widest relation backs the
   // fresh-variable row of the Lemma 5.2 characterization.
-  AdomContext adom = AdomContext::Build(setting, cinstance, &q);
+  AdomContext adom = prepared.BuildAdom(cinstance, &q);
 
   // Pass 1: certain answers over Mod(T).
   Result<CertainAnswersResult> certain =
-      CertainAnswers(q, cinstance, setting, adom, options, stats);
+      CertainAnswers(q, cinstance, prepared, adom, options, stats);
   if (!certain.ok()) return certain.status();
   if (!certain->mod_nonempty) {
     if (witness != nullptr) {
@@ -105,14 +121,14 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
   Relation extension_certain;
   uint64_t steps = 0;
 
-  ModEnumerator worlds(cinstance, setting, adom, options, stats);
+  ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Valuation mu;
   Instance world;
   while (true) {
     Result<bool> got = worlds.Next(&mu, &world);
     if (!got.ok()) return got.status();
     if (!*got) break;
-    for (const RelationSchema& rel : setting.schema.relations()) {
+    for (const RelationSchema& rel : prepared.schema().relations()) {
       const Relation& existing = world.at(rel.name());
       TupleEnumerator tuples(rel, adom);
       Tuple t;
@@ -126,8 +142,7 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
         Instance extended = world;
         extended.AddTuple(rel.name(), t);
         if (stats != nullptr) ++stats->cc_checks;
-        Result<bool> closed =
-            SatisfiesCCs(extended, setting.dm, setting.ccs);
+        Result<bool> closed = prepared.SatisfiesCCs(extended);
         if (!closed.ok()) return closed.status();
         if (!*closed) continue;
         if (stats != nullptr) ++stats->query_evals;
@@ -164,21 +179,45 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
   return false;
 }
 
+Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
+                      const PartiallyClosedSetting& setting,
+                      const SearchOptions& options, SearchStats* stats,
+                      CompletenessWitness* witness) {
+  return RcdpWeak(q, cinstance, PreparedSetting::Borrow(setting), options,
+                  stats, witness);
+}
+
 Result<bool> RcdpStrongGround(const Query& q, const Instance& instance,
-                              const PartiallyClosedSetting& setting,
+                              const PreparedSetting& prepared,
                               const SearchOptions& options, SearchStats* stats,
                               CompletenessWitness* witness) {
   RELCOMP_RETURN_IF_ERROR(
       RequireTableauLanguage(q, "RCDP (strong model, ground)"));
-  return IsCompleteGroundAuto(q, instance, setting, options, stats, witness);
+  return IsCompleteGroundAuto(q, instance, prepared, options, stats, witness);
+}
+
+Result<bool> RcdpStrongGround(const Query& q, const Instance& instance,
+                              const PartiallyClosedSetting& setting,
+                              const SearchOptions& options, SearchStats* stats,
+                              CompletenessWitness* witness) {
+  return RcdpStrongGround(q, instance, PreparedSetting::Borrow(setting),
+                          options, stats, witness);
+}
+
+Result<bool> RcdpWeakGround(const Query& q, const Instance& instance,
+                            const PreparedSetting& prepared,
+                            const SearchOptions& options, SearchStats* stats,
+                            CompletenessWitness* witness) {
+  return RcdpWeak(q, CInstance::FromInstance(instance), prepared, options,
+                  stats, witness);
 }
 
 Result<bool> RcdpWeakGround(const Query& q, const Instance& instance,
                             const PartiallyClosedSetting& setting,
                             const SearchOptions& options, SearchStats* stats,
                             CompletenessWitness* witness) {
-  return RcdpWeak(q, CInstance::FromInstance(instance), setting, options,
-                  stats, witness);
+  return RcdpWeakGround(q, instance, PreparedSetting::Borrow(setting),
+                        options, stats, witness);
 }
 
 }  // namespace relcomp

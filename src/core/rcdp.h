@@ -14,12 +14,21 @@
 #include "core/certain.h"
 #include "core/ground.h"
 #include "core/types.h"
+#include "core/prepared_setting.h"
 
 namespace relcomp {
 
 /// Strong model: is T strongly complete for q relative to (Dm, V)?
 /// Decidable for CQ/UCQ/∃FO⁺ (Πp2-complete); kUndecidable for FO/FP.
 /// Returns false when Mod(T) is empty (T is not partially closed).
+/// Each decider has two entry points: the PreparedSetting overload reuses
+/// the cached Adom seed and master projections (the engine's hot path); the
+/// PartiallyClosedSetting overload prepares those artifacts per call.
+Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options = {},
+                        SearchStats* stats = nullptr,
+                        CompletenessWitness* witness = nullptr);
 Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options = {},
@@ -29,6 +38,11 @@ Result<bool> RcdpStrong(const Query& q, const CInstance& cinstance,
 /// Viable model: does some world of Mod(T) admit no answer-changing
 /// partially closed extension? Decidable for CQ/UCQ/∃FO⁺ (Σp3-complete);
 /// kUndecidable for FO/FP.
+Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
+                        const PreparedSetting& prepared,
+                        const SearchOptions& options = {},
+                        SearchStats* stats = nullptr,
+                        Instance* witness_world = nullptr);
 Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
                         const PartiallyClosedSetting& setting,
                         const SearchOptions& options = {},
@@ -41,6 +55,11 @@ Result<bool> RcdpViable(const Query& q, const CInstance& cinstance,
 /// Uses the Lemma 5.2 characterization with single-tuple extensions (the
 /// small-extension property of monotone queries).
 Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
+                      const PreparedSetting& prepared,
+                      const SearchOptions& options = {},
+                      SearchStats* stats = nullptr,
+                      CompletenessWitness* witness = nullptr);
+Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
                       const PartiallyClosedSetting& setting,
                       const SearchOptions& options = {},
                       SearchStats* stats = nullptr,
@@ -48,10 +67,20 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
 
 /// Ground-instance conveniences (strong ≡ viable on ground instances).
 Result<bool> RcdpStrongGround(const Query& q, const Instance& instance,
+                              const PreparedSetting& prepared,
+                              const SearchOptions& options = {},
+                              SearchStats* stats = nullptr,
+                              CompletenessWitness* witness = nullptr);
+Result<bool> RcdpStrongGround(const Query& q, const Instance& instance,
                               const PartiallyClosedSetting& setting,
                               const SearchOptions& options = {},
                               SearchStats* stats = nullptr,
                               CompletenessWitness* witness = nullptr);
+Result<bool> RcdpWeakGround(const Query& q, const Instance& instance,
+                            const PreparedSetting& prepared,
+                            const SearchOptions& options = {},
+                            SearchStats* stats = nullptr,
+                            CompletenessWitness* witness = nullptr);
 Result<bool> RcdpWeakGround(const Query& q, const Instance& instance,
                             const PartiallyClosedSetting& setting,
                             const SearchOptions& options = {},

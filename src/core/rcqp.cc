@@ -22,17 +22,17 @@ namespace {
 // prune the subtree (CC bodies are monotone CQs).
 class RcqpSearcher {
  public:
-  RcqpSearcher(const Query& q, const PartiallyClosedSetting& setting,
+  RcqpSearcher(const Query& q, const PreparedSetting& prepared,
                const AdomContext& adom, size_t max_tuples,
                const SearchOptions& options, SearchStats* stats)
       : q_(q),
-        setting_(setting),
+        prepared_(prepared),
         adom_(adom),
         max_tuples_(max_tuples),
         options_(options),
         stats_(stats) {
     // Materialize candidate tuples per relation.
-    for (const RelationSchema& rel : setting.schema.relations()) {
+    for (const RelationSchema& rel : prepared.schema().relations()) {
       std::vector<Tuple> tuples;
       TupleEnumerator it(rel, adom);
       Tuple t;
@@ -42,7 +42,7 @@ class RcqpSearcher {
   }
 
   Result<RcqpSearchResult> Run() {
-    Instance empty(setting_.schema);
+    Instance empty(prepared_.schema());
     RcqpSearchResult result;
     Result<bool> done = Explore(&empty, 0, 0, &result);
     if (!done.ok()) return done.status();
@@ -59,10 +59,10 @@ class RcqpSearcher {
       return Status::ResourceExhausted("RCQP search exceeded the step budget");
     }
     // Check the current instance.
-    Result<bool> closed = IsPartiallyClosed(setting_, *current);
+    Result<bool> closed = IsPartiallyClosed(prepared_, *current);
     if (!closed.ok()) return closed.status();
     if (!*closed) return false;  // supersets can only stay violated
-    Result<bool> complete = IsCompleteGround(q_, *current, setting_, adom_,
+    Result<bool> complete = IsCompleteGround(q_, *current, prepared_, adom_,
                                              options_, stats_, nullptr);
     if (!complete.ok()) return complete.status();
     if (*complete) {
@@ -75,7 +75,7 @@ class RcqpSearcher {
     for (size_t r = rel_index; r < candidates_.size(); ++r) {
       size_t start = (r == rel_index) ? tuple_index : 0;
       const std::string& rel_name =
-          setting_.schema.relations()[r].name();
+          prepared_.schema().relations()[r].name();
       for (size_t ti = start; ti < candidates_[r].size(); ++ti) {
         current->AddTuple(rel_name, candidates_[r][ti]);
         Result<bool> found = Explore(current, r, ti + 1, result);
@@ -88,7 +88,7 @@ class RcqpSearcher {
   }
 
   const Query& q_;
-  const PartiallyClosedSetting& setting_;
+  const PreparedSetting& prepared_;
   const AdomContext& adom_;
   size_t max_tuples_;
   SearchOptions options_;
@@ -100,7 +100,7 @@ class RcqpSearcher {
 }  // namespace
 
 Result<RcqpSearchResult> RcqpStrongBounded(
-    const Query& q, const PartiallyClosedSetting& setting, size_t max_tuples,
+    const Query& q, const PreparedSetting& prepared, size_t max_tuples,
     const SearchOptions& options, SearchStats* stats) {
   if (q.language() == QueryLanguage::kFO ||
       q.language() == QueryLanguage::kFP) {
@@ -108,10 +108,17 @@ Result<RcqpSearchResult> RcqpStrongBounded(
         std::string("RCQP (strong/viable model) is undecidable for ") +
         QueryLanguageName(q.language()) + " (Theorem 4.5)");
   }
-  CInstance empty(setting.schema);
-  AdomContext adom = AdomContext::Build(setting, empty, &q);
-  RcqpSearcher searcher(q, setting, adom, max_tuples, options, stats);
+  CInstance empty(prepared.schema());
+  AdomContext adom = prepared.BuildAdom(empty, &q);
+  RcqpSearcher searcher(q, prepared, adom, max_tuples, options, stats);
   return searcher.Run();
+}
+
+Result<RcqpSearchResult> RcqpStrongBounded(
+    const Query& q, const PartiallyClosedSetting& setting, size_t max_tuples,
+    const SearchOptions& options, SearchStats* stats) {
+  return RcqpStrongBounded(q, PreparedSetting::Borrow(setting), max_tuples,
+                           options, stats);
 }
 
 bool IsBoundedDisjunct(const ConjunctiveQuery& disjunct,
@@ -168,27 +175,29 @@ bool IsBoundedDisjunct(const ConjunctiveQuery& disjunct,
 }
 
 Result<bool> RcqpStrongInd(const Query& q,
-                           const PartiallyClosedSetting& setting,
+                           const PreparedSetting& prepared,
                            const SearchOptions& options, SearchStats* stats) {
-  if (!AllInds(setting.ccs)) {
+  if (!prepared.all_inds()) {
     return Status::InvalidArgument(
         "RcqpStrongInd requires every CC to be an IND (Corollary 7.2)");
   }
   Result<std::vector<ConjunctiveQuery>> disjuncts = q.Disjuncts();
   if (!disjuncts.ok()) return disjuncts.status();
 
-  CInstance empty(setting.schema);
-  AdomContext adom = AdomContext::Build(setting, empty, &q);
+  CInstance empty(prepared.schema());
+  AdomContext adom = prepared.BuildAdom(empty, &q);
 
   uint64_t steps = 0;
   for (const ConjunctiveQuery& disjunct : *disjuncts) {
-    if (IsBoundedDisjunct(disjunct, setting.schema, setting.ccs)) continue;
+    if (IsBoundedDisjunct(disjunct, prepared.schema(), prepared.ccs())) {
+      continue;
+    }
     // Unbounded disjunct: RCQ is still non-empty iff it has no valid
     // valuation (no partially closed canonical instance with an answer).
     bool has_valid = false;
-    Instance empty_instance(setting.schema);
+    Instance empty_instance(prepared.schema());
     CanonicalValuationEnumerator nus = MakeCanonicalCqEnumerator(
-        disjunct, setting.schema, adom, empty_instance);
+        disjunct, prepared.schema(), adom, empty_instance);
     Valuation nu;
     while (nus.Next(&nu)) {
       if (++steps > options.max_steps) {
@@ -200,11 +209,10 @@ Result<bool> RcqpStrongInd(const Query& q,
       if (!builtins_ok.ok()) return builtins_ok.status();
       if (!*builtins_ok) continue;
       Result<Instance> canonical =
-          disjunct.InstantiateTableau(nu, setting.schema);
+          disjunct.InstantiateTableau(nu, prepared.schema());
       if (!canonical.ok()) return canonical.status();
       if (stats != nullptr) ++stats->cc_checks;
-      Result<bool> closed =
-          SatisfiesCCs(*canonical, setting.dm, setting.ccs);
+      Result<bool> closed = prepared.SatisfiesCCs(*canonical);
       if (!closed.ok()) return closed.status();
       if (*closed) {
         has_valid = true;
@@ -214,6 +222,12 @@ Result<bool> RcqpStrongInd(const Query& q,
     if (has_valid) return false;
   }
   return true;
+}
+
+Result<bool> RcqpStrongInd(const Query& q,
+                           const PartiallyClosedSetting& setting,
+                           const SearchOptions& options, SearchStats* stats) {
+  return RcqpStrongInd(q, PreparedSetting::Borrow(setting), options, stats);
 }
 
 }  // namespace relcomp

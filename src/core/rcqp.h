@@ -16,6 +16,7 @@
 #include "core/adom.h"
 #include "core/ground.h"
 #include "core/types.h"
+#include "core/prepared_setting.h"
 
 namespace relcomp {
 
@@ -34,6 +35,11 @@ struct RcqpSearchResult {
 /// with `bound_exhausted == true` means no witness up to the bound — only
 /// conclusive if the caller knows the NEXPTIME witness bound fits.
 Result<RcqpSearchResult> RcqpStrongBounded(const Query& q,
+                                           const PreparedSetting& prepared,
+                                           size_t max_tuples,
+                                           const SearchOptions& options = {},
+                                           SearchStats* stats = nullptr);
+Result<RcqpSearchResult> RcqpStrongBounded(const Query& q,
                                            const PartiallyClosedSetting& setting,
                                            size_t max_tuples,
                                            const SearchOptions& options = {},
@@ -43,6 +49,10 @@ Result<RcqpSearchResult> RcqpStrongBounded(const Query& q,
 /// non-empty iff every disjunct of Q is either bounded by (Dm, V) or has no
 /// valid valuation. Fails with kInvalidArgument if some CC is not an IND or
 /// the language has no tableau form.
+Result<bool> RcqpStrongInd(const Query& q,
+                           const PreparedSetting& prepared,
+                           const SearchOptions& options = {},
+                           SearchStats* stats = nullptr);
 Result<bool> RcqpStrongInd(const Query& q,
                            const PartiallyClosedSetting& setting,
                            const SearchOptions& options = {},

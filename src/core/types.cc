@@ -13,6 +13,15 @@ Status PartiallyClosedSetting::Validate() const {
   return Status::OK();
 }
 
+SearchStats& SearchStats::Merge(const SearchStats& other) {
+  valuations += other.valuations;
+  worlds += other.worlds;
+  extensions += other.extensions;
+  cc_checks += other.cc_checks;
+  query_evals += other.query_evals;
+  return *this;
+}
+
 std::string SearchStats::ToString() const {
   return "valuations=" + std::to_string(valuations) +
          " worlds=" + std::to_string(worlds) +

@@ -41,6 +41,10 @@ struct SearchStats {
   uint64_t cc_checks = 0;    ///< CC satisfaction tests
   uint64_t query_evals = 0;  ///< full query evaluations
 
+  /// Field-wise accumulation, for aggregating per-request stats.
+  SearchStats& Merge(const SearchStats& other);
+  SearchStats& operator+=(const SearchStats& other) { return Merge(other); }
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,178 @@
+// CompletenessEngine: a long-lived batch decision service over one partially
+// closed setting (Dm, V). The setting is prepared once (validation, Adom
+// seed, IND classification, master projections); decision requests — any of
+// the paper's problems × models — are then answered in batches, fanned out
+// across a fixed worker pool, with results memoized in an LRU cache keyed by
+// stable (setting, problem, query, instance) fingerprints and per-request
+// SearchStats merged into engine-level aggregate counters.
+//
+// This is the "many scenarios, heavy query-audit traffic" deployment shape:
+// prepare once, decide millions of times.
+#ifndef RELCOMP_ENGINE_ENGINE_H_
+#define RELCOMP_ENGINE_ENGINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/types.h"
+#include "engine/lru_cache.h"
+#include "core/prepared_setting.h"
+
+namespace relcomp {
+
+/// The decision problems the engine serves (problem × model).
+enum class ProblemKind {
+  kRcdpStrong,   ///< is T strongly complete for Q?           (Thm 4.1)
+  kRcdpWeak,     ///< is T weakly complete for Q?             (Thm 5.1)
+  kRcdpViable,   ///< is some world of T complete for Q?      (Thm 6.1)
+  kRcqpStrong,   ///< does any complete instance exist?       (Thm 4.5/7.2)
+  kRcqpWeak,     ///< ... in the weak model (O(1), Thm 5.4)
+  kMinpStrong,   ///< is T minimally complete, all worlds?    (Thm 4.8)
+  kMinpViable,   ///< ... in some world                       (Cor 6.3)
+  kMinpWeak,     ///< ... in the weak model                   (Thm 5.6/5.7)
+};
+
+/// Human-readable kind name ("rcdp-strong", ...), matching the CLI flags.
+const char* ProblemKindName(ProblemKind kind);
+
+/// Parses a ProblemKindName string; kInvalidArgument on unknown names.
+Result<ProblemKind> ParseProblemKind(const std::string& name);
+
+/// One unit of engine work: problem kind × query × audited c-instance ×
+/// budget. RCQP kinds ignore `cinstance` (the problem quantifies over all
+/// instances).
+struct DecisionRequest {
+  ProblemKind kind = ProblemKind::kRcdpStrong;
+  Query query;
+  CInstance cinstance;
+  SearchOptions options;
+  /// Witness-size bound for the non-IND RCQP search (Theorem 4.5 leaves the
+  /// NEXPTIME bound exponential; callers pick a practical cutoff).
+  size_t rcqp_max_tuples = 3;
+};
+
+/// The engine's answer to one request.
+struct Decision {
+  Status status;           ///< decider outcome; `answer` meaningful iff ok()
+  bool answer = false;     ///< the yes/no decision
+  bool from_cache = false; ///< served from the memoization cache
+  std::string note;        ///< qualifiers (e.g. RCQP bound exhausted)
+  SearchStats stats;       ///< work done; the original run's stats on hits
+
+  std::string ToString() const;
+};
+
+/// Engine configuration.
+struct EngineOptions {
+  size_t num_workers = 4;       ///< worker threads; 0 = run batches inline
+  size_t cache_capacity = 1024; ///< LRU entries; 0 disables memoization
+  bool memoize = true;
+};
+
+/// Decides one request by direct dispatch to the legacy
+/// PartiallyClosedSetting decider entry points — the cold, per-call-prepared
+/// baseline. The engine, the CLI's --compare mode, and the batch benchmark
+/// all share this one kind→decider mapping.
+Decision DecideCold(const DecisionRequest& request,
+                    const PartiallyClosedSetting& setting);
+
+/// Aggregate counters across the engine's lifetime.
+struct EngineCounters {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t errors = 0;
+  SearchStats search;  ///< per-request stats merged via SearchStats::Merge
+
+  std::string ToString() const;
+};
+
+class CompletenessEngine {
+ public:
+  /// Validates and prepares `setting`, spins up the worker pool.
+  static Result<std::unique_ptr<CompletenessEngine>> Create(
+      PartiallyClosedSetting setting, EngineOptions options = {});
+
+  ~CompletenessEngine();
+  CompletenessEngine(const CompletenessEngine&) = delete;
+  CompletenessEngine& operator=(const CompletenessEngine&) = delete;
+
+  const PreparedSetting& prepared() const { return prepared_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Decides one request synchronously on the calling thread (consulting and
+  /// filling the cache). Thread-safe.
+  Decision Decide(const DecisionRequest& request);
+
+  /// Decides a batch: requests are fanned out across the worker pool and the
+  /// result vector is parallel to `requests`. Answers are deterministic —
+  /// independent of worker count and scheduling; only `from_cache` flags may
+  /// differ between runs. One batch runs at a time.
+  std::vector<Decision> SubmitBatch(
+      const std::vector<DecisionRequest>& requests);
+
+  /// Stable memoization key of a request under this engine's setting. The
+  /// cache internally keys on two independently-seeded digests of the same
+  /// canonical material; this is the primary one.
+  uint64_t FingerprintRequest(const DecisionRequest& request) const;
+
+  EngineCounters counters() const;
+  void ClearCache();
+
+ private:
+  CompletenessEngine(PreparedSetting prepared, EngineOptions options);
+
+  /// Two independently-seeded digests of one request: a 64-bit fingerprint
+  /// alone would hand a colliding request another request's verdict.
+  struct CacheKey {
+    uint64_t primary = 0;
+    uint64_t check = 0;
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.primary == b.primary && a.check == b.check;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return static_cast<size_t>(k.primary ^ (k.check * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  CacheKey CacheKeyFor(const DecisionRequest& request) const;
+
+  /// Raw decider dispatch — no cache, no counters.
+  Decision Evaluate(const DecisionRequest& request) const;
+  /// Cache-through evaluation + counter update.
+  Decision DecideImpl(const DecisionRequest& request);
+  void WorkerLoop();
+
+  PreparedSetting prepared_;
+  EngineOptions options_;
+
+  // Worker pool: SubmitBatch enqueues (request, slot) pairs; workers drain.
+  struct Job {
+    const DecisionRequest* request = nullptr;
+    Decision* out = nullptr;
+  };
+  std::vector<std::thread> workers_;
+  std::deque<Job> queue_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // signals workers
+  std::condition_variable done_cv_;   // signals batch completion
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::mutex batch_mu_;  // serializes SubmitBatch callers
+
+  // Memoization and counters share one lock: lookup/insert stays atomic
+  // with the hit/miss accounting.
+  mutable std::mutex cache_mu_;
+  LruCache<CacheKey, Decision, CacheKeyHash> cache_;
+  EngineCounters counters_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_ENGINE_ENGINE_H_

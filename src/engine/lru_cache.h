@@ -1,0 +1,63 @@
+// A small intrusive-list LRU map used by the engine's result memoization.
+// Not thread-safe by itself: CompletenessEngine serializes access with its
+// own mutex so lookup+insert pairs stay atomic with the counters.
+#ifndef RELCOMP_ENGINE_LRU_CACHE_H_
+#define RELCOMP_ENGINE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace relcomp {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  const Value* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least recently used entry beyond
+  /// capacity. A zero-capacity cache stores nothing.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key,
+                     typename std::list<std::pair<Key, Value>>::iterator, Hash>
+      index_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_ENGINE_LRU_CACHE_H_

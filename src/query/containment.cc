@@ -8,13 +8,26 @@ Result<bool> ContainmentConstraint::Satisfied(const Instance& instance,
                                               const Instance& dm) const {
   Result<Relation> lhs = q_.Eval(instance);
   if (!lhs.ok()) return lhs.status();
+  Result<Relation> rhs = ProjectMaster(dm);
+  if (!rhs.ok()) return rhs.status();
+  return lhs->IsSubsetOf(*rhs);
+}
+
+Result<Relation> ContainmentConstraint::ProjectMaster(
+    const Instance& dm) const {
   const Relation* master = dm.Find(master_rel_);
   if (master == nullptr) {
     return Status::NotFound("CC '" + name_ + "' references unknown master '" +
                             master_rel_ + "'");
   }
-  Relation rhs = master->Project(master_cols_);
-  return lhs->IsSubsetOf(rhs);
+  return master->Project(master_cols_);
+}
+
+Result<bool> ContainmentConstraint::SatisfiedAgainst(
+    const Instance& instance, const Relation& projected_master) const {
+  Result<Relation> lhs = q_.Eval(instance);
+  if (!lhs.ok()) return lhs.status();
+  return lhs->IsSubsetOf(projected_master);
 }
 
 Status ContainmentConstraint::Validate(

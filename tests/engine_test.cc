@@ -1,0 +1,351 @@
+// CompletenessEngine: batch-vs-sequential result equality on a mixed
+// RCDP/RCQP/MINP workload, memoization behavior, worker-count determinism,
+// and the SearchStats aggregation path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/minp.h"
+#include "core/rcdp.h"
+#include "core/rcqp.h"
+#include "engine/engine.h"
+#include "reductions/examples_fig1.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::S;
+
+/// A mixed workload over the Fig. 1 patients fixture: the tractable kinds
+/// for Q1/Q2/Q4 on the wide MVisit schema (the weak-model extension sweep
+/// and the RCQP witness search stay on the narrow audit fixture below).
+std::vector<DecisionRequest> MixedWorkload(const PatientsFixture& fx) {
+  std::vector<DecisionRequest> requests;
+  const Query* queries[] = {&fx.q1, &fx.q2, &fx.q4};
+  for (const Query* q : queries) {
+    for (ProblemKind kind :
+         {ProblemKind::kRcdpStrong, ProblemKind::kRcdpViable,
+          ProblemKind::kRcqpWeak, ProblemKind::kMinpStrong,
+          ProblemKind::kMinpViable}) {
+      DecisionRequest request;
+      request.kind = kind;
+      request.query = *q;
+      request.cinstance = fx.ctable;
+      requests.push_back(std::move(request));
+    }
+  }
+  DecisionRequest weak_q4;
+  weak_q4.kind = ProblemKind::kRcdpWeak;
+  weak_q4.query = fx.q4;
+  weak_q4.cinstance = fx.ctable;
+  requests.push_back(std::move(weak_q4));
+  return requests;
+}
+
+/// A narrow MDM-audit fixture (IND-bounded visits) where every problem kind
+/// — including RCQP strong and the weak models — is cheap.
+struct AuditFixture {
+  PartiallyClosedSetting setting;
+  CInstance audited;
+  Query by_patient;  ///< cities visited by patient "nhs-0"
+  Query all_cities;  ///< cities of any visit
+};
+
+AuditFixture MakeAuditFixture() {
+  AuditFixture fx;
+  fx.setting.schema.AddRelation(RelationSchema(
+      "Visit", {Attribute{"nhs", Domain::Infinite()},
+                Attribute{"city", Domain::Finite({S("EDI"), S("LON")})}}));
+  fx.setting.master_schema.AddRelation(
+      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
+  fx.setting.dm = Instance(fx.setting.master_schema);
+  for (int i = 0; i < 4; ++i) {
+    fx.setting.dm.AddTuple(
+        "Patientm", {Value::Sym("nhs-" + std::to_string(i))});
+  }
+  ConjunctiveQuery proj({CTerm(VarId{0})},
+                        {RelAtom{"Visit", {VarId{0}, VarId{1}}}});
+  fx.setting.ccs.emplace_back("visits_known", std::move(proj), "Patientm",
+                              std::vector<int>{0});
+
+  Instance db(fx.setting.schema);
+  db.AddTuple("Visit", {S("nhs-0"), S("EDI")});
+  db.AddTuple("Visit", {S("nhs-1"), S("LON")});
+  fx.audited = CInstance::FromInstance(db);
+
+  fx.by_patient = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{0})}, {RelAtom{"Visit", {CTerm(S("nhs-0")), VarId{0}}}}));
+  fx.all_cities = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{1})}, {RelAtom{"Visit", {VarId{0}, VarId{1}}}}));
+  return fx;
+}
+
+/// Every problem kind × both audit queries: the full RCDP/RCQP/MINP mix.
+std::vector<DecisionRequest> AuditWorkload(const AuditFixture& fx) {
+  std::vector<DecisionRequest> requests;
+  for (const Query* q : {&fx.by_patient, &fx.all_cities}) {
+    for (ProblemKind kind :
+         {ProblemKind::kRcdpStrong, ProblemKind::kRcdpWeak,
+          ProblemKind::kRcdpViable, ProblemKind::kRcqpStrong,
+          ProblemKind::kRcqpWeak, ProblemKind::kMinpStrong,
+          ProblemKind::kMinpViable, ProblemKind::kMinpWeak}) {
+      DecisionRequest request;
+      request.kind = kind;
+      request.query = *q;
+      request.cinstance = fx.audited;
+      request.rcqp_max_tuples = 2;
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+std::unique_ptr<CompletenessEngine> MakeEngine(
+    const PartiallyClosedSetting& setting, size_t workers, size_t cache) {
+  EngineOptions options;
+  options.num_workers = workers;
+  options.cache_capacity = cache;
+  options.memoize = cache > 0;
+  auto engine = CompletenessEngine::Create(setting, options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+void ExpectSameDecisions(const std::vector<Decision>& a,
+                         const std::vector<Decision>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status.code(), b[i].status.code())
+        << "request " << i << ": " << a[i].status.ToString() << " vs "
+        << b[i].status.ToString();
+    if (a[i].status.ok() && b[i].status.ok()) {
+      EXPECT_EQ(a[i].answer, b[i].answer) << "request " << i;
+    }
+  }
+}
+
+TEST(EngineTest, BatchMatchesSequentialOnMixedWorkload) {
+  PatientsFixture fx = MakePatientsFixture();
+  std::vector<DecisionRequest> workload = MixedWorkload(fx);
+
+  // Sequential reference: no workers, no cache — every request computed
+  // inline by the deciders.
+  auto sequential = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/0);
+  std::vector<Decision> expected;
+  expected.reserve(workload.size());
+  for (const DecisionRequest& request : workload) {
+    expected.push_back(sequential->Decide(request));
+  }
+
+  // Parallel batch with ≥ 4 workers and memoization on.
+  auto parallel = MakeEngine(fx.setting, /*workers=*/4, /*cache=*/256);
+  std::vector<Decision> actual = parallel->SubmitBatch(workload);
+  ExpectSameDecisions(expected, actual);
+
+  EngineCounters counters = parallel->counters();
+  EXPECT_EQ(counters.requests, workload.size());
+  EXPECT_EQ(counters.errors, 0u);
+}
+
+TEST(EngineTest, BatchMatchesSequentialOnAllProblemKinds) {
+  AuditFixture fx = MakeAuditFixture();
+  std::vector<DecisionRequest> workload = AuditWorkload(fx);
+
+  auto sequential = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/0);
+  std::vector<Decision> expected;
+  for (const DecisionRequest& request : workload) {
+    expected.push_back(sequential->Decide(request));
+  }
+  for (const Decision& d : expected) {
+    EXPECT_TRUE(d.status.ok()) << d.status.ToString();
+  }
+
+  auto parallel = MakeEngine(fx.setting, /*workers=*/4, /*cache=*/256);
+  std::vector<Decision> actual = parallel->SubmitBatch(workload);
+  ExpectSameDecisions(expected, actual);
+}
+
+TEST(EngineTest, BatchAgreesWithDirectDeciderCalls) {
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/4, /*cache=*/64);
+
+  DecisionRequest strong;
+  strong.kind = ProblemKind::kRcdpStrong;
+  strong.query = fx.q1;
+  strong.cinstance = fx.ctable;
+  DecisionRequest weak;
+  weak.kind = ProblemKind::kRcdpWeak;
+  weak.query = fx.q4;
+  weak.cinstance = fx.ctable;
+  std::vector<Decision> decisions = engine->SubmitBatch({strong, weak});
+
+  ASSERT_OK_AND_ASSIGN(direct_strong, RcdpStrong(fx.q1, fx.ctable, fx.setting));
+  ASSERT_OK_AND_ASSIGN(direct_weak, RcdpWeak(fx.q4, fx.ctable, fx.setting));
+  ASSERT_TRUE(decisions[0].status.ok()) << decisions[0].status.ToString();
+  ASSERT_TRUE(decisions[1].status.ok()) << decisions[1].status.ToString();
+  EXPECT_EQ(decisions[0].answer, direct_strong);
+  EXPECT_EQ(decisions[1].answer, direct_weak);
+  // Example 2.3 / 2.4: Q1 strongly complete, Q4 weakly but not strongly.
+  EXPECT_TRUE(decisions[0].answer);
+  EXPECT_TRUE(decisions[1].answer);
+}
+
+TEST(EngineTest, RepeatedQueriesHitTheCache) {
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/2, /*cache=*/64);
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.q1;
+  request.cinstance = fx.ctable;
+
+  Decision first = engine->Decide(request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.from_cache);
+
+  Decision second = engine->Decide(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.answer, first.answer);
+
+  EngineCounters counters = engine->counters();
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.cache_misses, 1u);
+
+  // A batch of duplicates performs the work at most once more per distinct
+  // fingerprint (worker interleaving may double-compute, never corrupt).
+  std::vector<DecisionRequest> batch(8, request);
+  std::vector<Decision> decisions = engine->SubmitBatch(batch);
+  for (const Decision& d : decisions) {
+    ASSERT_TRUE(d.status.ok());
+    EXPECT_EQ(d.answer, first.answer);
+  }
+  EXPECT_GE(engine->counters().cache_hits, 8u);
+
+  engine->ClearCache();
+  Decision after_clear = engine->Decide(request);
+  EXPECT_FALSE(after_clear.from_cache);
+  EXPECT_EQ(after_clear.answer, first.answer);
+}
+
+TEST(EngineTest, DeterministicAcrossWorkerCounts) {
+  AuditFixture fx = MakeAuditFixture();
+  std::vector<DecisionRequest> workload = AuditWorkload(fx);
+  // Duplicate the workload so cache races between identical requests are
+  // exercised too.
+  std::vector<DecisionRequest> doubled = workload;
+  doubled.insert(doubled.end(), workload.begin(), workload.end());
+
+  auto one = MakeEngine(fx.setting, /*workers=*/1, /*cache=*/128);
+  std::vector<Decision> with_one = one->SubmitBatch(doubled);
+  for (size_t workers : {4u, 8u}) {
+    auto many = MakeEngine(fx.setting, workers, /*cache=*/128);
+    std::vector<Decision> with_many = many->SubmitBatch(doubled);
+    ExpectSameDecisions(with_one, with_many);
+  }
+}
+
+TEST(EngineTest, RcqpKindsShareVerdictAcrossInstances) {
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/2, /*cache=*/64);
+
+  DecisionRequest with_table;
+  with_table.kind = ProblemKind::kRcqpWeak;
+  with_table.query = fx.q1;
+  with_table.cinstance = fx.ctable;
+  DecisionRequest with_empty;
+  with_empty.kind = ProblemKind::kRcqpWeak;
+  with_empty.query = fx.q1;
+  with_empty.cinstance = CInstance(fx.setting.schema);
+
+  // RCQP quantifies over all instances, so the audited instance is not part
+  // of the memoization key.
+  EXPECT_EQ(engine->FingerprintRequest(with_table),
+            engine->FingerprintRequest(with_empty));
+  Decision first = engine->Decide(with_table);
+  Decision second = engine->Decide(with_empty);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_TRUE(first.answer);  // Theorem 5.4: monotone ⇒ always true
+  EXPECT_TRUE(second.from_cache);
+}
+
+TEST(EngineTest, UndecidableKindsReportErrorsInCounters) {
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/2, /*cache=*/64);
+
+  // An FO query with negation: RCDP weak is undecidable (Theorem 5.1).
+  FoPtr formula = FoFormula::Not(FoFormula::Atom(
+      RelAtom{"MVisit",
+              {CTerm(VarId{0}), CTerm(VarId{1}), CTerm(VarId{2}),
+               CTerm(VarId{3}), CTerm(VarId{4}), CTerm(VarId{5}),
+               CTerm(VarId{6}), CTerm(VarId{7})}}));
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpWeak;
+  request.query = Query::Fo(FoQuery({VarId{0}}, std::move(formula)));
+  request.cinstance = fx.ctable;
+
+  Decision decision = engine->Decide(request);
+  EXPECT_EQ(decision.status.code(), StatusCode::kUndecidable);
+  EXPECT_EQ(engine->counters().errors, 1u);
+}
+
+TEST(EngineTest, ProblemKindNamesRoundTrip) {
+  for (ProblemKind kind :
+       {ProblemKind::kRcdpStrong, ProblemKind::kRcdpWeak,
+        ProblemKind::kRcdpViable, ProblemKind::kRcqpStrong,
+        ProblemKind::kRcqpWeak, ProblemKind::kMinpStrong,
+        ProblemKind::kMinpViable, ProblemKind::kMinpWeak}) {
+    ASSERT_OK_AND_ASSIGN(parsed, ParseProblemKind(ProblemKindName(kind)));
+    EXPECT_EQ(parsed, kind);
+  }
+  EXPECT_FALSE(ParseProblemKind("rcdp-bogus").ok());
+}
+
+TEST(EngineTest, SearchStatsMergeAccumulatesFieldWise) {
+  SearchStats a;
+  a.valuations = 1;
+  a.worlds = 2;
+  a.extensions = 3;
+  a.cc_checks = 4;
+  a.query_evals = 5;
+  SearchStats b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.valuations, 2u);
+  EXPECT_EQ(b.worlds, 4u);
+  EXPECT_EQ(b.extensions, 6u);
+  EXPECT_EQ(b.cc_checks, 8u);
+  EXPECT_EQ(b.query_evals, 10u);
+  b += a;
+  EXPECT_EQ(b.valuations, 3u);
+  EXPECT_EQ(b.query_evals, 15u);
+}
+
+TEST(EngineTest, CountersAggregatePerRequestStats) {
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/0);
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.q1;
+  request.cinstance = fx.ctable;
+  Decision first = engine->Decide(request);
+  Decision second = engine->Decide(request);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+
+  // With memoization off both runs do real work; the engine-level counters
+  // are the field-wise sum of the per-request stats.
+  EngineCounters counters = engine->counters();
+  EXPECT_EQ(counters.search.valuations,
+            first.stats.valuations + second.stats.valuations);
+  EXPECT_EQ(counters.search.query_evals,
+            first.stats.query_evals + second.stats.query_evals);
+  EXPECT_GT(counters.search.valuations, 0u);
+}
+
+}  // namespace
+}  // namespace relcomp

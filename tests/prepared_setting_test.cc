@@ -1,0 +1,155 @@
+// PreparedSetting: cached artifacts must be indistinguishable from per-call
+// recomputation — same Adom, same CC verdicts, same decider answers — and
+// fingerprints must be stable and discriminating.
+#include <gtest/gtest.h>
+
+#include "core/minp.h"
+#include "core/rcdp.h"
+#include "core/rcqp.h"
+#include "core/fingerprint.h"
+#include "core/prepared_setting.h"
+#include "reductions/examples_fig1.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::S;
+
+TEST(PreparedSettingTest, PrepareValidatesTheSetting) {
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(prepared, PreparedSetting::Prepare(fx.setting));
+  EXPECT_EQ(prepared.ccs().size(), fx.setting.ccs.size());
+  EXPECT_EQ(prepared.cc_projections().size(), fx.setting.ccs.size());
+
+  // A CC whose projection width disagrees with its head arity must fail.
+  PartiallyClosedSetting broken = fx.setting;
+  ContainmentConstraint cc = broken.ccs.front();
+  broken.ccs.push_back(ContainmentConstraint(
+      "bad", cc.q(), cc.master_rel(),
+      std::vector<int>(cc.master_cols().size() + 1, 0)));
+  EXPECT_FALSE(PreparedSetting::Prepare(broken).ok());
+}
+
+TEST(PreparedSettingTest, AdomFromSeedMatchesDirectBuild) {
+  PatientsFixture fx = MakePatientsFixture();
+  AdomSeed seed = AdomContext::SeedFor(fx.setting);
+  for (const Query* q : {&fx.q1, &fx.q2, &fx.q4}) {
+    AdomContext direct = AdomContext::Build(fx.setting, fx.ctable, q);
+    AdomContext seeded = AdomContext::BuildFromSeed(seed, fx.ctable, q);
+    EXPECT_EQ(direct.values(), seeded.values());
+    EXPECT_EQ(direct.base(), seeded.base());
+    EXPECT_EQ(direct.fresh(), seeded.fresh());
+  }
+  // And through the PreparedSetting convenience.
+  ASSERT_OK_AND_ASSIGN(prepared, PreparedSetting::Prepare(fx.setting));
+  AdomContext via_prepared = prepared.BuildAdom(fx.ctable, &fx.q1);
+  AdomContext direct = AdomContext::Build(fx.setting, fx.ctable, &fx.q1);
+  EXPECT_EQ(direct.values(), via_prepared.values());
+}
+
+TEST(PreparedSettingTest, CachedProjectionsMatchDirectCcChecks) {
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(prepared, PreparedSetting::Prepare(fx.setting));
+
+  // The ground rows satisfy V; a visit by an unknown patient violates the
+  // name CC only through the master projection — both paths must agree.
+  Instance bad = fx.ground;
+  bad.AddTuple("MVisit", {S("000-00-000"), S("Nobody"), S("EDI"),
+                          Value::Int(2000), S("M"), S("15/03/2015"),
+                          S("Flu"), S("01")});
+  for (const Instance* instance : {&fx.ground, &bad}) {
+    ASSERT_OK_AND_ASSIGN(
+        direct, SatisfiesCCs(*instance, fx.setting.dm, fx.setting.ccs));
+    ASSERT_OK_AND_ASSIGN(cached, prepared.SatisfiesCCs(*instance));
+    EXPECT_EQ(direct, cached);
+  }
+}
+
+TEST(PreparedSettingTest, DecidersAgreeBetweenPreparedAndLegacyEntryPoints) {
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(prepared, PreparedSetting::Prepare(fx.setting));
+  for (const Query* q : {&fx.q1, &fx.q2, &fx.q4}) {
+    ASSERT_OK_AND_ASSIGN(legacy_strong, RcdpStrong(*q, fx.ctable, fx.setting));
+    ASSERT_OK_AND_ASSIGN(prep_strong, RcdpStrong(*q, fx.ctable, prepared));
+    EXPECT_EQ(legacy_strong, prep_strong) << (*q).ToString();
+
+    ASSERT_OK_AND_ASSIGN(legacy_viable, RcdpViable(*q, fx.ctable, fx.setting));
+    ASSERT_OK_AND_ASSIGN(prep_viable, RcdpViable(*q, fx.ctable, prepared));
+    EXPECT_EQ(legacy_viable, prep_viable) << (*q).ToString();
+
+    ASSERT_OK_AND_ASSIGN(legacy_minp,
+                         MinpStrongGround(*q, fx.ground, fx.setting));
+    ASSERT_OK_AND_ASSIGN(prep_minp, MinpStrongGround(*q, fx.ground, prepared));
+    EXPECT_EQ(legacy_minp, prep_minp) << (*q).ToString();
+  }
+  ASSERT_OK_AND_ASSIGN(legacy_weak, RcdpWeak(fx.q4, fx.ctable, fx.setting));
+  ASSERT_OK_AND_ASSIGN(prep_weak, RcdpWeak(fx.q4, fx.ctable, prepared));
+  EXPECT_EQ(legacy_weak, prep_weak);
+}
+
+TEST(PreparedSettingTest, SearchStatsIdenticalAcrossEntryPoints) {
+  // The prepared path must do the same logical work, not just reach the
+  // same answer: every counter agrees with the legacy path.
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(prepared, PreparedSetting::Prepare(fx.setting));
+  SearchStats legacy_stats, prep_stats;
+  ASSERT_OK_AND_ASSIGN(legacy,
+                       RcdpStrong(fx.q1, fx.ctable, fx.setting, {},
+                                  &legacy_stats));
+  ASSERT_OK_AND_ASSIGN(prep,
+                       RcdpStrong(fx.q1, fx.ctable, prepared, {}, &prep_stats));
+  EXPECT_EQ(legacy, prep);
+  EXPECT_EQ(legacy_stats.valuations, prep_stats.valuations);
+  EXPECT_EQ(legacy_stats.worlds, prep_stats.worlds);
+  EXPECT_EQ(legacy_stats.extensions, prep_stats.extensions);
+  EXPECT_EQ(legacy_stats.cc_checks, prep_stats.cc_checks);
+  EXPECT_EQ(legacy_stats.query_evals, prep_stats.query_evals);
+}
+
+TEST(PreparedSettingTest, FingerprintsAreStableAndDiscriminating) {
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(a, PreparedSetting::Prepare(fx.setting));
+  ASSERT_OK_AND_ASSIGN(b, PreparedSetting::Prepare(fx.setting));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), FingerprintSetting(fx.setting));
+
+  // The acquisition setting differs only in master data — and in print.
+  ASSERT_OK_AND_ASSIGN(c, PreparedSetting::Prepare(fx.acquisition));
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  EXPECT_NE(FingerprintQuery(fx.q1), FingerprintQuery(fx.q2));
+  EXPECT_EQ(FingerprintQuery(fx.q1), FingerprintQuery(fx.q1));
+  EXPECT_NE(FingerprintCInstance(fx.ctable),
+            FingerprintCInstance(CInstance(fx.setting.schema)));
+}
+
+TEST(PreparedSettingTest, AllIndsClassificationIsCached) {
+  PatientsFixture fx = MakePatientsFixture();
+  ASSERT_OK_AND_ASSIGN(fig1, PreparedSetting::Prepare(fx.setting));
+  EXPECT_EQ(fig1.all_inds(), AllInds(fx.setting.ccs));
+
+  // A pure-IND setting flips the flag and unlocks the Cor 7.2 fast path.
+  PartiallyClosedSetting ind;
+  ind.schema.AddRelation(RelationSchema(
+      "Visit", {Attribute{"nhs", Domain::Infinite()}}));
+  ind.master_schema.AddRelation(
+      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
+  ind.dm = Instance(ind.master_schema);
+  ind.dm.AddTuple("Patientm", {S("p0")});
+  ConjunctiveQuery proj({CTerm(VarId{0})},
+                        {RelAtom{"Visit", {VarId{0}}}});
+  ind.ccs.emplace_back("ind", std::move(proj), "Patientm",
+                       std::vector<int>{0});
+  ASSERT_OK_AND_ASSIGN(prepared_ind, PreparedSetting::Prepare(ind));
+  EXPECT_TRUE(prepared_ind.all_inds());
+
+  Query q = Query::Cq(ConjunctiveQuery({CTerm(VarId{0})},
+                                       {RelAtom{"Visit", {VarId{0}}}}));
+  ASSERT_OK_AND_ASSIGN(legacy, RcqpStrongInd(q, ind));
+  ASSERT_OK_AND_ASSIGN(prep, RcqpStrongInd(q, prepared_ind));
+  EXPECT_EQ(legacy, prep);
+}
+
+}  // namespace
+}  // namespace relcomp

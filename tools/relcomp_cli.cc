@@ -1,0 +1,293 @@
+// relcomp_cli: batch completeness auditing from the command line.
+//
+// Loads a partially closed setting (schema, master data, CCs, instances) and
+// a stream of queries from program files in the textual language of
+// query/parser.h, fans the resulting decision requests through a
+// CompletenessEngine, and reports per-query decisions plus throughput and
+// cache statistics.
+//
+//   relcomp_cli setting.rcp [more_queries.rcp ...] \
+//       [--problem rcdp-strong,rcdp-weak] [--workers N] [--cache N]
+//       [--repeat K] [--instance NAME] [--minstance NAME] [--compare]
+//
+// Extra query files are parsed against the setting file's declarations (the
+// texts are concatenated), so a query stream needs no schema boilerplate.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/parser.h"
+
+using namespace relcomp;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> files;
+  std::vector<ProblemKind> problems = {ProblemKind::kRcdpStrong};
+  size_t workers = 4;
+  size_t cache = 1024;
+  size_t repeat = 1;
+  std::string instance_name;
+  std::string minstance_name;
+  bool compare = false;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "relcomp_cli: %s\n", message.c_str());
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+/// Picks instances.at(name) — an explicitly requested name that does not
+/// exist is a hard error (silently auditing another block would report
+/// verdicts about the wrong database). With no name: `fallback`, then the
+/// first declared block, then the empty instance over `schema`.
+Instance PickInstance(const std::map<std::string, Instance>& instances,
+                      const std::string& name, const char* flag,
+                      const std::string& fallback,
+                      const DatabaseSchema& schema) {
+  if (!name.empty()) {
+    auto it = instances.find(name);
+    if (it == instances.end()) {
+      std::fprintf(stderr,
+                   "relcomp_cli: %s '%s' names no declared block\n", flag,
+                   name.c_str());
+      std::exit(1);
+    }
+    return it->second;
+  }
+  auto it = instances.find(fallback);
+  if (it != instances.end()) return it->second;
+  if (!instances.empty()) return instances.begin()->second;
+  return Instance(schema);
+}
+
+/// Strict decimal parse for flag values; exits with a clean message on
+/// anything std::strtoull would swallow or throw on.
+size_t ParseCount(const char* flag, const std::string& text) {
+  if (text.empty() ||
+      !std::isdigit(static_cast<unsigned char>(text.front()))) {
+    std::fprintf(stderr, "relcomp_cli: %s expects a number, got '%s'\n", flag,
+                 text.c_str());
+    std::exit(1);
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "relcomp_cli: %s expects a number, got '%s'\n", flag,
+                 text.c_str());
+    std::exit(1);
+  }
+  return static_cast<size_t>(value);
+}
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "relcomp_cli: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--problem") {
+      cli.problems.clear();
+      for (const std::string& name : SplitCommas(next("--problem"))) {
+        Result<ProblemKind> kind = ParseProblemKind(name);
+        if (!kind.ok()) return Fail(kind.status().ToString());
+        cli.problems.push_back(*kind);
+      }
+      if (cli.problems.empty()) {
+        return Fail("--problem lists no problem kinds");
+      }
+    } else if (arg == "--workers") {
+      cli.workers = ParseCount("--workers", next("--workers"));
+    } else if (arg == "--cache") {
+      cli.cache = ParseCount("--cache", next("--cache"));
+    } else if (arg == "--repeat") {
+      cli.repeat = ParseCount("--repeat", next("--repeat"));
+    } else if (arg == "--instance") {
+      cli.instance_name = next("--instance");
+    } else if (arg == "--minstance") {
+      cli.minstance_name = next("--minstance");
+    } else if (arg == "--compare") {
+      cli.compare = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: relcomp_cli <setting.rcp> [queries.rcp ...]\n"
+          "  --problem K1,K2   problem kinds (rcdp-strong rcdp-weak\n"
+          "                    rcdp-viable rcqp-strong rcqp-weak\n"
+          "                    minp-strong minp-viable minp-weak)\n"
+          "  --workers N       worker threads (default 4)\n"
+          "  --cache N         LRU capacity, 0 disables (default 1024)\n"
+          "  --repeat K        submit the workload K times (default 1)\n"
+          "  --instance NAME   audited instance block (default: db/first)\n"
+          "  --minstance NAME  master data block (default: dm/first)\n"
+          "  --compare         also time cold per-call decider dispatch\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown flag '" + arg + "' (see --help)");
+    } else {
+      cli.files.push_back(arg);
+    }
+  }
+  if (cli.files.empty()) return Fail("no input files (see --help)");
+  if (cli.repeat == 0) cli.repeat = 1;
+
+  // Parse the setting file; extra query files see its declarations.
+  std::string setting_text;
+  if (!ReadFile(cli.files[0], &setting_text)) {
+    return Fail("cannot read '" + cli.files[0] + "'");
+  }
+  Result<ParsedProgram> base = ParseProgram(setting_text);
+  if (!base.ok()) {
+    return Fail(cli.files[0] + ": " + base.status().ToString());
+  }
+
+  std::vector<std::pair<std::string, Query>> workload(base->queries.begin(),
+                                                      base->queries.end());
+  for (size_t f = 1; f < cli.files.size(); ++f) {
+    std::string query_text;
+    if (!ReadFile(cli.files[f], &query_text)) {
+      return Fail("cannot read '" + cli.files[f] + "'");
+    }
+    Result<ParsedProgram> merged =
+        ParseProgram(setting_text + "\n" + query_text);
+    if (!merged.ok()) {
+      return Fail(cli.files[f] + ": " + merged.status().ToString());
+    }
+    for (auto& [name, query] : merged->queries) {
+      if (base->queries.count(name)) continue;  // setting's own queries
+      workload.emplace_back(cli.files[f] + ":" + name, query);
+    }
+  }
+  if (workload.empty()) return Fail("no queries declared in the input files");
+
+  PartiallyClosedSetting setting;
+  setting.schema = base->schema;
+  setting.master_schema = base->master_schema;
+  setting.dm = PickInstance(base->minstances, cli.minstance_name,
+                            "--minstance", "dm", base->master_schema);
+  setting.ccs = base->ccs;
+
+  Instance db = PickInstance(base->instances, cli.instance_name, "--instance",
+                             "db", base->schema);
+  CInstance audited = CInstance::FromInstance(db);
+
+  EngineOptions engine_options;
+  engine_options.num_workers = cli.workers;
+  engine_options.cache_capacity = cli.cache;
+  engine_options.memoize = cli.cache > 0;
+
+  auto prep_start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<CompletenessEngine>> engine =
+      CompletenessEngine::Create(setting, engine_options);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+  auto prep_end = std::chrono::steady_clock::now();
+
+  // One batch of queries × problems; --repeat resubmits the same batch (the
+  // serving-traffic regime) rather than materializing K copies up front.
+  std::vector<std::string> labels;
+  std::vector<DecisionRequest> requests;
+  for (const auto& [name, query] : workload) {
+    for (ProblemKind kind : cli.problems) {
+      DecisionRequest request;
+      request.kind = kind;
+      request.query = query;
+      request.cinstance = audited;
+      requests.push_back(std::move(request));
+      labels.push_back(name + " / " + ProblemKindName(kind));
+    }
+  }
+  size_t total_requests = requests.size() * cli.repeat;
+
+  auto batch_start = std::chrono::steady_clock::now();
+  std::vector<Decision> decisions = (*engine)->SubmitBatch(requests);
+  for (size_t r = 1; r < cli.repeat; ++r) {
+    (*engine)->SubmitBatch(requests);
+  }
+  auto batch_end = std::chrono::steady_clock::now();
+
+  std::printf("=== decisions (%zu queries x %zu problems) ===\n",
+              workload.size(), cli.problems.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    std::printf("  %-40s %s\n", labels[i].c_str(),
+                decisions[i].ToString().c_str());
+  }
+
+  double prep_s = Seconds(prep_start, prep_end);
+  double batch_s = Seconds(batch_start, batch_end);
+  std::printf("\n=== engine ===\n");
+  std::printf("  prepare      %.3f ms (validation, Adom seed, projections)\n",
+              prep_s * 1e3);
+  std::printf("  batch        %zu requests in %.3f ms  (%.0f req/s, %zu workers)\n",
+              total_requests, batch_s * 1e3,
+              batch_s > 0 ? total_requests / batch_s : 0.0, cli.workers);
+  std::printf("  counters     %s\n", (*engine)->counters().ToString().c_str());
+
+  if (cli.compare) {
+    auto cold_start = std::chrono::steady_clock::now();
+    size_t mismatches = 0;
+    for (size_t r = 0; r < cli.repeat; ++r) {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        Decision cold = DecideCold(requests[i], setting);
+        if (r == 0 && (cold.status.ok() != decisions[i].status.ok() ||
+                       (cold.status.ok() &&
+                        cold.answer != decisions[i].answer))) {
+          ++mismatches;
+        }
+      }
+    }
+    auto cold_end = std::chrono::steady_clock::now();
+    double cold_s = Seconds(cold_start, cold_end);
+    std::printf("\n=== cold per-call dispatch (no prepared setting) ===\n");
+    std::printf("  %zu requests in %.3f ms  (%.0f req/s)\n", total_requests,
+                cold_s * 1e3, cold_s > 0 ? total_requests / cold_s : 0.0);
+    std::printf("  speedup      %.2fx%s\n",
+                batch_s > 0 ? cold_s / batch_s : 0.0,
+                mismatches == 0 ? "  (answers agree)"
+                                : "  (ANSWER MISMATCH!)");
+    if (mismatches != 0) return 2;
+  }
+  return 0;
+}

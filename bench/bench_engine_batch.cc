@@ -1,25 +1,31 @@
-// Experiment ENG-B: batch decision throughput through CompletenessEngine.
+// Experiment ENG-B: batch decision throughput through the service stack.
 //
 // The workload models MDM audit traffic: a large closed-world patient master
 // (|Dm| = state.range), an IND CC binding visits to it, and a stream of
 // cheap per-query completeness decisions (RCDP strong/viable, ground MINP,
 // and the PTIME IND RCQP of Corollary 7.2). The same request stream is
-// answered three ways:
-//   cold — independent decider calls on the raw setting (the pre-engine call
-//          pattern): every request re-derives the Adom seed (a scan and sort
-//          of all |Dm| constants) and re-projects the master relations;
-//   warm — SubmitBatch on an engine whose PreparedSetting was built once,
-//          memoization off: measures the prepared-artifact savings alone;
-//   memo — the same with the LRU cache on: repeated queries collapse to
-//          fingerprint lookups (the serving-traffic regime).
+// answered several ways:
+//   cold    — independent decider calls on the raw setting (the pre-engine
+//             call pattern): every request re-derives the Adom seed (a scan
+//             and sort of all |Dm| constants) and re-projects the masters;
+//   warm    — SubmitBatch through the CompletenessEngine adapter over a
+//             PreparedSetting built once, memoization off: the prepared-
+//             artifact savings plus the (near-zero) adapter overhead;
+//   memo    — the same with the LRU cache on: repeated queries collapse to
+//             fingerprint lookups (the serving-traffic regime);
+//   service — the CompletenessService called directly (single-setting batch
+//             and the async-futures path), to show the multi-setting
+//             front door costs nothing over the adapter.
 // warm must beat cold at every master size, and the gap must widen with
 // |Dm|; memo sits another order of magnitude above.
 #include <benchmark/benchmark.h>
 
+#include <future>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "service/service.h"
 
 namespace relcomp {
 namespace {
@@ -139,6 +145,106 @@ void BM_Engine_MemoizedBatch(benchmark::State& state) {
   RunEngineBatch(state, /*cache_capacity=*/1024);
 }
 BENCHMARK(BM_Engine_MemoizedBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+void RunServiceBatch(benchmark::State& state, size_t cache_capacity) {
+  PartiallyClosedSetting setting =
+      MakeAuditSetting(static_cast<int>(state.range(0)));
+  CInstance audited = MakeAuditedInstance(setting.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.cache_capacity = cache_capacity;
+  options.memoize = cache_capacity > 0;
+  CompletenessService service(options);
+  Result<SettingHandle> handle = service.RegisterSetting(setting);
+  if (!handle.ok()) {
+    state.SkipWithError(handle.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<Decision> decisions = service.SubmitBatch(*handle, workload);
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+
+void BM_Service_WarmBatch(benchmark::State& state) {
+  RunServiceBatch(state, /*cache_capacity=*/0);
+}
+BENCHMARK(BM_Service_WarmBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+void BM_Service_MemoizedBatch(benchmark::State& state) {
+  RunServiceBatch(state, /*cache_capacity=*/1024);
+}
+BENCHMARK(BM_Service_MemoizedBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+/// The async front door, memoized: submit the whole workload as futures and
+/// drain them — the per-request promise/queue overhead on top of memo.
+void BM_Service_AsyncFutures(benchmark::State& state) {
+  PartiallyClosedSetting setting =
+      MakeAuditSetting(static_cast<int>(state.range(0)));
+  CInstance audited = MakeAuditedInstance(setting.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+  ServiceOptions options;
+  options.num_workers = 4;
+  CompletenessService service(options);
+  Result<SettingHandle> handle = service.RegisterSetting(setting);
+  if (!handle.ok()) {
+    state.SkipWithError(handle.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<std::future<Decision>> futures;
+    futures.reserve(workload.size());
+    for (const DecisionRequest& request : workload) {
+      futures.push_back(service.SubmitAsync(ServiceRequest{*handle, request}));
+    }
+    for (std::future<Decision>& future : futures) {
+      Decision decision = future.get();
+      benchmark::DoNotOptimize(decision);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_Service_AsyncFutures)->Arg(2048);
+
+/// Two fingerprint-distinct settings interleaved in one batch: routing and
+/// per-shard caching must not tax the single-setting path.
+void BM_Service_TwoSettingsInterleaved(benchmark::State& state) {
+  PartiallyClosedSetting setting_a =
+      MakeAuditSetting(static_cast<int>(state.range(0)));
+  PartiallyClosedSetting setting_b =
+      MakeAuditSetting(static_cast<int>(state.range(0)) + 1);
+  CInstance audited = MakeAuditedInstance(setting_a.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+  ServiceOptions options;
+  options.num_workers = 4;
+  CompletenessService service(options);
+  Result<SettingHandle> handle_a = service.RegisterSetting(setting_a);
+  Result<SettingHandle> handle_b = service.RegisterSetting(setting_b);
+  if (!handle_a.ok() || !handle_b.ok()) {
+    state.SkipWithError("registration failed");
+    return;
+  }
+  std::vector<ServiceRequest> batch;
+  batch.reserve(workload.size() * 2);
+  for (const DecisionRequest& request : workload) {
+    batch.push_back(ServiceRequest{*handle_a, request});
+    batch.push_back(ServiceRequest{*handle_b, request});
+  }
+  for (auto _ : state) {
+    std::vector<Decision> decisions = service.SubmitBatch(batch);
+    benchmark::DoNotOptimize(decisions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_Service_TwoSettingsInterleaved)->Arg(2048);
 
 }  // namespace
 }  // namespace relcomp

@@ -11,6 +11,7 @@
 #include "core/rcdp.h"
 #include "query/printer.h"
 #include "reductions/examples_fig1.h"
+#include "service/service.h"
 
 using namespace relcomp;
 
@@ -58,6 +59,26 @@ int main() {
   if (q4_strong.ok() && !*q4_strong) {
     std::printf("Why Q4 is not strongly complete:\n%s\n",
                 witness.ToString().c_str());
+  }
+
+  // The same decision through the service front door — the deployment
+  // shape: register the setting once, audit in batches, read the witness
+  // off the Decision instead of threading an out-parameter.
+  CompletenessService service;
+  Result<SettingHandle> handle = service.RegisterSetting(fx.setting);
+  if (handle.ok()) {
+    DecisionRequest request;
+    request.kind = ProblemKind::kRcdpStrong;
+    request.query = fx.q4;
+    request.cinstance = fx.ctable;
+    request.want_witness = true;
+    Decision decision = service.Decide(*handle, request);
+    std::printf("\nVia CompletenessService: Q4 strongly complete? %s\n",
+                decision.ToString().c_str());
+    if (decision.witness != nullptr) {
+      std::printf("service-carried witness: %s\n",
+                  decision.witness->note.c_str());
+    }
   }
   return 0;
 }

@@ -78,15 +78,30 @@ uint64_t FingerprintQuery(const Query& query) {
   return h.digest();
 }
 
+namespace {
+
+void MixSetting(StableHasher* h, const PartiallyClosedSetting& setting) {
+  MixSchema(h, setting.schema);
+  MixSchema(h, setting.master_schema);
+  MixInstance(h, setting.dm);
+  h->Mix(static_cast<uint64_t>(setting.ccs.size()));
+  for (const ContainmentConstraint& cc : setting.ccs) {
+    h->Mix(cc.ToString());
+  }
+}
+
+}  // namespace
+
 uint64_t FingerprintSetting(const PartiallyClosedSetting& setting) {
   StableHasher h;
-  MixSchema(&h, setting.schema);
-  MixSchema(&h, setting.master_schema);
-  MixInstance(&h, setting.dm);
-  h.Mix(static_cast<uint64_t>(setting.ccs.size()));
-  for (const ContainmentConstraint& cc : setting.ccs) {
-    h.Mix(cc.ToString());
-  }
+  MixSetting(&h, setting);
+  return h.digest();
+}
+
+uint64_t FingerprintSettingSeeded(const PartiallyClosedSetting& setting,
+                                  uint64_t seed) {
+  StableHasher h(seed);
+  MixSetting(&h, setting);
   return h.digest();
 }
 

@@ -27,6 +27,12 @@ uint64_t FingerprintQuery(const Query& query);
 /// Fingerprint of the whole partially closed setting (R, Rm, Dm, V).
 uint64_t FingerprintSetting(const PartiallyClosedSetting& setting);
 
+/// Independently-seeded variant, for wide (dual-digest) identity keys —
+/// e.g. the service's setting registry, where a single 64-bit collision
+/// would route one tenant's requests to another tenant's shard.
+uint64_t FingerprintSettingSeeded(const PartiallyClosedSetting& setting,
+                                  uint64_t seed);
+
 }  // namespace relcomp
 
 #endif  // RELCOMP_CORE_FINGERPRINT_H_

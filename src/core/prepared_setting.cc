@@ -30,6 +30,12 @@ std::shared_ptr<PreparedSetting::Artifacts> PreparedSetting::Derive(
 
 Result<PreparedSetting> PreparedSetting::Prepare(
     PartiallyClosedSetting setting) {
+  const uint64_t fingerprint = FingerprintSetting(setting);
+  return Prepare(std::move(setting), fingerprint);
+}
+
+Result<PreparedSetting> PreparedSetting::Prepare(PartiallyClosedSetting setting,
+                                                 uint64_t fingerprint) {
   auto owned =
       std::make_shared<const PartiallyClosedSetting>(std::move(setting));
   RELCOMP_RETURN_IF_ERROR(owned->Validate());
@@ -42,7 +48,7 @@ Result<PreparedSetting> PreparedSetting::Prepare(
     }
   }
   a->owned = owned;
-  a->fingerprint = FingerprintSetting(*owned);
+  a->fingerprint = fingerprint;
   a->fingerprinted = true;
   PreparedSetting prepared(std::move(a));
   prepared.adom_seed();  // warm the seed: the engine serves many requests

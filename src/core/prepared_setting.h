@@ -31,6 +31,12 @@ class PreparedSetting {
   /// many requests.
   static Result<PreparedSetting> Prepare(PartiallyClosedSetting setting);
 
+  /// Same, reusing a FingerprintSetting digest the caller already computed
+  /// (the service registry fingerprints the setting for dedup before
+  /// preparing; re-scanning Dm and every CC here would triple that cost).
+  static Result<PreparedSetting> Prepare(PartiallyClosedSetting setting,
+                                         uint64_t fingerprint);
+
   /// Prepares the artifacts without validating and without copying the
   /// setting; `setting` must outlive the handle. Used by the legacy
   /// PartiallyClosedSetting decider entry points, which historically did not

@@ -1,295 +1,60 @@
 #include "engine/engine.h"
 
-#include "core/minp.h"
-#include "core/rcdp.h"
-#include "core/rcqp.h"
-#include "core/fingerprint.h"
-
 namespace relcomp {
-
-const char* ProblemKindName(ProblemKind kind) {
-  switch (kind) {
-    case ProblemKind::kRcdpStrong: return "rcdp-strong";
-    case ProblemKind::kRcdpWeak: return "rcdp-weak";
-    case ProblemKind::kRcdpViable: return "rcdp-viable";
-    case ProblemKind::kRcqpStrong: return "rcqp-strong";
-    case ProblemKind::kRcqpWeak: return "rcqp-weak";
-    case ProblemKind::kMinpStrong: return "minp-strong";
-    case ProblemKind::kMinpViable: return "minp-viable";
-    case ProblemKind::kMinpWeak: return "minp-weak";
-  }
-  return "unknown";
-}
-
-Result<ProblemKind> ParseProblemKind(const std::string& name) {
-  static constexpr ProblemKind kAll[] = {
-      ProblemKind::kRcdpStrong, ProblemKind::kRcdpWeak,
-      ProblemKind::kRcdpViable, ProblemKind::kRcqpStrong,
-      ProblemKind::kRcqpWeak,   ProblemKind::kMinpStrong,
-      ProblemKind::kMinpViable, ProblemKind::kMinpWeak,
-  };
-  for (ProblemKind kind : kAll) {
-    if (name == ProblemKindName(kind)) return kind;
-  }
-  return Status::InvalidArgument("unknown problem kind '" + name +
-                                 "' (try e.g. rcdp-strong, minp-weak)");
-}
-
-std::string Decision::ToString() const {
-  if (!status.ok()) return "error[" + status.ToString() + "]";
-  std::string out = answer ? "YES" : "no";
-  if (from_cache) out += " (cached)";
-  if (!note.empty()) out += " [" + note + "]";
-  return out;
-}
-
-std::string EngineCounters::ToString() const {
-  return "requests=" + std::to_string(requests) +
-         " cache_hits=" + std::to_string(cache_hits) +
-         " cache_misses=" + std::to_string(cache_misses) +
-         " errors=" + std::to_string(errors) + " | " + search.ToString();
-}
-
-Result<std::unique_ptr<CompletenessEngine>> CompletenessEngine::Create(
-    PartiallyClosedSetting setting, EngineOptions options) {
-  Result<PreparedSetting> prepared =
-      PreparedSetting::Prepare(std::move(setting));
-  if (!prepared.ok()) return prepared.status();
-  return std::unique_ptr<CompletenessEngine>(
-      new CompletenessEngine(std::move(prepared).value(), options));
-}
-
-CompletenessEngine::CompletenessEngine(PreparedSetting prepared,
-                                       EngineOptions options)
-    : prepared_(std::move(prepared)),
-      options_(options),
-      cache_(options.memoize ? options.cache_capacity : 0) {
-  workers_.reserve(options_.num_workers);
-  for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-CompletenessEngine::~CompletenessEngine() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    shutdown_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void CompletenessEngine::WorkerLoop() {
-  while (true) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      job = queue_.front();
-      queue_.pop_front();
-    }
-    *job.out = DecideImpl(*job.request);
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
-    }
-  }
-}
 
 namespace {
 
-/// The single kind→decider mapping, instantiated for both the prepared
-/// (engine hot path) and the raw-setting (cold baseline) overload sets.
-template <typename SettingT>
-Decision EvaluateWith(const DecisionRequest& request, const SettingT& setting,
-                      bool all_inds) {
-  Decision decision;
-  Result<bool> answer = true;
-  switch (request.kind) {
-    case ProblemKind::kRcdpStrong:
-      answer = RcdpStrong(request.query, request.cinstance, setting,
-                          request.options, &decision.stats);
-      break;
-    case ProblemKind::kRcdpWeak:
-      answer = RcdpWeak(request.query, request.cinstance, setting,
-                        request.options, &decision.stats);
-      break;
-    case ProblemKind::kRcdpViable:
-      answer = RcdpViable(request.query, request.cinstance, setting,
-                          request.options, &decision.stats);
-      break;
-    case ProblemKind::kRcqpStrong: {
-      if (all_inds) {
-        // Corollary 7.2: all CCs are INDs — decide in PTIME.
-        answer = RcqpStrongInd(request.query, setting, request.options,
-                               &decision.stats);
-        break;
-      }
-      Result<RcqpSearchResult> found =
-          RcqpStrongBounded(request.query, setting, request.rcqp_max_tuples,
-                            request.options, &decision.stats);
-      if (!found.ok()) {
-        answer = found.status();
-        break;
-      }
-      answer = found->found;
-      if (!found->found && found->bound_exhausted) {
-        decision.note = "no witness within " +
-                        std::to_string(request.rcqp_max_tuples) +
-                        " tuples (conclusive only if the NEXPTIME witness "
-                        "bound fits)";
-      }
-      break;
-    }
-    case ProblemKind::kRcqpWeak:
-      answer = RcqpWeak(request.query);
-      break;
-    case ProblemKind::kMinpStrong:
-      answer = MinpStrong(request.query, request.cinstance, setting,
-                          request.options, &decision.stats);
-      break;
-    case ProblemKind::kMinpViable:
-      answer = MinpViable(request.query, request.cinstance, setting,
-                          request.options, &decision.stats);
-      break;
-    case ProblemKind::kMinpWeak:
-      // Lemma 5.7 dichotomy: CQ has a coDP fast path; the general subset
-      // removal handles UCQ/∃FO⁺/FP.
-      if (request.query.language() == QueryLanguage::kCQ) {
-        answer = MinpWeakCq(request.query, request.cinstance, setting,
-                            request.options, &decision.stats);
-      } else {
-        answer = MinpWeak(request.query, request.cinstance, setting,
-                          request.options, &decision.stats);
-      }
-      break;
-  }
-  if (!answer.ok()) {
-    decision.status = answer.status();
-    return decision;
-  }
-  decision.answer = *answer;
-  return decision;
+ServiceOptions ToServiceOptions(const EngineOptions& options) {
+  ServiceOptions service_options;
+  service_options.num_workers = options.num_workers;
+  service_options.cache_capacity = options.cache_capacity;
+  service_options.memoize = options.memoize;
+  service_options.coalesce = options.coalesce;
+  return service_options;
 }
 
 }  // namespace
 
-Decision DecideCold(const DecisionRequest& request,
-                    const PartiallyClosedSetting& setting) {
-  return EvaluateWith(request, setting, AllInds(setting.ccs));
-}
+CompletenessEngine::CompletenessEngine(EngineOptions options,
+                                       ServiceOptions service_options)
+    : options_(options), service_(service_options) {}
 
-CompletenessEngine::CacheKey CompletenessEngine::CacheKeyFor(
-    const DecisionRequest& request) const {
-  // Serialize the request's canonical material once; both digests then mix
-  // the same handful of words from independently-seeded states.
-  const char* kind = ProblemKindName(request.kind);
-  const uint64_t query_print = FingerprintQuery(request.query);
-  // RCQP quantifies over all instances; leaving T out of its key lets
-  // audits of different databases share one RCQP verdict per query.
-  const bool keyed_on_instance = request.kind != ProblemKind::kRcqpStrong &&
-                                 request.kind != ProblemKind::kRcqpWeak;
-  const uint64_t cinstance_print =
-      keyed_on_instance ? FingerprintCInstance(request.cinstance) : 0;
-
-  auto digest = [&](StableHasher h) {
-    h.Mix(prepared_.fingerprint());
-    h.Mix(kind);
-    h.Mix(query_print);
-    if (keyed_on_instance) h.Mix(cinstance_print);
-    h.Mix(request.options.max_steps);
-    if (request.kind == ProblemKind::kRcqpStrong) {
-      h.Mix(static_cast<uint64_t>(request.rcqp_max_tuples));
-    }
-    return h.digest();
-  };
-  CacheKey key;
-  key.primary = digest(StableHasher());
-  key.check = digest(StableHasher(/*seed=*/0x5ca1ab1e5eed5ULL));
-  return key;
-}
-
-uint64_t CompletenessEngine::FingerprintRequest(
-    const DecisionRequest& request) const {
-  return CacheKeyFor(request).primary;
-}
-
-Decision CompletenessEngine::Evaluate(const DecisionRequest& request) const {
-  return EvaluateWith(request, prepared_, prepared_.all_inds());
-}
-
-Decision CompletenessEngine::DecideImpl(const DecisionRequest& request) {
-  const bool memoize = options_.memoize && options_.cache_capacity > 0;
-  CacheKey key;
-  if (memoize) {
-    key = CacheKeyFor(request);
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++counters_.requests;
-    if (const Decision* cached = cache_.Get(key)) {
-      ++counters_.cache_hits;
-      Decision hit = *cached;
-      hit.from_cache = true;
-      return hit;
-    }
-    ++counters_.cache_misses;
-  } else {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    ++counters_.requests;
-  }
-
-  Decision decision = Evaluate(request);
-
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    counters_.search += decision.stats;
-    if (!decision.status.ok()) ++counters_.errors;
-    if (memoize) cache_.Put(key, decision);
-  }
-  return decision;
+Result<std::unique_ptr<CompletenessEngine>> CompletenessEngine::Create(
+    PartiallyClosedSetting setting, EngineOptions options) {
+  std::unique_ptr<CompletenessEngine> engine(
+      new CompletenessEngine(options, ToServiceOptions(options)));
+  Result<SettingHandle> handle =
+      engine->service_.RegisterSetting(std::move(setting));
+  if (!handle.ok()) return handle.status();
+  engine->handle_ = *handle;
+  Result<PreparedSetting> prepared = engine->service_.prepared(*handle);
+  if (!prepared.ok()) return prepared.status();
+  engine->prepared_.emplace(std::move(prepared).value());
+  return engine;
 }
 
 Decision CompletenessEngine::Decide(const DecisionRequest& request) {
-  return DecideImpl(request);
+  return service_.Decide(handle_, request);
 }
 
 std::vector<Decision> CompletenessEngine::SubmitBatch(
     const std::vector<DecisionRequest>& requests) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::vector<Decision> results(requests.size());
-  if (requests.empty()) return results;
-  if (workers_.empty()) {
-    for (size_t i = 0; i < requests.size(); ++i) {
-      results[i] = DecideImpl(requests[i]);
-    }
-    return results;
-  }
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    in_flight_ = requests.size();
-    for (size_t i = 0; i < requests.size(); ++i) {
-      queue_.push_back(Job{&requests[i], &results[i]});
-    }
-  }
-  queue_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  }
-  return results;
+  return service_.SubmitBatch(handle_, requests);
+}
+
+std::future<Decision> CompletenessEngine::SubmitAsync(DecisionRequest request) {
+  return service_.SubmitAsync(ServiceRequest{handle_, std::move(request)});
+}
+
+uint64_t CompletenessEngine::FingerprintRequest(
+    const DecisionRequest& request) const {
+  return RequestKeyFor(*prepared_, request).primary;
 }
 
 EngineCounters CompletenessEngine::counters() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return counters_;
+  return service_.counters(handle_).value_or(EngineCounters{});
 }
 
-void CompletenessEngine::ClearCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  cache_.Clear();
-}
+void CompletenessEngine::ClearCache() { service_.ClearCache(handle_); }
 
 }  // namespace relcomp

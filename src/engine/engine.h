@@ -1,95 +1,32 @@
-// CompletenessEngine: a long-lived batch decision service over one partially
-// closed setting (Dm, V). The setting is prepared once (validation, Adom
-// seed, IND classification, master projections); decision requests — any of
-// the paper's problems × models — are then answered in batches, fanned out
-// across a fixed worker pool, with results memoized in an LRU cache keyed by
-// stable (setting, problem, query, instance) fingerprints and per-request
-// SearchStats merged into engine-level aggregate counters.
-//
-// This is the "many scenarios, heavy query-audit traffic" deployment shape:
-// prepare once, decide millions of times.
+// CompletenessEngine: the legacy single-setting batch API, kept as a thin
+// deprecated adapter over the multi-setting CompletenessService (like the
+// raw-PartiallyClosedSetting decider overloads kept beside the
+// PreparedSetting ones). Create() stands up a private service, registers the
+// one setting, and every call routes through that handle — so the engine
+// inherits the service's dedup-aware batch planning, request coalescing, and
+// witness-carrying decisions for free. New code should talk to
+// service/service.h directly; `service()` / `handle()` are the escape hatch
+// for incremental migration.
 #ifndef RELCOMP_ENGINE_ENGINE_H_
 #define RELCOMP_ENGINE_ENGINE_H_
 
-#include <condition_variable>
-#include <deque>
+#include <future>
 #include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
+#include <optional>
 #include <vector>
 
-#include "core/types.h"
-#include "engine/lru_cache.h"
 #include "core/prepared_setting.h"
+#include "core/types.h"
+#include "service/service.h"
 
 namespace relcomp {
 
-/// The decision problems the engine serves (problem × model).
-enum class ProblemKind {
-  kRcdpStrong,   ///< is T strongly complete for Q?           (Thm 4.1)
-  kRcdpWeak,     ///< is T weakly complete for Q?             (Thm 5.1)
-  kRcdpViable,   ///< is some world of T complete for Q?      (Thm 6.1)
-  kRcqpStrong,   ///< does any complete instance exist?       (Thm 4.5/7.2)
-  kRcqpWeak,     ///< ... in the weak model (O(1), Thm 5.4)
-  kMinpStrong,   ///< is T minimally complete, all worlds?    (Thm 4.8)
-  kMinpViable,   ///< ... in some world                       (Cor 6.3)
-  kMinpWeak,     ///< ... in the weak model                   (Thm 5.6/5.7)
-};
-
-/// Human-readable kind name ("rcdp-strong", ...), matching the CLI flags.
-const char* ProblemKindName(ProblemKind kind);
-
-/// Parses a ProblemKindName string; kInvalidArgument on unknown names.
-Result<ProblemKind> ParseProblemKind(const std::string& name);
-
-/// One unit of engine work: problem kind × query × audited c-instance ×
-/// budget. RCQP kinds ignore `cinstance` (the problem quantifies over all
-/// instances).
-struct DecisionRequest {
-  ProblemKind kind = ProblemKind::kRcdpStrong;
-  Query query;
-  CInstance cinstance;
-  SearchOptions options;
-  /// Witness-size bound for the non-IND RCQP search (Theorem 4.5 leaves the
-  /// NEXPTIME bound exponential; callers pick a practical cutoff).
-  size_t rcqp_max_tuples = 3;
-};
-
-/// The engine's answer to one request.
-struct Decision {
-  Status status;           ///< decider outcome; `answer` meaningful iff ok()
-  bool answer = false;     ///< the yes/no decision
-  bool from_cache = false; ///< served from the memoization cache
-  std::string note;        ///< qualifiers (e.g. RCQP bound exhausted)
-  SearchStats stats;       ///< work done; the original run's stats on hits
-
-  std::string ToString() const;
-};
-
-/// Engine configuration.
+/// Engine configuration (the single-setting slice of ServiceOptions).
 struct EngineOptions {
   size_t num_workers = 4;       ///< worker threads; 0 = run batches inline
   size_t cache_capacity = 1024; ///< LRU entries; 0 disables memoization
   bool memoize = true;
-};
-
-/// Decides one request by direct dispatch to the legacy
-/// PartiallyClosedSetting decider entry points — the cold, per-call-prepared
-/// baseline. The engine, the CLI's --compare mode, and the batch benchmark
-/// all share this one kind→decider mapping.
-Decision DecideCold(const DecisionRequest& request,
-                    const PartiallyClosedSetting& setting);
-
-/// Aggregate counters across the engine's lifetime.
-struct EngineCounters {
-  uint64_t requests = 0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t errors = 0;
-  SearchStats search;  ///< per-request stats merged via SearchStats::Merge
-
-  std::string ToString() const;
+  bool coalesce = true;         ///< coalesce identical concurrent requests
 };
 
 class CompletenessEngine {
@@ -98,11 +35,10 @@ class CompletenessEngine {
   static Result<std::unique_ptr<CompletenessEngine>> Create(
       PartiallyClosedSetting setting, EngineOptions options = {});
 
-  ~CompletenessEngine();
   CompletenessEngine(const CompletenessEngine&) = delete;
   CompletenessEngine& operator=(const CompletenessEngine&) = delete;
 
-  const PreparedSetting& prepared() const { return prepared_; }
+  const PreparedSetting& prepared() const { return *prepared_; }
   const EngineOptions& options() const { return options_; }
 
   /// Decides one request synchronously on the calling thread (consulting and
@@ -111,10 +47,15 @@ class CompletenessEngine {
 
   /// Decides a batch: requests are fanned out across the worker pool and the
   /// result vector is parallel to `requests`. Answers are deterministic —
-  /// independent of worker count and scheduling; only `from_cache` flags may
-  /// differ between runs. One batch runs at a time.
+  /// independent of worker count and scheduling; only `from_cache` flags and
+  /// coalescing notes may differ between runs. Thread-safe; batches may now
+  /// run concurrently.
   std::vector<Decision> SubmitBatch(
       const std::vector<DecisionRequest>& requests);
+
+  /// Async submission through the shared pool (see
+  /// CompletenessService::SubmitAsync).
+  std::future<Decision> SubmitAsync(DecisionRequest request);
 
   /// Stable memoization key of a request under this engine's setting. The
   /// cache internally keys on two independently-seeded digests of the same
@@ -124,53 +65,17 @@ class CompletenessEngine {
   EngineCounters counters() const;
   void ClearCache();
 
+  /// The backing service and this engine's registration in it.
+  CompletenessService& service() { return service_; }
+  SettingHandle handle() const { return handle_; }
+
  private:
-  CompletenessEngine(PreparedSetting prepared, EngineOptions options);
+  CompletenessEngine(EngineOptions options, ServiceOptions service_options);
 
-  /// Two independently-seeded digests of one request: a 64-bit fingerprint
-  /// alone would hand a colliding request another request's verdict.
-  struct CacheKey {
-    uint64_t primary = 0;
-    uint64_t check = 0;
-    friend bool operator==(const CacheKey& a, const CacheKey& b) {
-      return a.primary == b.primary && a.check == b.check;
-    }
-  };
-  struct CacheKeyHash {
-    size_t operator()(const CacheKey& k) const {
-      return static_cast<size_t>(k.primary ^ (k.check * 0x9e3779b97f4a7c15ULL));
-    }
-  };
-  CacheKey CacheKeyFor(const DecisionRequest& request) const;
-
-  /// Raw decider dispatch — no cache, no counters.
-  Decision Evaluate(const DecisionRequest& request) const;
-  /// Cache-through evaluation + counter update.
-  Decision DecideImpl(const DecisionRequest& request);
-  void WorkerLoop();
-
-  PreparedSetting prepared_;
   EngineOptions options_;
-
-  // Worker pool: SubmitBatch enqueues (request, slot) pairs; workers drain.
-  struct Job {
-    const DecisionRequest* request = nullptr;
-    Decision* out = nullptr;
-  };
-  std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  // signals workers
-  std::condition_variable done_cv_;   // signals batch completion
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::mutex batch_mu_;  // serializes SubmitBatch callers
-
-  // Memoization and counters share one lock: lookup/insert stays atomic
-  // with the hit/miss accounting.
-  mutable std::mutex cache_mu_;
-  LruCache<CacheKey, Decision, CacheKeyHash> cache_;
-  EngineCounters counters_;
+  CompletenessService service_;
+  SettingHandle handle_;
+  std::optional<PreparedSetting> prepared_;  // set by Create, then immutable
 };
 
 }  // namespace relcomp

@@ -1,0 +1,131 @@
+// The decision vocabulary shared by the multi-setting CompletenessService
+// and the legacy single-setting CompletenessEngine adapter: problem kinds,
+// decision requests / answers (including counterexample witnesses), the
+// aggregate counters, the stable request cache keys, and the ONE kind→decider
+// dispatch table (EvaluateRequest) that every entry point — service shards,
+// the engine adapter, and the cold per-call baseline — routes through.
+#ifndef RELCOMP_SERVICE_DECISION_H_
+#define RELCOMP_SERVICE_DECISION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prepared_setting.h"
+#include "core/types.h"
+
+namespace relcomp {
+
+/// The decision problems the service serves (problem × model).
+enum class ProblemKind {
+  kRcdpStrong,   ///< is T strongly complete for Q?           (Thm 4.1)
+  kRcdpWeak,     ///< is T weakly complete for Q?             (Thm 5.1)
+  kRcdpViable,   ///< is some world of T complete for Q?      (Thm 6.1)
+  kRcqpStrong,   ///< does any complete instance exist?       (Thm 4.5/7.2)
+  kRcqpWeak,     ///< ... in the weak model (O(1), Thm 5.4)
+  kMinpStrong,   ///< is T minimally complete, all worlds?    (Thm 4.8)
+  kMinpViable,   ///< ... in some world                       (Cor 6.3)
+  kMinpWeak,     ///< ... in the weak model                   (Thm 5.6/5.7)
+};
+
+/// All problem kinds, in declaration order. The one list that drives
+/// ProblemKindName, ParseProblemKind, and the CLI help text.
+const std::vector<ProblemKind>& AllProblemKinds();
+
+/// Human-readable kind name ("rcdp-strong", ...), matching the CLI flags.
+const char* ProblemKindName(ProblemKind kind);
+
+/// Parses a ProblemKindName string; kInvalidArgument (listing every valid
+/// name) on unknown names.
+Result<ProblemKind> ParseProblemKind(const std::string& name);
+
+/// One unit of decision work: problem kind × query × audited c-instance ×
+/// budget. RCQP kinds ignore `cinstance` (the problem quantifies over all
+/// instances).
+struct DecisionRequest {
+  ProblemKind kind = ProblemKind::kRcdpStrong;
+  Query query;
+  CInstance cinstance;
+  SearchOptions options;
+  /// Witness-size bound for the non-IND RCQP search (Theorem 4.5 leaves the
+  /// NEXPTIME bound exponential; callers pick a practical cutoff).
+  size_t rcqp_max_tuples = 3;
+  /// Ask the decider for a CompletenessWitness (Decision::witness): the
+  /// incomplete world / missing tuple for RCDP strong/weak "no", the
+  /// complete world for RCDP viable "YES", the witnessing instance for the
+  /// bounded RCQP "YES". MINP and weak-model RCQP produce no witness. Part
+  /// of the memoization key — witness-bearing runs are cached separately.
+  bool want_witness = false;
+};
+
+/// The service's answer to one request.
+struct Decision {
+  Status status;           ///< decider outcome; `answer` meaningful iff ok()
+  bool answer = false;     ///< the yes/no decision
+  bool from_cache = false; ///< served from the cache or coalesced (see note)
+  std::string note;        ///< qualifiers (RCQP bound exhausted, coalescing)
+  SearchStats stats;       ///< work done; the original run's stats on hits
+  /// Counterexample / witness, when `want_witness` was set and the decider
+  /// produced one. Shared so cached and coalesced copies stay cheap.
+  std::shared_ptr<const CompletenessWitness> witness;
+
+  std::string ToString() const;
+};
+
+/// Aggregate counters, per setting shard (and summed service-wide).
+/// `cache_misses` counts real decider evaluations (even with memoization
+/// off); `cache_hits` counts requests served without recomputation — LRU
+/// hits plus coalesced duplicates; `coalesced` is the subset of hits that
+/// piggy-backed on an identical in-flight or same-batch request.
+struct EngineCounters {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t coalesced = 0;
+  uint64_t errors = 0;
+  SearchStats search;  ///< per-request stats merged via SearchStats::Merge
+
+  EngineCounters& operator+=(const EngineCounters& other);
+  std::string ToString() const;
+};
+
+/// THE kind→decider dispatch table: decides one request against a prepared
+/// setting, with witness plumbing. No cache, no counters — service shards,
+/// the engine adapter, and DecideCold all call this one function, so a new
+/// ProblemKind is wired up in exactly one place.
+Decision EvaluateRequest(const DecisionRequest& request,
+                         const PreparedSetting& prepared);
+
+/// Decides one request by per-call preparation of the raw setting — the
+/// cold baseline the CLI's --compare mode and the batch benchmark measure
+/// the service against.
+Decision DecideCold(const DecisionRequest& request,
+                    const PartiallyClosedSetting& setting);
+
+/// Two independently-seeded digests of one request under one setting: a
+/// 64-bit fingerprint alone would hand a colliding request another
+/// request's verdict.
+struct RequestCacheKey {
+  uint64_t primary = 0;
+  uint64_t check = 0;
+  friend bool operator==(const RequestCacheKey& a, const RequestCacheKey& b) {
+    return a.primary == b.primary && a.check == b.check;
+  }
+};
+struct RequestCacheKeyHash {
+  size_t operator()(const RequestCacheKey& k) const {
+    return static_cast<size_t>(k.primary ^ (k.check * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Stable memoization / coalescing key of `request` under `prepared`.
+/// RCQP kinds leave the audited instance out of the key (the problem
+/// quantifies over all instances), so audits of different databases share
+/// one RCQP verdict per query.
+RequestCacheKey RequestKeyFor(const PreparedSetting& prepared,
+                              const DecisionRequest& request);
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_SERVICE_DECISION_H_

@@ -1,8 +1,8 @@
-// A small intrusive-list LRU map used by the engine's result memoization.
-// Not thread-safe by itself: CompletenessEngine serializes access with its
-// own mutex so lookup+insert pairs stay atomic with the counters.
-#ifndef RELCOMP_ENGINE_LRU_CACHE_H_
-#define RELCOMP_ENGINE_LRU_CACHE_H_
+// A small intrusive-list LRU map used by the service shards' result
+// memoization. Not thread-safe by itself: each shard serializes access with
+// its own mutex so lookup+insert pairs stay atomic with the counters.
+#ifndef RELCOMP_SERVICE_LRU_CACHE_H_
+#define RELCOMP_SERVICE_LRU_CACHE_H_
 
 #include <cstddef>
 #include <list>
@@ -60,4 +60,4 @@ class LruCache {
 
 }  // namespace relcomp
 
-#endif  // RELCOMP_ENGINE_LRU_CACHE_H_
+#endif  // RELCOMP_SERVICE_LRU_CACHE_H_

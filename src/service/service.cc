@@ -1,0 +1,432 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "core/fingerprint.h"
+
+namespace relcomp {
+
+namespace {
+
+/// Set while a pool thread is executing jobs. Re-entrant submissions — a
+/// completion callback calling back into Decide/SubmitBatch/SubmitAsync —
+/// then execute inline instead of enqueueing: a worker blocking on work
+/// that only workers can drain would deadlock the pool.
+thread_local bool tls_on_worker_thread = false;
+
+void AppendNote(Decision* decision, const char* note) {
+  if (decision->note.empty()) {
+    decision->note = note;
+  } else {
+    decision->note += "; ";
+    decision->note += note;
+  }
+}
+
+}  // namespace
+
+CompletenessService::CompletenessService(ServiceOptions options)
+    : options_(options) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CompletenessService::~CompletenessService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void CompletenessService::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void CompletenessService::WorkerLoop() {
+  tls_on_worker_thread = true;
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // Shutdown only after the queue is drained: async submissions
+        // accepted before destruction still resolve their futures.
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+Result<SettingHandle> CompletenessService::RegisterSetting(
+    PartiallyClosedSetting setting) {
+  const SettingKey key{FingerprintSetting(setting),
+                       FingerprintSettingSeeded(setting,
+                                                /*seed=*/0x5e771465eed2ULL)};
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = handle_by_fingerprint_.find(key);
+    if (it != handle_by_fingerprint_.end()) {
+      ++shards_.at(it->second)->refcount;
+      return SettingHandle{it->second};
+    }
+  }
+  // Prepare outside the registry lock — validation, Adom seeding and master
+  // projection can be heavy, and other settings keep registering meanwhile.
+  // The dedup digest doubles as the prepared fingerprint: no re-scan.
+  Result<PreparedSetting> prepared =
+      PreparedSetting::Prepare(std::move(setting), key.primary);
+  if (!prepared.ok()) return prepared.status();
+
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = handle_by_fingerprint_.find(key);
+  if (it != handle_by_fingerprint_.end()) {
+    // Another thread registered the same setting while we prepared.
+    ++shards_.at(it->second)->refcount;
+    return SettingHandle{it->second};
+  }
+  const uint64_t id = next_handle_id_++;
+  shards_.emplace(id, std::make_shared<Shard>(std::move(prepared).value(), key,
+                                              options_.memoize
+                                                  ? options_.cache_capacity
+                                                  : 0));
+  handle_by_fingerprint_.emplace(key, id);
+  return SettingHandle{id};
+}
+
+Status CompletenessService::ReleaseSetting(SettingHandle handle) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = shards_.find(handle.id);
+  if (it == shards_.end()) {
+    return Status::NotFound("setting handle " + std::to_string(handle.id) +
+                            " is not registered (or already fully released)");
+  }
+  if (--it->second->refcount == 0) {
+    handle_by_fingerprint_.erase(it->second->setting_key);
+    shards_.erase(it);  // in-flight requests hold their own shared_ptr
+  }
+  return Status::OK();
+}
+
+size_t CompletenessService::num_settings() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return shards_.size();
+}
+
+std::shared_ptr<CompletenessService::Shard> CompletenessService::FindShard(
+    SettingHandle handle) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = shards_.find(handle.id);
+  return it == shards_.end() ? nullptr : it->second;
+}
+
+Decision CompletenessService::UnknownHandleDecision(SettingHandle handle) {
+  Decision decision;
+  decision.status =
+      Status::NotFound("setting handle " + std::to_string(handle.id) +
+                       " is not registered (or already fully released)");
+  return decision;
+}
+
+Result<PreparedSetting> CompletenessService::prepared(
+    SettingHandle handle) const {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  return shard->prepared;
+}
+
+Result<uint64_t> CompletenessService::FingerprintRequest(
+    SettingHandle handle, const DecisionRequest& request) const {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  return RequestKeyFor(shard->prepared, request).primary;
+}
+
+Decision CompletenessService::DecideOnShard(Shard& shard,
+                                            const DecisionRequest& request,
+                                            const RequestCacheKey* precomputed) {
+  const bool memoize = options_.memoize && options_.cache_capacity > 0;
+  const bool coalesce = options_.coalesce;
+  RequestCacheKey key;
+  if (memoize || coalesce) {
+    key = precomputed != nullptr ? *precomputed
+                                 : RequestKeyFor(shard.prepared, request);
+  }
+  // When this request is the first of its fingerprint, `computing` owns the
+  // in-flight slot; when an identical request is already running, `waiting`
+  // shares its future instead of recomputing.
+  std::shared_ptr<std::shared_future<Decision>> waiting;
+  std::promise<Decision> computing_promise;
+  bool computing_published = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.counters.requests;
+    if (memoize) {
+      if (const Decision* cached = shard.cache.Get(key)) {
+        ++shard.counters.cache_hits;
+        Decision hit = *cached;
+        hit.from_cache = true;
+        return hit;
+      }
+    }
+    if (coalesce) {
+      auto it = shard.in_flight.find(key);
+      if (it != shard.in_flight.end()) {
+        ++shard.counters.cache_hits;
+        ++shard.counters.coalesced;
+        waiting = it->second;
+      } else {
+        shard.in_flight.emplace(
+            key, std::make_shared<std::shared_future<Decision>>(
+                     computing_promise.get_future().share()));
+        computing_published = true;
+        ++shard.counters.cache_misses;
+      }
+    } else {
+      ++shard.counters.cache_misses;
+    }
+  }
+  if (waiting != nullptr) {
+    // The computation is live on another thread (the slot is inserted and
+    // erased by the computing thread itself, never parked on the queue), so
+    // this wait always makes progress.
+    Decision decision = waiting->get();
+    decision.from_cache = true;
+    AppendNote(&decision, "coalesced with identical in-flight request");
+    return decision;
+  }
+
+  Decision decision = EvaluateRequest(request, shard.prepared);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.search += decision.stats;
+    if (!decision.status.ok()) ++shard.counters.errors;
+    if (memoize) shard.cache.Put(key, decision);
+    if (coalesce && computing_published) shard.in_flight.erase(key);
+  }
+  // Publish after the slot is gone: late arrivals hit the LRU instead.
+  if (computing_published) computing_promise.set_value(decision);
+  return decision;
+}
+
+Decision CompletenessService::Decide(const ServiceRequest& request) {
+  return Decide(request.setting, request.request);
+}
+
+Decision CompletenessService::Decide(SettingHandle handle,
+                                     const DecisionRequest& request) {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle);
+  return DecideOnShard(*shard, request);
+}
+
+void CompletenessService::RunJobs(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  if (workers_.empty() || tls_on_worker_thread) {
+    for (std::function<void()>& job : jobs) job();
+    return;
+  }
+  struct Countdown {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+  auto countdown = std::make_shared<Countdown>();
+  countdown->remaining = jobs.size();
+  for (std::function<void()>& job : jobs) {
+    Enqueue([job = std::move(job), countdown] {
+      job();
+      std::lock_guard<std::mutex> lock(countdown->mu);
+      if (--countdown->remaining == 0) countdown->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(countdown->mu);
+  countdown->cv.wait(lock, [&] { return countdown->remaining == 0; });
+}
+
+std::vector<Decision> CompletenessService::SubmitBatchImpl(
+    const std::vector<RoutedRequest>& routed) {
+  std::vector<Decision> results(routed.size());
+
+  // Dedup-aware planning: one computation per (shard, cache key); later
+  // occurrences are filled from the first's slot after the batch runs.
+  struct PlanKey {
+    const Shard* shard = nullptr;
+    RequestCacheKey key;
+    bool operator==(const PlanKey& other) const {
+      return shard == other.shard && key == other.key;
+    }
+  };
+  struct PlanKeyHash {
+    size_t operator()(const PlanKey& k) const {
+      return std::hash<const void*>()(k.shard) ^ RequestCacheKeyHash()(k.key);
+    }
+  };
+  const bool plan = options_.coalesce;
+  std::vector<RequestCacheKey> keys(plan ? routed.size() : 0);
+  if (plan) {
+    // Key derivation re-fingerprints each request's query and c-instance —
+    // the expensive part of planning — so it rides the pool instead of
+    // serializing on the submitting thread.
+    std::vector<std::function<void()>> key_jobs;
+    key_jobs.reserve(routed.size());
+    for (size_t i = 0; i < routed.size(); ++i) {
+      if (routed[i].shard == nullptr) continue;
+      key_jobs.push_back([&routed, &keys, i] {
+        keys[i] = RequestKeyFor(routed[i].shard->prepared, *routed[i].request);
+      });
+    }
+    RunJobs(std::move(key_jobs));
+  }
+
+  std::unordered_map<PlanKey, size_t, PlanKeyHash> first_of;
+  std::vector<std::pair<size_t, size_t>> duplicates;  // (dup, primary)
+  std::vector<std::function<void()>> jobs;
+  for (size_t i = 0; i < routed.size(); ++i) {
+    const RoutedRequest& r = routed[i];
+    if (r.shard == nullptr) {
+      results[i] = UnknownHandleDecision(r.handle);
+      continue;
+    }
+    const RequestCacheKey* key = nullptr;
+    if (plan) {
+      auto [it, inserted] = first_of.emplace(PlanKey{r.shard.get(), keys[i]}, i);
+      if (!inserted) {
+        duplicates.emplace_back(i, it->second);
+        continue;
+      }
+      key = &keys[i];
+    }
+    jobs.push_back([this, shard = r.shard, request = r.request, key,
+                    out = &results[i]] {
+      *out = DecideOnShard(*shard, *request, key);
+    });
+  }
+  RunJobs(std::move(jobs));
+
+  for (const auto& [dup, primary] : duplicates) {
+    Decision decision = results[primary];
+    decision.from_cache = true;
+    AppendNote(&decision, "coalesced with identical request in batch");
+    {
+      Shard& shard = *routed[dup].shard;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.counters.requests;
+      ++shard.counters.cache_hits;
+      ++shard.counters.coalesced;
+    }
+    results[dup] = std::move(decision);
+  }
+  return results;
+}
+
+std::vector<Decision> CompletenessService::SubmitBatch(
+    const std::vector<ServiceRequest>& requests) {
+  std::vector<RoutedRequest> routed;
+  routed.reserve(requests.size());
+  // Resolve each distinct handle once instead of taking the registry lock
+  // per request.
+  std::unordered_map<uint64_t, std::shared_ptr<Shard>> resolved;
+  for (const ServiceRequest& request : requests) {
+    auto it = resolved.find(request.setting.id);
+    if (it == resolved.end()) {
+      it = resolved.emplace(request.setting.id, FindShard(request.setting))
+               .first;
+    }
+    routed.push_back(RoutedRequest{it->second, &request.request,
+                                   request.setting});
+  }
+  return SubmitBatchImpl(routed);
+}
+
+std::vector<Decision> CompletenessService::SubmitBatch(
+    SettingHandle handle, const std::vector<DecisionRequest>& requests) {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  std::vector<RoutedRequest> routed;
+  routed.reserve(requests.size());
+  for (const DecisionRequest& request : requests) {
+    routed.push_back(RoutedRequest{shard, &request, handle});
+  }
+  return SubmitBatchImpl(routed);
+}
+
+std::future<Decision> CompletenessService::SubmitAsync(ServiceRequest request) {
+  auto promise = std::make_shared<std::promise<Decision>>();
+  std::future<Decision> future = promise->get_future();
+  // Route at submission time: releasing the setting after admission does not
+  // fail requests already in the system.
+  std::shared_ptr<Shard> shard = FindShard(request.setting);
+  auto run = [this, shard = std::move(shard),
+              request = std::move(request), promise] {
+    promise->set_value(shard == nullptr
+                           ? UnknownHandleDecision(request.setting)
+                           : DecideOnShard(*shard, request.request));
+  };
+  if (workers_.empty() || tls_on_worker_thread) {
+    run();
+  } else {
+    Enqueue(std::move(run));
+  }
+  return future;
+}
+
+void CompletenessService::SubmitAsync(ServiceRequest request,
+                                      std::function<void(Decision)> on_complete) {
+  std::shared_ptr<Shard> shard = FindShard(request.setting);
+  auto run = [this, shard = std::move(shard), request = std::move(request),
+              on_complete = std::move(on_complete)] {
+    on_complete(shard == nullptr ? UnknownHandleDecision(request.setting)
+                                 : DecideOnShard(*shard, request.request));
+  };
+  if (workers_.empty() || tls_on_worker_thread) {
+    run();
+  } else {
+    Enqueue(std::move(run));
+  }
+}
+
+Result<EngineCounters> CompletenessService::counters(
+    SettingHandle handle) const {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->counters;
+}
+
+EngineCounters CompletenessService::TotalCounters() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) shards.push_back(shard);
+  }
+  EngineCounters total;
+  for (const std::shared_ptr<Shard>& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->counters;
+  }
+  return total;
+}
+
+Status CompletenessService::ClearCache(SettingHandle handle) {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->cache.Clear();
+  return Status::OK();
+}
+
+}  // namespace relcomp

@@ -1,0 +1,225 @@
+// CompletenessService: the multi-setting decision service. Where the legacy
+// CompletenessEngine serves one partially closed setting (Dm, V), the
+// service hosts a registry of them — one per tenant / master-data snapshot —
+// admitted via RegisterSetting (deduplicated by the stable setting
+// fingerprint, refcounted, evicted by ReleaseSetting). Each registered
+// setting backs a shard owning its PreparedSetting, LRU result cache, and
+// counters; handle-carrying requests are routed to their shard and served
+// over ONE worker pool shared by every setting, through three submission
+// paths:
+//
+//   Decide       — one request, synchronously on the calling thread;
+//   SubmitBatch  — a batch (possibly spanning settings), fanned out across
+//                  the pool with dedup-aware planning: identical requests in
+//                  one batch collapse to a single computation, the
+//                  duplicates reporting from_cache = true with a note;
+//   SubmitAsync  — fire-and-collect: returns a std::future<Decision> (or
+//                  invokes a completion callback) resolved by the pool.
+//
+// Identical requests that are concurrently in flight — across batches and
+// async submissions — coalesce too: the second occurrence waits on the
+// first's slot instead of recomputing. Answers are deterministic:
+// independent of worker count, scheduling, and coalescing; only the
+// from_cache flags and coalescing notes may differ between runs.
+#ifndef RELCOMP_SERVICE_SERVICE_H_
+#define RELCOMP_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prepared_setting.h"
+#include "service/decision.h"
+#include "service/lru_cache.h"
+
+namespace relcomp {
+
+/// Opaque ticket for a registered setting. Value-semantic and cheap; the
+/// zero handle is invalid. Registering a fingerprint-identical setting
+/// returns the SAME handle (with its refcount bumped), so handles are also
+/// identity: two equal handles route to one shard and one cache.
+struct SettingHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+  friend bool operator==(SettingHandle a, SettingHandle b) {
+    return a.id == b.id;
+  }
+  friend bool operator!=(SettingHandle a, SettingHandle b) {
+    return a.id != b.id;
+  }
+};
+
+/// One routed unit of service work: which setting, and what to decide.
+struct ServiceRequest {
+  SettingHandle setting;
+  DecisionRequest request;
+};
+
+/// Service configuration. Workers are shared across all settings; the cache
+/// capacity is per setting shard.
+struct ServiceOptions {
+  size_t num_workers = 4;       ///< shared pool; 0 = run everything inline
+  size_t cache_capacity = 1024; ///< LRU entries per shard; 0 disables
+  bool memoize = true;
+  bool coalesce = true;         ///< dedup-aware planning + in-flight waits
+};
+
+class CompletenessService {
+ public:
+  explicit CompletenessService(ServiceOptions options = {});
+  ~CompletenessService();
+  CompletenessService(const CompletenessService&) = delete;
+  CompletenessService& operator=(const CompletenessService&) = delete;
+
+  const ServiceOptions& options() const { return options_; }
+
+  /// Validates and prepares `setting`, or — when a live setting with the
+  /// same stable fingerprint is already registered — bumps its refcount and
+  /// returns its existing handle without re-preparing anything.
+  Result<SettingHandle> RegisterSetting(PartiallyClosedSetting setting);
+
+  /// Drops one registration. The shard (prepared setting, cache, counters)
+  /// is evicted when the last registration is released; in-flight requests
+  /// keep the shard alive until they finish. kNotFound for unknown or
+  /// already fully released handles.
+  Status ReleaseSetting(SettingHandle handle);
+
+  /// Number of live (distinct) registered settings.
+  size_t num_settings() const;
+
+  /// The shard's prepared setting (a cheap shared handle).
+  Result<PreparedSetting> prepared(SettingHandle handle) const;
+
+  /// Stable memoization key of a request under `handle`'s setting (the
+  /// primary digest of the dual-digest cache key).
+  Result<uint64_t> FingerprintRequest(SettingHandle handle,
+                                      const DecisionRequest& request) const;
+
+  /// Decides one request synchronously on the calling thread (consulting
+  /// and filling the shard cache, coalescing with in-flight identical
+  /// requests). An invalid or released handle yields an error Decision, not
+  /// a crash. Thread-safe.
+  Decision Decide(const ServiceRequest& request);
+
+  /// Same, without wrapping the request (no copy) — the adapter hot path.
+  Decision Decide(SettingHandle handle, const DecisionRequest& request);
+
+  /// Decides a batch; the result vector is parallel to `requests`. Requests
+  /// may target different settings — each routes to its own shard — and are
+  /// fanned out across the shared pool. Dedup-aware planning: identical
+  /// requests (same shard, same cache key) collapse to one computation;
+  /// duplicates report from_cache = true with a coalescing note. Multiple
+  /// batches may be submitted concurrently. Thread-safe.
+  std::vector<Decision> SubmitBatch(const std::vector<ServiceRequest>& requests);
+
+  /// Single-setting batch without per-request handle plumbing (and without
+  /// copying the requests into ServiceRequests) — the engine adapter's path.
+  std::vector<Decision> SubmitBatch(SettingHandle handle,
+                                    const std::vector<DecisionRequest>& requests);
+
+  /// Async path: enqueues the request on the shared pool and returns a
+  /// future for its decision. With 0 workers the request is decided inline
+  /// and the future is already resolved. Thread-safe.
+  std::future<Decision> SubmitAsync(ServiceRequest request);
+
+  /// Callback flavor: `on_complete` is invoked with the decision, on a
+  /// worker thread (or inline with 0 workers). Thread-safe. Submissions
+  /// made from inside a callback (or any pool thread) execute inline — a
+  /// worker parking on work only workers can drain would deadlock the
+  /// pool — so callbacks may safely call back into the service.
+  void SubmitAsync(ServiceRequest request,
+                   std::function<void(Decision)> on_complete);
+
+  /// Per-shard counters; kNotFound after release.
+  Result<EngineCounters> counters(SettingHandle handle) const;
+
+  /// Field-wise sum of every live shard's counters.
+  EngineCounters TotalCounters() const;
+
+  /// Drops the shard's memoized results (counters are preserved).
+  Status ClearCache(SettingHandle handle);
+
+ private:
+  /// Dual-digest registry identity of a setting — the RequestCacheKey
+  /// collision policy applied to registration: a single 64-bit fingerprint
+  /// collision would silently route one tenant's requests to another
+  /// tenant's shard, so dedup requires both digests to agree.
+  using SettingKey = RequestCacheKey;
+  using SettingKeyHash = RequestCacheKeyHash;
+
+  /// One registered setting: prepared artifacts + cache + counters + the
+  /// in-flight table used for request coalescing. Shared-ptr'd so requests
+  /// already routed survive a concurrent ReleaseSetting.
+  struct Shard {
+    Shard(PreparedSetting prepared_setting, SettingKey key,
+          size_t cache_capacity)
+        : prepared(std::move(prepared_setting)),
+          setting_key(key),
+          cache(cache_capacity) {}
+
+    PreparedSetting prepared;
+    const SettingKey setting_key;
+    uint64_t refcount = 1;  // guarded by registry_mu_
+
+    mutable std::mutex mu;  // cache + counters + in_flight
+    LruCache<RequestCacheKey, Decision, RequestCacheKeyHash> cache;
+    EngineCounters counters;
+    std::unordered_map<RequestCacheKey, std::shared_ptr<std::shared_future<Decision>>,
+                       RequestCacheKeyHash>
+        in_flight;
+  };
+
+  /// A request resolved to its shard (null when the handle is unknown).
+  struct RoutedRequest {
+    std::shared_ptr<Shard> shard;
+    const DecisionRequest* request = nullptr;
+    SettingHandle handle;
+  };
+
+  std::shared_ptr<Shard> FindShard(SettingHandle handle) const;
+  static Decision UnknownHandleDecision(SettingHandle handle);
+
+  /// Cache-through, coalescing evaluation on one shard + counter update.
+  /// `precomputed` lets the batch planner hand over the cache key it
+  /// already derived.
+  Decision DecideOnShard(Shard& shard, const DecisionRequest& request,
+                         const RequestCacheKey* precomputed = nullptr);
+
+  /// Runs `jobs` to completion: inline with no workers, else enqueued on
+  /// the shared pool and awaited.
+  void RunJobs(std::vector<std::function<void()>> jobs);
+
+  /// The shared planning/fan-out core of both SubmitBatch overloads.
+  std::vector<Decision> SubmitBatchImpl(const std::vector<RoutedRequest>& routed);
+
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  const ServiceOptions options_;
+
+  // Registry: handle id → shard, plus the fingerprint dedup index.
+  mutable std::mutex registry_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Shard>> shards_;
+  std::unordered_map<SettingKey, uint64_t, SettingKeyHash>
+      handle_by_fingerprint_;
+  uint64_t next_handle_id_ = 1;
+
+  // Shared worker pool. Workers drain the queue before honoring shutdown,
+  // so async submissions accepted before destruction still resolve.
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_SERVICE_SERVICE_H_

@@ -45,43 +45,8 @@ std::vector<DecisionRequest> MixedWorkload(const PatientsFixture& fx) {
   return requests;
 }
 
-/// A narrow MDM-audit fixture (IND-bounded visits) where every problem kind
-/// — including RCQP strong and the weak models — is cheap.
-struct AuditFixture {
-  PartiallyClosedSetting setting;
-  CInstance audited;
-  Query by_patient;  ///< cities visited by patient "nhs-0"
-  Query all_cities;  ///< cities of any visit
-};
-
-AuditFixture MakeAuditFixture() {
-  AuditFixture fx;
-  fx.setting.schema.AddRelation(RelationSchema(
-      "Visit", {Attribute{"nhs", Domain::Infinite()},
-                Attribute{"city", Domain::Finite({S("EDI"), S("LON")})}}));
-  fx.setting.master_schema.AddRelation(
-      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
-  fx.setting.dm = Instance(fx.setting.master_schema);
-  for (int i = 0; i < 4; ++i) {
-    fx.setting.dm.AddTuple(
-        "Patientm", {Value::Sym("nhs-" + std::to_string(i))});
-  }
-  ConjunctiveQuery proj({CTerm(VarId{0})},
-                        {RelAtom{"Visit", {VarId{0}, VarId{1}}}});
-  fx.setting.ccs.emplace_back("visits_known", std::move(proj), "Patientm",
-                              std::vector<int>{0});
-
-  Instance db(fx.setting.schema);
-  db.AddTuple("Visit", {S("nhs-0"), S("EDI")});
-  db.AddTuple("Visit", {S("nhs-1"), S("LON")});
-  fx.audited = CInstance::FromInstance(db);
-
-  fx.by_patient = Query::Cq(ConjunctiveQuery(
-      {CTerm(VarId{0})}, {RelAtom{"Visit", {CTerm(S("nhs-0")), VarId{0}}}}));
-  fx.all_cities = Query::Cq(ConjunctiveQuery(
-      {CTerm(VarId{1})}, {RelAtom{"Visit", {VarId{0}, VarId{1}}}}));
-  return fx;
-}
+using testing::AuditFixture;
+using testing::MakeAuditFixture;
 
 /// Every problem kind × both audit queries: the full RCDP/RCQP/MINP mix.
 std::vector<DecisionRequest> AuditWorkload(const AuditFixture& fx) {
@@ -216,8 +181,8 @@ TEST(EngineTest, RepeatedQueriesHitTheCache) {
   EXPECT_EQ(counters.cache_hits, 1u);
   EXPECT_EQ(counters.cache_misses, 1u);
 
-  // A batch of duplicates performs the work at most once more per distinct
-  // fingerprint (worker interleaving may double-compute, never corrupt).
+  // A batch of duplicates is deduped at planning time: every occurrence is
+  // served from the cache or coalesced onto one slot, never recomputed.
   std::vector<DecisionRequest> batch(8, request);
   std::vector<Decision> decisions = engine->SubmitBatch(batch);
   for (const Decision& d : decisions) {
@@ -294,15 +259,102 @@ TEST(EngineTest, UndecidableKindsReportErrorsInCounters) {
 }
 
 TEST(EngineTest, ProblemKindNamesRoundTrip) {
-  for (ProblemKind kind :
-       {ProblemKind::kRcdpStrong, ProblemKind::kRcdpWeak,
-        ProblemKind::kRcdpViable, ProblemKind::kRcqpStrong,
-        ProblemKind::kRcqpWeak, ProblemKind::kMinpStrong,
-        ProblemKind::kMinpViable, ProblemKind::kMinpWeak}) {
+  EXPECT_EQ(AllProblemKinds().size(), 8u);
+  for (ProblemKind kind : AllProblemKinds()) {
     ASSERT_OK_AND_ASSIGN(parsed, ParseProblemKind(ProblemKindName(kind)));
     EXPECT_EQ(parsed, kind);
   }
-  EXPECT_FALSE(ParseProblemKind("rcdp-bogus").ok());
+  Result<ProblemKind> bogus = ParseProblemKind("rcdp-bogus");
+  ASSERT_FALSE(bogus.ok());
+  // The error names every valid kind, so CLI users see their options.
+  for (ProblemKind kind : AllProblemKinds()) {
+    EXPECT_NE(bogus.status().message().find(ProblemKindName(kind)),
+              std::string::npos)
+        << bogus.status().message();
+  }
+}
+
+TEST(EngineTest, LruEvictionAtCapacityOneCountsMisses) {
+  AuditFixture fx = MakeAuditFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/1);
+
+  DecisionRequest a;
+  a.kind = ProblemKind::kRcdpStrong;
+  a.query = fx.by_patient;
+  a.cinstance = fx.audited;
+  DecisionRequest b = a;
+  b.query = fx.all_cities;
+
+  EXPECT_FALSE(engine->Decide(a).from_cache);  // miss: cache = {A}
+  EXPECT_TRUE(engine->Decide(a).from_cache);   // hit
+  EXPECT_FALSE(engine->Decide(b).from_cache);  // miss: evicts A, cache = {B}
+  EXPECT_TRUE(engine->Decide(b).from_cache);   // hit
+  EXPECT_FALSE(engine->Decide(a).from_cache);  // miss again: A was evicted
+
+  EngineCounters counters = engine->counters();
+  EXPECT_EQ(counters.requests, 5u);
+  EXPECT_EQ(counters.cache_hits, 2u);
+  EXPECT_EQ(counters.cache_misses, 3u);
+
+  // ClearCache drops the memoized results but preserves the counters.
+  engine->ClearCache();
+  EXPECT_FALSE(engine->Decide(a).from_cache);
+  counters = engine->counters();
+  EXPECT_EQ(counters.requests, 6u);
+  EXPECT_EQ(counters.cache_hits, 2u);
+  EXPECT_EQ(counters.cache_misses, 4u);
+}
+
+TEST(EngineTest, CapacityZeroNeverHitsAndStillCountsWork) {
+  AuditFixture fx = MakeAuditFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/0);
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+
+  EXPECT_FALSE(engine->Decide(request).from_cache);
+  EXPECT_FALSE(engine->Decide(request).from_cache);
+  engine->ClearCache();  // no-op with no cache, must stay safe
+  EXPECT_FALSE(engine->Decide(request).from_cache);
+
+  EngineCounters counters = engine->counters();
+  EXPECT_EQ(counters.requests, 3u);
+  EXPECT_EQ(counters.cache_hits, 0u);
+  // Misses count real evaluations even with memoization off.
+  EXPECT_EQ(counters.cache_misses, 3u);
+}
+
+TEST(EngineTest, WitnessSurfacesThroughEngineDecisions) {
+  // Example 2.4: Q4 is weakly but NOT strongly complete — some world picks
+  // the wrong name for t2. The adapter must surface that counterexample.
+  PatientsFixture fx = MakePatientsFixture();
+  auto engine = MakeEngine(fx.setting, /*workers=*/2, /*cache=*/64);
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.q4;
+  request.cinstance = fx.ctable;
+  request.want_witness = true;
+
+  Decision decision = engine->Decide(request);
+  ASSERT_TRUE(decision.status.ok()) << decision.status.ToString();
+  EXPECT_FALSE(decision.answer);
+  ASSERT_NE(decision.witness, nullptr);
+  EXPECT_NE(decision.witness->note.find("incomplete"), std::string::npos)
+      << decision.witness->note;
+
+  // Without want_witness the decision stays lean (and is keyed separately).
+  request.want_witness = false;
+  Decision lean = engine->Decide(request);
+  EXPECT_EQ(lean.witness, nullptr);
+  EXPECT_NE(engine->FingerprintRequest(request),
+            [&] {
+              DecisionRequest with = request;
+              with.want_witness = true;
+              return engine->FingerprintRequest(with);
+            }());
 }
 
 TEST(EngineTest, SearchStatsMergeAccumulatesFieldWise) {

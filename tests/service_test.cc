@@ -1,0 +1,458 @@
+// CompletenessService: multi-setting registration / dedup / release,
+// interleaved cross-setting batches vs independent engines, async futures
+// and completion callbacks vs the synchronous path, dedup-aware batch
+// coalescing (exactly one miss), and witness propagation through the
+// service on the known-incomplete Fig. 1 acquisition instance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rcdp.h"
+#include "engine/engine.h"
+#include "reductions/examples_fig1.h"
+#include "service/service.h"
+#include "test_util.h"
+
+namespace relcomp {
+namespace {
+
+using testing::S;
+
+using testing::AuditFixture;
+using testing::MakeAuditFixture;
+
+/// Every problem kind × both audit queries for one fixture.
+std::vector<DecisionRequest> AuditWorkload(const AuditFixture& fx) {
+  std::vector<DecisionRequest> requests;
+  for (const Query* q : {&fx.by_patient, &fx.all_cities}) {
+    for (ProblemKind kind : AllProblemKinds()) {
+      DecisionRequest request;
+      request.kind = kind;
+      request.query = *q;
+      request.cinstance = fx.audited;
+      request.rcqp_max_tuples = 2;
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+ServiceOptions MakeOptions(size_t workers, size_t cache,
+                           bool coalesce = true) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.cache_capacity = cache;
+  options.memoize = cache > 0;
+  options.coalesce = coalesce;
+  return options;
+}
+
+void ExpectSameDecisions(const std::vector<Decision>& a,
+                         const std::vector<Decision>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status.code(), b[i].status.code())
+        << "request " << i << ": " << a[i].status.ToString() << " vs "
+        << b[i].status.ToString();
+    if (a[i].status.ok() && b[i].status.ok()) {
+      EXPECT_EQ(a[i].answer, b[i].answer) << "request " << i;
+    }
+  }
+}
+
+TEST(ServiceTest, InterleavedBatchesMatchIndependentEngines) {
+  AuditFixture fx_a = MakeAuditFixture(0);
+  AuditFixture fx_b = MakeAuditFixture(1);
+  std::vector<DecisionRequest> workload_a = AuditWorkload(fx_a);
+  std::vector<DecisionRequest> workload_b = AuditWorkload(fx_b);
+
+  // Reference: one independent engine per setting, computed inline.
+  EngineOptions engine_options;
+  engine_options.num_workers = 0;
+  engine_options.cache_capacity = 0;
+  engine_options.memoize = false;
+  ASSERT_OK_AND_ASSIGN(engine_a,
+                       CompletenessEngine::Create(fx_a.setting, engine_options));
+  ASSERT_OK_AND_ASSIGN(engine_b,
+                       CompletenessEngine::Create(fx_b.setting, engine_options));
+  std::vector<Decision> expected_a, expected_b;
+  for (const DecisionRequest& request : workload_a) {
+    expected_a.push_back(engine_a->Decide(request));
+  }
+  for (const DecisionRequest& request : workload_b) {
+    expected_b.push_back(engine_b->Decide(request));
+  }
+
+  // One service hosting both settings; the two workloads interleaved
+  // request by request in a single batch.
+  CompletenessService service(MakeOptions(/*workers=*/4, /*cache=*/256));
+  ASSERT_OK_AND_ASSIGN(handle_a, service.RegisterSetting(fx_a.setting));
+  ASSERT_OK_AND_ASSIGN(handle_b, service.RegisterSetting(fx_b.setting));
+  EXPECT_NE(handle_a, handle_b);
+  EXPECT_EQ(service.num_settings(), 2u);
+
+  std::vector<ServiceRequest> interleaved;
+  ASSERT_EQ(workload_a.size(), workload_b.size());
+  for (size_t i = 0; i < workload_a.size(); ++i) {
+    interleaved.push_back(ServiceRequest{handle_a, workload_a[i]});
+    interleaved.push_back(ServiceRequest{handle_b, workload_b[i]});
+  }
+  std::vector<Decision> decisions = service.SubmitBatch(interleaved);
+
+  std::vector<Decision> got_a, got_b;
+  for (size_t i = 0; i < decisions.size(); i += 2) {
+    got_a.push_back(decisions[i]);
+    got_b.push_back(decisions[i + 1]);
+  }
+  ExpectSameDecisions(expected_a, got_a);
+  ExpectSameDecisions(expected_b, got_b);
+
+  ASSERT_OK_AND_ASSIGN(counters_a, service.counters(handle_a));
+  ASSERT_OK_AND_ASSIGN(counters_b, service.counters(handle_b));
+  EXPECT_EQ(counters_a.requests, workload_a.size());
+  EXPECT_EQ(counters_b.requests, workload_b.size());
+  EXPECT_EQ(counters_a.errors, 0u);
+  EXPECT_EQ(counters_b.errors, 0u);
+  EngineCounters total = service.TotalCounters();
+  EXPECT_EQ(total.requests, workload_a.size() + workload_b.size());
+}
+
+TEST(ServiceTest, RegisteringIdenticalSettingReturnsSameHandle) {
+  AuditFixture fx = MakeAuditFixture();
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(first, service.RegisterSetting(fx.setting));
+  // A byte-identical rebuild of the setting fingerprints identically and
+  // dedups onto the same shard.
+  ASSERT_OK_AND_ASSIGN(second,
+                       service.RegisterSetting(MakeAuditFixture().setting));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.num_settings(), 1u);
+
+  // A genuinely different setting gets its own handle.
+  ASSERT_OK_AND_ASSIGN(other,
+                       service.RegisterSetting(MakeAuditFixture(1).setting));
+  EXPECT_NE(first, other);
+  EXPECT_EQ(service.num_settings(), 2u);
+
+  // The deduped shard shares one cache: the same request decided via either
+  // registration is a hit the second time.
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+  Decision miss = service.Decide(first, request);
+  ASSERT_TRUE(miss.status.ok()) << miss.status.ToString();
+  Decision hit = service.Decide(second, request);
+  EXPECT_TRUE(hit.from_cache);
+}
+
+TEST(ServiceTest, ReleaseSettingRefcountsAndEvicts) {
+  AuditFixture fx = MakeAuditFixture();
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+  ASSERT_OK_AND_ASSIGN(again, service.RegisterSetting(fx.setting));
+  ASSERT_EQ(handle, again);
+
+  // Two registrations: the first release keeps the shard alive.
+  EXPECT_OK(service.ReleaseSetting(handle));
+  EXPECT_EQ(service.num_settings(), 1u);
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcqpWeak;
+  request.query = fx.by_patient;
+  EXPECT_TRUE(service.Decide(handle, request).status.ok());
+
+  // The second release evicts; the handle goes dark, errors are graceful.
+  EXPECT_OK(service.ReleaseSetting(handle));
+  EXPECT_EQ(service.num_settings(), 0u);
+  EXPECT_EQ(service.ReleaseSetting(handle).code(), StatusCode::kNotFound);
+  Decision gone = service.Decide(handle, request);
+  EXPECT_EQ(gone.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(service.counters(handle).ok());
+
+  // Re-registering after eviction issues a fresh handle.
+  ASSERT_OK_AND_ASSIGN(fresh, service.RegisterSetting(fx.setting));
+  EXPECT_NE(fresh, handle);
+}
+
+TEST(ServiceTest, InvalidHandleYieldsErrorDecisions) {
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/16));
+  SettingHandle bogus{42};
+  DecisionRequest request;
+
+  EXPECT_EQ(service.Decide(bogus, request).status.code(),
+            StatusCode::kNotFound);
+  std::vector<Decision> batch =
+      service.SubmitBatch({ServiceRequest{bogus, request},
+                           ServiceRequest{SettingHandle{}, request}});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(batch[1].status.code(), StatusCode::kNotFound);
+  Decision async = service.SubmitAsync(ServiceRequest{bogus, request}).get();
+  EXPECT_EQ(async.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServiceTest, AsyncFuturesMatchSynchronousBatch) {
+  AuditFixture fx = MakeAuditFixture();
+  std::vector<DecisionRequest> workload = AuditWorkload(fx);
+
+  for (size_t workers : {1u, 4u}) {
+    CompletenessService service(MakeOptions(workers, /*cache=*/256));
+    ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+    // Submit everything async first, then the same workload synchronously
+    // on a second, cacheless service as the reference.
+    std::vector<std::future<Decision>> futures;
+    futures.reserve(workload.size());
+    for (const DecisionRequest& request : workload) {
+      futures.push_back(service.SubmitAsync(ServiceRequest{handle, request}));
+    }
+    std::vector<Decision> async_decisions;
+    async_decisions.reserve(futures.size());
+    for (std::future<Decision>& future : futures) {
+      async_decisions.push_back(future.get());
+    }
+
+    CompletenessService reference(MakeOptions(/*workers=*/0, /*cache=*/0,
+                                              /*coalesce=*/false));
+    ASSERT_OK_AND_ASSIGN(ref_handle, reference.RegisterSetting(fx.setting));
+    std::vector<Decision> sync_decisions =
+        reference.SubmitBatch(ref_handle, workload);
+    ExpectSameDecisions(sync_decisions, async_decisions);
+  }
+}
+
+TEST(ServiceTest, AsyncCompletionCallbackDelivers) {
+  AuditFixture fx = MakeAuditFixture();
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+
+  std::promise<Decision> delivered;
+  service.SubmitAsync(ServiceRequest{handle, request},
+                      [&delivered](Decision decision) {
+                        delivered.set_value(std::move(decision));
+                      });
+  Decision decision = delivered.get_future().get();
+  ASSERT_TRUE(decision.status.ok()) << decision.status.ToString();
+  EXPECT_EQ(decision.answer, service.Decide(handle, request).answer);
+}
+
+TEST(ServiceTest, ReentrantSubmissionFromCallbackDoesNotDeadlock) {
+  // One worker, and the completion callback itself submits more work: the
+  // nested batch must run inline on the worker (parking on the queue this
+  // thread is the only drainer of would deadlock the pool forever).
+  AuditFixture fx = MakeAuditFixture();
+  CompletenessService service(MakeOptions(/*workers=*/1, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest first;
+  first.kind = ProblemKind::kRcdpStrong;
+  first.query = fx.by_patient;
+  first.cinstance = fx.audited;
+  DecisionRequest second = first;
+  second.query = fx.all_cities;
+
+  std::promise<std::pair<Decision, Decision>> done;
+  service.SubmitAsync(
+      ServiceRequest{handle, first},
+      [&service, &done, handle, second](Decision outer) {
+        std::vector<Decision> nested = service.SubmitBatch(handle, {second});
+        done.set_value({std::move(outer), std::move(nested[0])});
+      });
+  std::future<std::pair<Decision, Decision>> future = done.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "re-entrant submission deadlocked the pool";
+  auto [outer, nested] = future.get();
+  ASSERT_TRUE(outer.status.ok()) << outer.status.ToString();
+  ASSERT_TRUE(nested.status.ok()) << nested.status.ToString();
+  EXPECT_EQ(nested.answer, service.Decide(handle, second).answer);
+}
+
+TEST(ServiceTest, CoalescedDuplicateBatchRecordsOneMiss) {
+  AuditFixture fx = MakeAuditFixture();
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+
+  for (size_t workers : {0u, 4u}) {
+    CompletenessService service(MakeOptions(workers, /*cache=*/64));
+    ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+    std::vector<DecisionRequest> batch(8, request);
+    std::vector<Decision> decisions = service.SubmitBatch(handle, batch);
+    ASSERT_EQ(decisions.size(), 8u);
+    size_t coalesced = 0;
+    for (size_t i = 0; i < decisions.size(); ++i) {
+      ASSERT_TRUE(decisions[i].status.ok());
+      EXPECT_EQ(decisions[i].answer, decisions[0].answer);
+      if (decisions[i].from_cache) {
+        ++coalesced;
+        EXPECT_NE(decisions[i].note.find("coalesced"), std::string::npos)
+            << decisions[i].note;
+      }
+    }
+    EXPECT_EQ(coalesced, 7u);
+
+    ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+    EXPECT_EQ(counters.requests, 8u);
+    EXPECT_EQ(counters.cache_misses, 1u) << "workers=" << workers;
+    EXPECT_EQ(counters.cache_hits, 7u);
+    EXPECT_EQ(counters.coalesced, 7u);
+  }
+}
+
+TEST(ServiceTest, CoalescingWorksWithMemoizationDisabled) {
+  AuditFixture fx = MakeAuditFixture();
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/0));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+  std::vector<Decision> decisions =
+      service.SubmitBatch(handle, std::vector<DecisionRequest>(4, request));
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  // No LRU, but batch dedup still collapses the four to one computation.
+  EXPECT_EQ(counters.cache_misses, 1u);
+  EXPECT_EQ(counters.coalesced, 3u);
+  for (const Decision& decision : decisions) {
+    EXPECT_EQ(decision.answer, decisions[0].answer);
+  }
+}
+
+TEST(ServiceTest, WitnessPropagatesThroughService) {
+  // Example 2.2 / Fig. 1 acquisition master: the ground instance can never
+  // be complete for Q3 (diabetics born 2000, any city).
+  PatientsFixture fx = MakePatientsFixture();
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.acquisition));
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.q3;
+  request.cinstance = CInstance::FromInstance(fx.ground);
+  request.want_witness = true;
+
+  Decision decision = service.Decide(handle, request);
+  ASSERT_TRUE(decision.status.ok()) << decision.status.ToString();
+  EXPECT_FALSE(decision.answer);
+  ASSERT_NE(decision.witness, nullptr);
+  EXPECT_FALSE(decision.witness->note.empty());
+
+  // The cross-check: the witness matches what the low-level decider reports.
+  CompletenessWitness direct;
+  ASSERT_OK_AND_ASSIGN(
+      answer, RcdpStrong(fx.q3, request.cinstance, fx.acquisition, {}, nullptr,
+                         &direct));
+  EXPECT_FALSE(answer);
+  EXPECT_EQ(decision.witness->note, direct.note);
+
+  // Cached replays keep carrying the witness.
+  Decision cached = service.Decide(handle, request);
+  EXPECT_TRUE(cached.from_cache);
+  ASSERT_NE(cached.witness, nullptr);
+  EXPECT_EQ(cached.witness->note, direct.note);
+
+  // Witness-less runs are keyed separately and stay lean.
+  request.want_witness = false;
+  Decision lean = service.Decide(handle, request);
+  EXPECT_FALSE(lean.from_cache);
+  EXPECT_EQ(lean.witness, nullptr);
+}
+
+TEST(ServiceTest, ViableWitnessReportsCompleteWorld) {
+  AuditFixture fx = MakeAuditFixture();
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/0));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpViable;
+  request.query = fx.by_patient;
+  request.cinstance = fx.audited;
+  request.want_witness = true;
+  Decision decision = service.Decide(handle, request);
+  ASSERT_TRUE(decision.status.ok()) << decision.status.ToString();
+  if (decision.answer) {
+    ASSERT_NE(decision.witness, nullptr);
+    EXPECT_NE(decision.witness->note.find("complete world"),
+              std::string::npos);
+  }
+}
+
+TEST(ServiceTest, ConcurrentIdenticalAsyncRequestsCoalesce) {
+  // A slow-ish request submitted many times concurrently: the in-flight
+  // table must collapse the duplicates that overlap, and every future must
+  // resolve to the same answer. (Exact coalesced counts are scheduling-
+  // dependent; the invariant is hits + misses == requests and one miss at
+  // minimum.)
+  PatientsFixture fx = MakePatientsFixture();
+  CompletenessService service(MakeOptions(/*workers=*/4, /*cache=*/0));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = fx.q1;
+  request.cinstance = fx.ctable;
+
+  constexpr size_t kSubmissions = 16;
+  std::vector<std::future<Decision>> futures;
+  for (size_t i = 0; i < kSubmissions; ++i) {
+    futures.push_back(service.SubmitAsync(ServiceRequest{handle, request}));
+  }
+  bool expected = false;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Decision decision = futures[i].get();
+    ASSERT_TRUE(decision.status.ok()) << decision.status.ToString();
+    if (i == 0) {
+      expected = decision.answer;
+    } else {
+      EXPECT_EQ(decision.answer, expected);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.requests, kSubmissions);
+  EXPECT_EQ(counters.cache_hits + counters.cache_misses, kSubmissions);
+  EXPECT_GE(counters.cache_misses, 1u);
+  EXPECT_EQ(counters.coalesced, counters.cache_hits);
+}
+
+TEST(ServiceTest, EngineAdapterMatchesService) {
+  // The deprecated single-setting engine is a shim over the service: same
+  // answers, same counters semantics.
+  AuditFixture fx = MakeAuditFixture();
+  std::vector<DecisionRequest> workload = AuditWorkload(fx);
+
+  EngineOptions engine_options;
+  engine_options.num_workers = 2;
+  engine_options.cache_capacity = 128;
+  ASSERT_OK_AND_ASSIGN(engine,
+                       CompletenessEngine::Create(fx.setting, engine_options));
+  std::vector<Decision> via_engine = engine->SubmitBatch(workload);
+
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/128));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+  std::vector<Decision> via_service = service.SubmitBatch(handle, workload);
+  ExpectSameDecisions(via_engine, via_service);
+
+  // The adapter exposes its backing registration.
+  EXPECT_TRUE(engine->handle().valid());
+  EXPECT_EQ(engine->service().num_settings(), 1u);
+  Decision async = engine->SubmitAsync(workload[0]).get();
+  EXPECT_EQ(async.status.code(), via_engine[0].status.code());
+  if (async.status.ok()) EXPECT_EQ(async.answer, via_engine[0].answer);
+}
+
+}  // namespace
+}  // namespace relcomp

@@ -33,6 +33,49 @@ inline PartiallyClosedSetting OpenSetting(DatabaseSchema schema) {
   return setting;
 }
 
+/// A narrow MDM-audit fixture shared by the engine and service tests:
+/// IND-bounded visits over a 4-patient master, where every problem kind —
+/// including RCQP strong and the weak models — is cheap. `city_offset`
+/// varies the finite city domain so two fixtures give
+/// fingerprint-distinct settings.
+struct AuditFixture {
+  PartiallyClosedSetting setting;
+  CInstance audited;
+  Query by_patient;  ///< cities visited by patient "nhs-0"
+  Query all_cities;  ///< cities of any visit
+};
+
+inline AuditFixture MakeAuditFixture(int city_offset = 0) {
+  AuditFixture fx;
+  const Value city_a = city_offset == 0 ? S("EDI") : S("GLA");
+  const Value city_b = city_offset == 0 ? S("LON") : S("ABD");
+  fx.setting.schema.AddRelation(RelationSchema(
+      "Visit", {Attribute{"nhs", Domain::Infinite()},
+                Attribute{"city", Domain::Finite({city_a, city_b})}}));
+  fx.setting.master_schema.AddRelation(
+      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
+  fx.setting.dm = Instance(fx.setting.master_schema);
+  for (int i = 0; i < 4; ++i) {
+    fx.setting.dm.AddTuple("Patientm",
+                           {Value::Sym("nhs-" + std::to_string(i))});
+  }
+  ConjunctiveQuery proj({CTerm(VarId{0})},
+                        {RelAtom{"Visit", {VarId{0}, VarId{1}}}});
+  fx.setting.ccs.emplace_back("visits_known", std::move(proj), "Patientm",
+                              std::vector<int>{0});
+
+  Instance db(fx.setting.schema);
+  db.AddTuple("Visit", {S("nhs-0"), city_a});
+  db.AddTuple("Visit", {S("nhs-1"), city_b});
+  fx.audited = CInstance::FromInstance(db);
+
+  fx.by_patient = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{0})}, {RelAtom{"Visit", {CTerm(S("nhs-0")), VarId{0}}}}));
+  fx.all_cities = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{1})}, {RelAtom{"Visit", {VarId{0}, VarId{1}}}}));
+  return fx;
+}
+
 /// Unwraps a Result<T> in a test, failing loudly on error.
 #define ASSERT_OK_AND_ASSIGN(lhs, expr)                       \
   auto lhs##_result = (expr);                                 \

@@ -1,17 +1,24 @@
 // relcomp_cli: batch completeness auditing from the command line.
 //
-// Loads a partially closed setting (schema, master data, CCs, instances) and
-// a stream of queries from program files in the textual language of
-// query/parser.h, fans the resulting decision requests through a
-// CompletenessEngine, and reports per-query decisions plus throughput and
-// cache statistics.
+// Loads one or more partially closed settings (schema, master data, CCs,
+// instances) plus a stream of queries from program files in the textual
+// language of query/parser.h, fans the resulting decision requests through a
+// multi-setting CompletenessService, and reports per-query decisions plus
+// throughput and cache statistics.
 //
 //   relcomp_cli setting.rcp [more_queries.rcp ...] \
 //       [--problem rcdp-strong,rcdp-weak] [--workers N] [--cache N]
-//       [--repeat K] [--instance NAME] [--minstance NAME] [--compare]
+//       [--repeat K] [--instance NAME] [--minstance NAME]
+//       [--compare] [--witness]
+//   relcomp_cli --setting a.rcp --setting b.rcp [more_queries.rcp ...] ...
 //
-// Extra query files are parsed against the setting file's declarations (the
-// texts are concatenated), so a query stream needs no schema boilerplate.
+// With --setting flags, every named file contributes its own setting and
+// workload; the workloads are interleaved request by request in one batch,
+// each routed to its shard by handle (identical settings deduplicate onto
+// one shard). Extra positional query files are parsed against each
+// setting's declarations (the texts are concatenated), so a query stream
+// needs no schema boilerplate.
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -21,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/engine.h"
+#include "service/service.h"
 #include "query/parser.h"
 
 using namespace relcomp;
@@ -29,7 +36,8 @@ using namespace relcomp;
 namespace {
 
 struct CliOptions {
-  std::vector<std::string> files;
+  std::vector<std::string> setting_files;  // --setting; else files[0]
+  std::vector<std::string> files;          // positional: query streams
   std::vector<ProblemKind> problems = {ProblemKind::kRcdpStrong};
   size_t workers = 4;
   size_t cache = 1024;
@@ -37,6 +45,17 @@ struct CliOptions {
   std::string instance_name;
   std::string minstance_name;
   bool compare = false;
+  bool witness = false;
+};
+
+/// One registered setting and its share of the workload.
+struct SettingWorkload {
+  std::string file;
+  PartiallyClosedSetting setting;
+  CInstance audited;
+  SettingHandle handle;
+  std::vector<std::string> labels;
+  std::vector<DecisionRequest> requests;
 };
 
 int Fail(const std::string& message) {
@@ -117,6 +136,68 @@ double Seconds(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+/// Parses one setting file (plus the shared query streams) into a workload.
+/// Exits with a message on any parse or file error.
+SettingWorkload LoadSetting(const std::string& setting_file,
+                            const std::vector<std::string>& query_files,
+                            const CliOptions& cli) {
+  SettingWorkload load;
+  load.file = setting_file;
+
+  std::string setting_text;
+  if (!ReadFile(setting_file, &setting_text)) {
+    std::exit(Fail("cannot read '" + setting_file + "'"));
+  }
+  Result<ParsedProgram> base = ParseProgram(setting_text);
+  if (!base.ok()) {
+    std::exit(Fail(setting_file + ": " + base.status().ToString()));
+  }
+
+  std::vector<std::pair<std::string, Query>> workload(base->queries.begin(),
+                                                      base->queries.end());
+  for (const std::string& query_file : query_files) {
+    std::string query_text;
+    if (!ReadFile(query_file, &query_text)) {
+      std::exit(Fail("cannot read '" + query_file + "'"));
+    }
+    Result<ParsedProgram> merged =
+        ParseProgram(setting_text + "\n" + query_text);
+    if (!merged.ok()) {
+      std::exit(Fail(query_file + ": " + merged.status().ToString()));
+    }
+    for (auto& [name, query] : merged->queries) {
+      if (base->queries.count(name)) continue;  // setting's own queries
+      workload.emplace_back(query_file + ":" + name, query);
+    }
+  }
+  if (workload.empty()) {
+    std::exit(Fail("no queries declared in '" + setting_file +
+                   "' or the query files"));
+  }
+
+  load.setting.schema = base->schema;
+  load.setting.master_schema = base->master_schema;
+  load.setting.dm = PickInstance(base->minstances, cli.minstance_name,
+                                 "--minstance", "dm", base->master_schema);
+  load.setting.ccs = base->ccs;
+  load.audited = CInstance::FromInstance(
+      PickInstance(base->instances, cli.instance_name, "--instance", "db",
+                   base->schema));
+
+  for (const auto& [name, query] : workload) {
+    for (ProblemKind kind : cli.problems) {
+      DecisionRequest request;
+      request.kind = kind;
+      request.query = query;
+      request.cinstance = load.audited;
+      request.want_witness = cli.witness;
+      load.requests.push_back(std::move(request));
+      load.labels.push_back(name + " / " + std::string(ProblemKindName(kind)));
+    }
+  }
+  return load;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,7 +211,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--problem") {
+    if (arg == "--setting") {
+      cli.setting_files.push_back(next("--setting"));
+    } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
         Result<ProblemKind> kind = ParseProblemKind(name);
@@ -152,18 +235,28 @@ int main(int argc, char** argv) {
       cli.minstance_name = next("--minstance");
     } else if (arg == "--compare") {
       cli.compare = true;
+    } else if (arg == "--witness") {
+      cli.witness = true;
     } else if (arg == "--help" || arg == "-h") {
+      std::string kinds;
+      for (ProblemKind kind : AllProblemKinds()) {
+        if (!kinds.empty()) kinds += " ";
+        kinds += ProblemKindName(kind);
+      }
       std::printf(
           "usage: relcomp_cli <setting.rcp> [queries.rcp ...]\n"
-          "  --problem K1,K2   problem kinds (rcdp-strong rcdp-weak\n"
-          "                    rcdp-viable rcqp-strong rcqp-weak\n"
-          "                    minp-strong minp-viable minp-weak)\n"
-          "  --workers N       worker threads (default 4)\n"
-          "  --cache N         LRU capacity, 0 disables (default 1024)\n"
+          "       relcomp_cli --setting a.rcp --setting b.rcp [queries.rcp ...]\n"
+          "  --setting FILE    register FILE as a setting (repeatable;\n"
+          "                    identical settings share one shard)\n"
+          "  --problem K1,K2   problem kinds (%s)\n"
+          "  --workers N       shared worker threads (default 4)\n"
+          "  --cache N         LRU capacity per setting, 0 disables (default 1024)\n"
           "  --repeat K        submit the workload K times (default 1)\n"
           "  --instance NAME   audited instance block (default: db/first)\n"
           "  --minstance NAME  master data block (default: dm/first)\n"
-          "  --compare         also time cold per-call decider dispatch\n");
+          "  --compare         also time cold per-call decider dispatch\n"
+          "  --witness         request counterexample witnesses\n",
+          kinds.c_str());
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown flag '" + arg + "' (see --help)");
@@ -171,106 +264,127 @@ int main(int argc, char** argv) {
       cli.files.push_back(arg);
     }
   }
-  if (cli.files.empty()) return Fail("no input files (see --help)");
+  std::vector<std::string> query_files = cli.files;
+  if (cli.setting_files.empty()) {
+    // Legacy shape: the first positional file is the setting.
+    if (cli.files.empty()) return Fail("no input files (see --help)");
+    cli.setting_files.push_back(cli.files[0]);
+    query_files.erase(query_files.begin());
+  }
   if (cli.repeat == 0) cli.repeat = 1;
 
-  // Parse the setting file; extra query files see its declarations.
-  std::string setting_text;
-  if (!ReadFile(cli.files[0], &setting_text)) {
-    return Fail("cannot read '" + cli.files[0] + "'");
-  }
-  Result<ParsedProgram> base = ParseProgram(setting_text);
-  if (!base.ok()) {
-    return Fail(cli.files[0] + ": " + base.status().ToString());
+  std::vector<SettingWorkload> loads;
+  loads.reserve(cli.setting_files.size());
+  for (const std::string& setting_file : cli.setting_files) {
+    loads.push_back(LoadSetting(setting_file, query_files, cli));
   }
 
-  std::vector<std::pair<std::string, Query>> workload(base->queries.begin(),
-                                                      base->queries.end());
-  for (size_t f = 1; f < cli.files.size(); ++f) {
-    std::string query_text;
-    if (!ReadFile(cli.files[f], &query_text)) {
-      return Fail("cannot read '" + cli.files[f] + "'");
-    }
-    Result<ParsedProgram> merged =
-        ParseProgram(setting_text + "\n" + query_text);
-    if (!merged.ok()) {
-      return Fail(cli.files[f] + ": " + merged.status().ToString());
-    }
-    for (auto& [name, query] : merged->queries) {
-      if (base->queries.count(name)) continue;  // setting's own queries
-      workload.emplace_back(cli.files[f] + ":" + name, query);
-    }
-  }
-  if (workload.empty()) return Fail("no queries declared in the input files");
+  ServiceOptions service_options;
+  service_options.num_workers = cli.workers;
+  service_options.cache_capacity = cli.cache;
+  service_options.memoize = cli.cache > 0;
 
-  PartiallyClosedSetting setting;
-  setting.schema = base->schema;
-  setting.master_schema = base->master_schema;
-  setting.dm = PickInstance(base->minstances, cli.minstance_name,
-                            "--minstance", "dm", base->master_schema);
-  setting.ccs = base->ccs;
-
-  Instance db = PickInstance(base->instances, cli.instance_name, "--instance",
-                             "db", base->schema);
-  CInstance audited = CInstance::FromInstance(db);
-
-  EngineOptions engine_options;
-  engine_options.num_workers = cli.workers;
-  engine_options.cache_capacity = cli.cache;
-  engine_options.memoize = cli.cache > 0;
-
+  CompletenessService service(service_options);
   auto prep_start = std::chrono::steady_clock::now();
-  Result<std::unique_ptr<CompletenessEngine>> engine =
-      CompletenessEngine::Create(setting, engine_options);
-  if (!engine.ok()) return Fail(engine.status().ToString());
+  for (SettingWorkload& load : loads) {
+    Result<SettingHandle> handle = service.RegisterSetting(load.setting);
+    if (!handle.ok()) {
+      return Fail(load.file + ": " + handle.status().ToString());
+    }
+    load.handle = *handle;
+  }
   auto prep_end = std::chrono::steady_clock::now();
 
-  // One batch of queries × problems; --repeat resubmits the same batch (the
+  // One batch interleaving every setting's requests round-robin — the
+  // multi-tenant traffic shape; --repeat resubmits the same batch (the
   // serving-traffic regime) rather than materializing K copies up front.
-  std::vector<std::string> labels;
-  std::vector<DecisionRequest> requests;
-  for (const auto& [name, query] : workload) {
-    for (ProblemKind kind : cli.problems) {
-      DecisionRequest request;
-      request.kind = kind;
-      request.query = query;
-      request.cinstance = audited;
-      requests.push_back(std::move(request));
-      labels.push_back(name + " / " + ProblemKindName(kind));
+  std::vector<ServiceRequest> batch;
+  std::vector<std::pair<size_t, size_t>> origin;  // batch slot → (load, local)
+  size_t widest = 0;
+  for (const SettingWorkload& load : loads) {
+    widest = std::max(widest, load.requests.size());
+  }
+  for (size_t k = 0; k < widest; ++k) {
+    for (size_t s = 0; s < loads.size(); ++s) {
+      if (k >= loads[s].requests.size()) continue;
+      batch.push_back(ServiceRequest{loads[s].handle, loads[s].requests[k]});
+      origin.emplace_back(s, k);
     }
   }
-  size_t total_requests = requests.size() * cli.repeat;
+  size_t total_requests = batch.size() * cli.repeat;
 
   auto batch_start = std::chrono::steady_clock::now();
-  std::vector<Decision> decisions = (*engine)->SubmitBatch(requests);
+  std::vector<Decision> decisions = service.SubmitBatch(batch);
   for (size_t r = 1; r < cli.repeat; ++r) {
-    (*engine)->SubmitBatch(requests);
+    service.SubmitBatch(batch);
   }
   auto batch_end = std::chrono::steady_clock::now();
 
-  std::printf("=== decisions (%zu queries x %zu problems) ===\n",
-              workload.size(), cli.problems.size());
-  for (size_t i = 0; i < labels.size(); ++i) {
-    std::printf("  %-40s %s\n", labels[i].c_str(),
-                decisions[i].ToString().c_str());
+  // Re-scatter the interleaved decisions per setting for printing.
+  std::vector<std::vector<Decision>> per_load(loads.size());
+  for (size_t s = 0; s < loads.size(); ++s) {
+    per_load[s].resize(loads[s].requests.size());
+  }
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    per_load[origin[i].first][origin[i].second] = decisions[i];
+  }
+
+  for (size_t s = 0; s < loads.size(); ++s) {
+    const SettingWorkload& load = loads[s];
+    std::printf("=== %s: decisions (%zu requests, handle %llu) ===\n",
+                load.file.c_str(), load.requests.size(),
+                static_cast<unsigned long long>(load.handle.id));
+    for (size_t i = 0; i < load.labels.size(); ++i) {
+      std::printf("  %-40s %s\n", load.labels[i].c_str(),
+                  per_load[s][i].ToString().c_str());
+      if (cli.witness && per_load[s][i].witness != nullptr) {
+        std::printf("    witness: %s\n",
+                    per_load[s][i].witness->note.c_str());
+      }
+    }
   }
 
   double prep_s = Seconds(prep_start, prep_end);
   double batch_s = Seconds(batch_start, batch_end);
-  std::printf("\n=== engine ===\n");
+  std::printf("\n=== service ===\n");
+  std::printf("  settings     %zu registered (%zu distinct shards)\n",
+              loads.size(), service.num_settings());
   std::printf("  prepare      %.3f ms (validation, Adom seed, projections)\n",
               prep_s * 1e3);
   std::printf("  batch        %zu requests in %.3f ms  (%.0f req/s, %zu workers)\n",
               total_requests, batch_s * 1e3,
               batch_s > 0 ? total_requests / batch_s : 0.0, cli.workers);
-  std::printf("  counters     %s\n", (*engine)->counters().ToString().c_str());
+  // One counters line per distinct shard: files that deduped onto the same
+  // handle share one cache and one set of counters, so printing them per
+  // file would double-count the shared shard's work.
+  std::vector<uint64_t> printed;
+  for (const SettingWorkload& load : loads) {
+    if (std::find(printed.begin(), printed.end(), load.handle.id) !=
+        printed.end()) {
+      continue;
+    }
+    printed.push_back(load.handle.id);
+    std::string files;
+    for (const SettingWorkload& other : loads) {
+      if (other.handle != load.handle) continue;
+      if (!files.empty()) files += " = ";
+      files += other.file;
+    }
+    Result<EngineCounters> counters = service.counters(load.handle);
+    if (counters.ok()) {
+      std::printf("  counters[%s]  %s\n", files.c_str(),
+                  counters->ToString().c_str());
+    }
+  }
+  std::printf("  counters     %s\n", service.TotalCounters().ToString().c_str());
 
   if (cli.compare) {
     auto cold_start = std::chrono::steady_clock::now();
     size_t mismatches = 0;
     for (size_t r = 0; r < cli.repeat; ++r) {
-      for (size_t i = 0; i < requests.size(); ++i) {
-        Decision cold = DecideCold(requests[i], setting);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const SettingWorkload& load = loads[origin[i].first];
+        Decision cold = DecideCold(batch[i].request, load.setting);
         if (r == 0 && (cold.status.ok() != decisions[i].status.ok() ||
                        (cold.status.ok() &&
                         cold.answer != decisions[i].answer))) {
@@ -280,7 +394,7 @@ int main(int argc, char** argv) {
     }
     auto cold_end = std::chrono::steady_clock::now();
     double cold_s = Seconds(cold_start, cold_end);
-    std::printf("\n=== cold per-call dispatch (no prepared setting) ===\n");
+    std::printf("\n=== cold per-call dispatch (no prepared settings) ===\n");
     std::printf("  %zu requests in %.3f ms  (%.0f req/s)\n", total_requests,
                 cold_s * 1e3, cold_s > 0 ? total_requests / cold_s : 0.0);
     std::printf("  speedup      %.2fx%s\n",

@@ -20,7 +20,10 @@
 // |Dm|; memo sits another order of magnitude above.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -245,6 +248,100 @@ void BM_Service_TwoSettingsInterleaved(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_Service_TwoSettingsInterleaved)->Arg(2048);
+
+/// Experiment SCHED-C: two-tenant contention — the scheduler's reason to
+/// exist. An expensive tenant (|Dm| = 8192) floods the single worker with
+/// a 64-request backlog; a cheap tenant (|Dm| = 64, weight 8) then submits
+/// 8 small requests. Under FIFO the cheap tenant queues behind the whole
+/// backlog; under fair-share it interleaves at 8:1. Reported counters are
+/// the cheap tenant's completion latency percentiles (microseconds) —
+/// p50/p99 should collapse by an order of magnitude under `fair`.
+void RunContendedTwoTenants(benchmark::State& state,
+                            sched::SchedPolicy policy) {
+  PartiallyClosedSetting heavy_setting = MakeAuditSetting(8192);
+  PartiallyClosedSetting cheap_setting = MakeAuditSetting(64);
+  CInstance heavy_audited = MakeAuditedInstance(heavy_setting.schema);
+  CInstance cheap_audited = MakeAuditedInstance(cheap_setting.schema);
+  std::vector<DecisionRequest> heavy_workload =
+      MakeWorkload(heavy_audited, /*distinct=*/16, /*repeat=*/1);  // 64 reqs
+  std::vector<DecisionRequest> cheap_workload =
+      MakeWorkload(cheap_audited, /*distinct=*/2, /*repeat=*/1);  // 8 reqs
+
+  ServiceOptions options;
+  options.num_workers = 1;  // forces queueing: the contention under test
+  options.cache_capacity = 0;
+  options.memoize = false;
+  options.policy = policy;
+  CompletenessService service(options);
+  ShardOptions heavy_opts;
+  heavy_opts.weight = 1;
+  ShardOptions cheap_opts;
+  cheap_opts.weight = 8;
+  Result<SettingHandle> heavy = service.RegisterSetting(heavy_setting,
+                                                        heavy_opts);
+  Result<SettingHandle> cheap = service.RegisterSetting(cheap_setting,
+                                                        cheap_opts);
+  if (!heavy.ok() || !cheap.ok()) {
+    state.SkipWithError("registration failed");
+    return;
+  }
+
+  std::vector<double> cheap_latency_us;
+  for (auto _ : state) {
+    std::vector<std::future<Decision>> heavy_futures;
+    heavy_futures.reserve(heavy_workload.size());
+    for (const DecisionRequest& request : heavy_workload) {
+      heavy_futures.push_back(
+          service.SubmitAsync(ServiceRequest{*heavy, request}));
+    }
+    std::mutex mu;
+    size_t pending = cheap_workload.size();
+    std::promise<void> cheap_done;
+    for (const DecisionRequest& request : cheap_workload) {
+      const auto submitted = std::chrono::steady_clock::now();
+      service.SubmitAsync(
+          ServiceRequest{*cheap, request},
+          [&mu, &pending, &cheap_done, &cheap_latency_us,
+           submitted](Decision) {
+            const double us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - submitted)
+                    .count();
+            bool last = false;
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              cheap_latency_us.push_back(us);
+              last = --pending == 0;
+            }
+            // Signal outside the lock: the main thread may destroy `mu`
+            // the moment it wakes.
+            if (last) cheap_done.set_value();
+          });
+    }
+    cheap_done.get_future().wait();
+    for (std::future<Decision>& future : heavy_futures) future.get();
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(heavy_workload.size() + cheap_workload.size()));
+  if (!cheap_latency_us.empty()) {
+    std::sort(cheap_latency_us.begin(), cheap_latency_us.end());
+    state.counters["cheap_p50_us"] =
+        cheap_latency_us[cheap_latency_us.size() / 2];
+    state.counters["cheap_p99_us"] =
+        cheap_latency_us[cheap_latency_us.size() * 99 / 100];
+  }
+}
+
+void BM_Service_TwoTenantContended_Fifo(benchmark::State& state) {
+  RunContendedTwoTenants(state, sched::SchedPolicy::kFifo);
+}
+BENCHMARK(BM_Service_TwoTenantContended_Fifo)->UseRealTime();
+
+void BM_Service_TwoTenantContended_FairShare(benchmark::State& state) {
+  RunContendedTwoTenants(state, sched::SchedPolicy::kFairShare);
+}
+BENCHMARK(BM_Service_TwoTenantContended_FairShare)->UseRealTime();
 
 }  // namespace
 }  // namespace relcomp

@@ -1,0 +1,70 @@
+// Cooperative cancellation for scheduled work. A CancelSource owns the
+// cancelled bit; CancelTokens are cheap shared observers handed to
+// submissions. Cancellation is a request, not an interrupt: the scheduler
+// and the service check tokens at evaluation boundaries (admission, queue
+// pop, publication) and shed work that nobody is waiting for any more —
+// a decider that has already started always runs to completion.
+//
+// Coalescing interacts through polling: a coalesced in-flight group is shed
+// only when EVERY member's token is cancelled (members without a token
+// count as permanently interested), which the service checks by iterating
+// member tokens under its shard lock.
+#ifndef RELCOMP_SCHED_CANCEL_H_
+#define RELCOMP_SCHED_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace relcomp {
+namespace sched {
+
+class CancelSource;
+
+/// Observer half: copyable, cheap, thread-safe. A default-constructed token
+/// is "invalid" — it belongs to no source and never reports cancellation,
+/// so plumbing that doesn't care about cancellation passes tokens around
+/// for free.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Whether this token is connected to a source at all.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Whether the owning source has requested cancellation. Invalid tokens
+  /// are never cancelled.
+  bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Owner half: Cancel() flips the shared bit exactly once; every token
+/// minted from this source observes it. Destroying the source does NOT
+/// cancel outstanding tokens (work keeps its meaning when the requester
+/// merely goes away without asking to cancel).
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  void Cancel() { state_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace sched
+}  // namespace relcomp
+
+#endif  // RELCOMP_SCHED_CANCEL_H_

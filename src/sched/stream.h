@@ -1,0 +1,105 @@
+// A small bounded multi-producer single-consumer stream, the delivery
+// channel of the service's streaming submission path. Workers Publish()
+// items as decisions complete; the consumer pulls them with Next()
+// (iterator style) or drains them into a callback. A bounded capacity gives
+// backpressure: producers block once the consumer falls `capacity` items
+// behind, so a very large batch never materializes its whole result set.
+//
+// Generic on the item type so the sched/ layer stays below service/ (the
+// service instantiates it with indexed Decisions).
+#ifndef RELCOMP_SCHED_STREAM_H_
+#define RELCOMP_SCHED_STREAM_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace relcomp {
+namespace sched {
+
+template <typename T>
+class Stream {
+ public:
+  /// capacity 0 = unbounded (no backpressure). Inline submission (a
+  /// service with zero workers, or a re-entrant submission on a worker
+  /// thread) publishes the whole result set before the consumer runs, so
+  /// it ignores the bound rather than deadlocking against its own caller.
+  explicit Stream(size_t capacity = 0) : capacity_(capacity) {}
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Producer side: enqueues an item, blocking while the stream is at
+  /// capacity (unless `ignore_bound`). Items published after Close() are
+  /// dropped — the consumer already walked away.
+  void Publish(T item, bool ignore_bound = false) {
+    // Notifications stay under the lock: a consumer that saw the final
+    // item may destroy the stream the moment it can reacquire the mutex,
+    // so the cv must not be touched after the unlock.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!ignore_bound && capacity_ > 0) {
+      space_cv_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+    }
+    if (closed_) return;
+    items_.push_back(std::move(item));
+    items_cv_.notify_one();
+  }
+
+  /// Producer side: no more items will be published. Idempotent.
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    items_cv_.notify_all();
+  }
+
+  /// Consumer side: blocks for the next item. Returns false once the
+  /// stream is finished and drained (or closed).
+  bool Next(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    items_cv_.wait(lock, [this] {
+      return closed_ || finished_ || !items_.empty();
+    });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: drains every remaining item into `sink`, blocking
+  /// until the stream finishes.
+  template <typename Sink>
+  void Drain(Sink&& sink) {
+    T item;
+    while (Next(&item)) sink(std::move(item));
+  }
+
+  /// Consumer side: abandon the stream; pending and future publishes are
+  /// discarded and producers unblock.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    items_.clear();
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable items_cv_;
+  std::condition_variable space_cv_;
+  std::deque<T> items_;
+  bool finished_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace sched
+}  // namespace relcomp
+
+#endif  // RELCOMP_SCHED_STREAM_H_

@@ -1,5 +1,7 @@
 #include "service/decision.h"
 
+#include <algorithm>
+
 #include "core/fingerprint.h"
 #include "core/minp.h"
 #include "core/rcdp.h"
@@ -65,16 +67,30 @@ EngineCounters& EngineCounters::operator+=(const EngineCounters& other) {
   cache_misses += other.cache_misses;
   coalesced += other.coalesced;
   errors += other.errors;
+  rejected += other.rejected;
+  expired += other.expired;
+  cancelled += other.cancelled;
+  waited += other.waited;
+  wait_micros += other.wait_micros;
+  max_wait_micros = std::max(max_wait_micros, other.max_wait_micros);
   search += other.search;
   return *this;
 }
 
 std::string EngineCounters::ToString() const {
-  return "requests=" + std::to_string(requests) +
-         " cache_hits=" + std::to_string(cache_hits) +
-         " cache_misses=" + std::to_string(cache_misses) +
-         " coalesced=" + std::to_string(coalesced) +
-         " errors=" + std::to_string(errors) + " | " + search.ToString();
+  std::string out = "requests=" + std::to_string(requests) +
+                    " cache_hits=" + std::to_string(cache_hits) +
+                    " cache_misses=" + std::to_string(cache_misses) +
+                    " coalesced=" + std::to_string(coalesced) +
+                    " errors=" + std::to_string(errors);
+  if (rejected != 0) out += " rejected=" + std::to_string(rejected);
+  if (expired != 0) out += " expired=" + std::to_string(expired);
+  if (cancelled != 0) out += " cancelled=" + std::to_string(cancelled);
+  if (waited != 0) {
+    out += " avg_wait_us=" + std::to_string(wait_micros / waited) +
+           " max_wait_us=" + std::to_string(max_wait_micros);
+  }
+  return out + " | " + search.ToString();
 }
 
 Decision EvaluateRequest(const DecisionRequest& request,

@@ -77,13 +77,27 @@ struct Decision {
 /// `cache_misses` counts real decider evaluations (even with memoization
 /// off); `cache_hits` counts requests served without recomputation — LRU
 /// hits plus coalesced duplicates; `coalesced` is the subset of hits that
-/// piggy-backed on an identical in-flight or same-batch request.
+/// piggy-backed on an identical in-flight or same-batch request. The
+/// scheduler outcomes partition the remainder: `rejected` (admission
+/// control refused the request), `expired` (deadline passed while queued;
+/// shed before evaluation), `cancelled` (every waiter cancelled before
+/// evaluation). Every request lands in exactly one bucket:
+///   requests == cache_hits + cache_misses + rejected + expired + cancelled.
+/// Wait-time counters cover scheduled tasks only (inline and coalesced
+/// requests never sit in the queue): `wait_micros` sums queue residency
+/// over `waited` tasks; `max_wait_micros` is the worst single wait.
 struct EngineCounters {
   uint64_t requests = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t coalesced = 0;
   uint64_t errors = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  uint64_t cancelled = 0;
+  uint64_t waited = 0;
+  uint64_t wait_micros = 0;
+  uint64_t max_wait_micros = 0;  ///< aggregated with max, not sum
   SearchStats search;  ///< per-request stats merged via SearchStats::Merge
 
   EngineCounters& operator+=(const EngineCounters& other);

@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "core/fingerprint.h"
@@ -23,10 +25,85 @@ void AppendNote(Decision* decision, const char* note) {
   }
 }
 
+Decision CancelledDecision() {
+  Decision decision;
+  decision.status =
+      Status::Cancelled("request cancelled before evaluation started");
+  return decision;
+}
+
+Decision ExpiredDecision() {
+  Decision decision;
+  decision.status = Status::DeadlineExceeded(
+      "best-effort deadline passed while queued; request shed before "
+      "evaluation");
+  return decision;
+}
+
+Decision RejectedDecision() {
+  Decision decision;
+  decision.status = Status::Unavailable(
+      "admission control rejected the request (tenant queue quota or rate "
+      "limit exceeded)");
+  return decision;
+}
+
+/// Whether a decision was shed by the scheduler rather than evaluated —
+/// batch duplicates of a shed primary mirror its scheduling fate in the
+/// counters instead of counting as cache hits.
+bool IsShedDecision(const Decision& decision) {
+  switch (decision.status.code()) {
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Counter bucket for one batch duplicate mirroring `primary`. Requires the
+/// shard mutex.
+void CountDuplicateLocked(EngineCounters& counters, const Decision& primary) {
+  ++counters.requests;
+  switch (primary.status.code()) {
+    case StatusCode::kCancelled:
+      ++counters.cancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters.expired;
+      break;
+    case StatusCode::kUnavailable:
+      ++counters.rejected;
+      break;
+    default:
+      ++counters.cache_hits;
+      ++counters.coalesced;
+      break;
+  }
+}
+
+/// Queue-wait accounting for one scheduled task. Requires the shard mutex.
+void CountWaitLocked(EngineCounters& counters, std::chrono::microseconds wait) {
+  if (wait.count() < 0) return;  // never queued (inline or rejected)
+  ++counters.waited;
+  const uint64_t micros = static_cast<uint64_t>(wait.count());
+  counters.wait_micros += micros;
+  counters.max_wait_micros = std::max(counters.max_wait_micros, micros);
+}
+
+sched::TaskOutcome InlineOutcome(const sched::Task& task) {
+  return task.deadline < sched::Clock::now() ? sched::TaskOutcome::kExpired
+                                             : sched::TaskOutcome::kRun;
+}
+
 }  // namespace
 
 CompletenessService::CompletenessService(ServiceOptions options)
-    : options_(options) {
+    : options_(options),
+      queue_(options.policy, options.overload,
+             sched::TenantOptions{/*weight=*/1, options.default_max_queue,
+                                  /*rate_per_sec=*/0.0, /*burst=*/0.0}) {
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -34,44 +111,22 @@ CompletenessService::CompletenessService(ServiceOptions options)
 }
 
 CompletenessService::~CompletenessService() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    shutdown_ = true;
-  }
-  queue_cv_.notify_all();
+  queue_.Shutdown();
   for (std::thread& worker : workers_) worker.join();
-}
-
-void CompletenessService::Enqueue(std::function<void()> job) {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(job));
-  }
-  queue_cv_.notify_one();
 }
 
 void CompletenessService::WorkerLoop() {
   tls_on_worker_thread = true;
-  while (true) {
-    std::function<void()> job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // Shutdown only after the queue is drained: async submissions
-        // accepted before destruction still resolve their futures.
-        if (shutdown_) return;
-        continue;
-      }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    job();
+  sched::Task task;
+  sched::TaskOutcome outcome;
+  while (queue_.Pop(&task, &outcome)) {
+    task.fn(outcome, task.wait);
+    task.fn = nullptr;  // drop captures before blocking in Pop again
   }
 }
 
 Result<SettingHandle> CompletenessService::RegisterSetting(
-    PartiallyClosedSetting setting) {
+    PartiallyClosedSetting setting, const ShardOptions& shard_options) {
   const SettingKey key{FingerprintSetting(setting),
                        FingerprintSettingSeeded(setting,
                                                 /*seed=*/0x5e771465eed2ULL)};
@@ -90,6 +145,15 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
       PreparedSetting::Prepare(std::move(setting), key.primary);
   if (!prepared.ok()) return prepared.status();
 
+  ShardOptions resolved = shard_options;
+  if (resolved.cache_capacity == ShardOptions::kInherit) {
+    resolved.cache_capacity = options_.cache_capacity;
+  }
+  if (resolved.max_queue == ShardOptions::kInherit) {
+    resolved.max_queue = options_.default_max_queue;
+  }
+  if (resolved.weight == 0) resolved.weight = 1;
+
   std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = handle_by_fingerprint_.find(key);
   if (it != handle_by_fingerprint_.end()) {
@@ -98,11 +162,14 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
     return SettingHandle{it->second};
   }
   const uint64_t id = next_handle_id_++;
-  shards_.emplace(id, std::make_shared<Shard>(std::move(prepared).value(), key,
-                                              options_.memoize
-                                                  ? options_.cache_capacity
-                                                  : 0));
+  shards_.emplace(id, std::make_shared<Shard>(
+                          std::move(prepared).value(), key, resolved,
+                          options_.memoize ? resolved.cache_capacity : 0));
   handle_by_fingerprint_.emplace(key, id);
+  queue_.RegisterTenant(id, sched::TenantOptions{resolved.weight,
+                                                 resolved.max_queue,
+                                                 resolved.rate_per_sec,
+                                                 resolved.burst});
   return SettingHandle{id};
 }
 
@@ -116,6 +183,7 @@ Status CompletenessService::ReleaseSetting(SettingHandle handle) {
   if (--it->second->refcount == 0) {
     handle_by_fingerprint_.erase(it->second->setting_key);
     shards_.erase(it);  // in-flight requests hold their own shared_ptr
+    queue_.ReleaseTenant(handle.id);
   }
   return Status::OK();
 }
@@ -140,11 +208,27 @@ Decision CompletenessService::UnknownHandleDecision(SettingHandle handle) {
   return decision;
 }
 
+void CompletenessService::ResolveMember(FlightGroup::Member& member,
+                                        Decision decision) {
+  if (member.promise != nullptr) {
+    member.promise->set_value(std::move(decision));
+  } else if (member.callback) {
+    member.callback(std::move(decision));
+  }
+}
+
 Result<PreparedSetting> CompletenessService::prepared(
     SettingHandle handle) const {
   std::shared_ptr<Shard> shard = FindShard(handle);
   if (shard == nullptr) return UnknownHandleDecision(handle).status;
   return shard->prepared;
+}
+
+Result<ShardOptions> CompletenessService::shard_options(
+    SettingHandle handle) const {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  return shard->options;
 }
 
 Result<uint64_t> CompletenessService::FingerprintRequest(
@@ -156,23 +240,37 @@ Result<uint64_t> CompletenessService::FingerprintRequest(
 
 Decision CompletenessService::DecideOnShard(Shard& shard,
                                             const DecisionRequest& request,
-                                            const RequestCacheKey* precomputed) {
-  const bool memoize = options_.memoize && options_.cache_capacity > 0;
+                                            const RequestCacheKey* precomputed,
+                                            const sched::SchedParams* sched,
+                                            bool count_request) {
+  // Cooperative shed points for synchronous evaluation: a request already
+  // cancelled or past its deadline never reaches the decider.
+  if (sched != nullptr) {
+    if (sched->cancel.cancelled()) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (count_request) ++shard.counters.requests;
+      ++shard.counters.cancelled;
+      return CancelledDecision();
+    }
+    if (sched->deadline < sched::Clock::now()) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (count_request) ++shard.counters.requests;
+      ++shard.counters.expired;
+      return ExpiredDecision();
+    }
+  }
+  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
   const bool coalesce = options_.coalesce;
   RequestCacheKey key;
   if (memoize || coalesce) {
     key = precomputed != nullptr ? *precomputed
                                  : RequestKeyFor(shard.prepared, request);
   }
-  // When this request is the first of its fingerprint, `computing` owns the
-  // in-flight slot; when an identical request is already running, `waiting`
-  // shares its future instead of recomputing.
-  std::shared_ptr<std::shared_future<Decision>> waiting;
-  std::promise<Decision> computing_promise;
-  bool computing_published = false;
+  std::shared_ptr<FlightGroup> joined;
+  std::shared_ptr<FlightGroup> owned;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.counters.requests;
+    if (count_request) ++shard.counters.requests;
     if (memoize) {
       if (const Decision* cached = shard.cache.Get(key)) {
         ++shard.counters.cache_hits;
@@ -183,47 +281,137 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     }
     if (coalesce) {
       auto it = shard.in_flight.find(key);
-      if (it != shard.in_flight.end()) {
+      if (it != shard.in_flight.end() && it->second->started) {
+        // Live evaluation on another thread: wait on its shared future.
         ++shard.counters.cache_hits;
         ++shard.counters.coalesced;
-        waiting = it->second;
+        joined = it->second;
+      } else if (it != shard.in_flight.end()) {
+        // The group is parked — its owner task is still in the queue. A
+        // synchronous caller must never block on parked work (with every
+        // worker blocked that way the pool would wedge), so it steals the
+        // evaluation; the owner task will find started == true and yield.
+        owned = it->second;
+        owned->started = true;
+        ++shard.counters.cache_misses;
       } else {
-        shard.in_flight.emplace(
-            key, std::make_shared<std::shared_future<Decision>>(
-                     computing_promise.get_future().share()));
-        computing_published = true;
+        owned = std::make_shared<FlightGroup>();
+        owned->started = true;
+        owned->future = std::make_shared<std::shared_future<Decision>>(
+            owned->sync_promise.get_future().share());
+        shard.in_flight.emplace(key, owned);
         ++shard.counters.cache_misses;
       }
     } else {
       ++shard.counters.cache_misses;
     }
   }
-  if (waiting != nullptr) {
-    // The computation is live on another thread (the slot is inserted and
-    // erased by the computing thread itself, never parked on the queue), so
-    // this wait always makes progress.
-    Decision decision = waiting->get();
+  if (joined != nullptr) {
+    // The computation is live on the claiming thread (never parked on the
+    // queue), so this wait always makes progress.
+    Decision decision = joined->future->get();
     decision.from_cache = true;
     AppendNote(&decision, "coalesced with identical in-flight request");
     return decision;
   }
+  if (owned == nullptr) {
+    // Coalescing off: plain cache-through evaluation.
+    Decision decision = EvaluateRequest(request, shard.prepared);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.search += decision.stats;
+    if (!decision.status.ok()) ++shard.counters.errors;
+    if (memoize) shard.cache.Put(key, decision);
+    return decision;
+  }
+  return EvaluateForGroup(shard, request, key, owned, kSyncBilled);
+}
 
+Decision CompletenessService::EvaluateForGroup(
+    Shard& shard, const DecisionRequest& request, const RequestCacheKey& key,
+    const std::shared_ptr<FlightGroup>& group, size_t billed_member) {
+  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
   Decision decision = EvaluateRequest(request, shard.prepared);
 
+  std::vector<FlightGroup::Member> members;
+  std::vector<bool> member_cancelled;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.search += decision.stats;
     if (!decision.status.ok()) ++shard.counters.errors;
     if (memoize) shard.cache.Put(key, decision);
-    if (coalesce && computing_published) shard.in_flight.erase(key);
+    shard.in_flight.erase(key);
+    members = std::move(group->members);
+    group->members.clear();
+    // Classify each async member while the counters are consistent with
+    // the cancellation snapshot (a token flipping after this point is too
+    // late: the result is already being published).
+    member_cancelled.reserve(members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      const bool cancelled =
+          i != billed_member && members[i].cancel.cancelled();
+      member_cancelled.push_back(cancelled);
+      if (i == billed_member) continue;  // charged as the evaluation miss
+      if (cancelled) {
+        ++shard.counters.cancelled;
+      } else {
+        ++shard.counters.cache_hits;
+        ++shard.counters.coalesced;
+      }
+    }
   }
   // Publish after the slot is gone: late arrivals hit the LRU instead.
-  if (computing_published) computing_promise.set_value(decision);
+  // Promises and callbacks resolve outside the shard lock — callbacks may
+  // re-enter the service.
+  group->sync_promise.set_value(decision);
+  for (size_t i = 0; i < members.size(); ++i) {
+    Decision member_decision;
+    if (member_cancelled[i]) {
+      member_decision = CancelledDecision();
+    } else {
+      member_decision = decision;
+      if (i != billed_member) {
+        member_decision.from_cache = true;
+        AppendNote(&member_decision, "coalesced with identical in-flight request");
+      }
+    }
+    ResolveMember(members[i], std::move(member_decision));
+  }
   return decision;
 }
 
+void CompletenessService::ShedGroup(Shard& shard, const RequestCacheKey& key,
+                                    const std::shared_ptr<FlightGroup>& group) {
+  const Decision shed = RejectedDecision();
+  std::vector<FlightGroup::Member> members;
+  std::vector<bool> member_cancelled;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (group->started) return;  // a sync caller stole it; it will publish
+    shard.in_flight.erase(key);
+    members = std::move(group->members);
+    group->members.clear();
+    member_cancelled.reserve(members.size());
+    for (const FlightGroup::Member& member : members) {
+      const bool cancelled = member.cancel.cancelled();
+      member_cancelled.push_back(cancelled);
+      if (cancelled) {
+        ++shard.counters.cancelled;
+      } else {
+        ++shard.counters.rejected;
+      }
+    }
+  }
+  group->sync_promise.set_value(shed);  // parked ⇒ no sync waiters listen
+  for (size_t i = 0; i < members.size(); ++i) {
+    ResolveMember(members[i],
+                  member_cancelled[i] ? CancelledDecision() : shed);
+  }
+}
+
 Decision CompletenessService::Decide(const ServiceRequest& request) {
-  return Decide(request.setting, request.request);
+  std::shared_ptr<Shard> shard = FindShard(request.setting);
+  if (shard == nullptr) return UnknownHandleDecision(request.setting);
+  return DecideOnShard(*shard, request.request, nullptr, &request.sched);
 }
 
 Decision CompletenessService::Decide(SettingHandle handle,
@@ -233,107 +421,7 @@ Decision CompletenessService::Decide(SettingHandle handle,
   return DecideOnShard(*shard, request);
 }
 
-void CompletenessService::RunJobs(std::vector<std::function<void()>> jobs) {
-  if (jobs.empty()) return;
-  if (workers_.empty() || tls_on_worker_thread) {
-    for (std::function<void()>& job : jobs) job();
-    return;
-  }
-  struct Countdown {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
-  };
-  auto countdown = std::make_shared<Countdown>();
-  countdown->remaining = jobs.size();
-  for (std::function<void()>& job : jobs) {
-    Enqueue([job = std::move(job), countdown] {
-      job();
-      std::lock_guard<std::mutex> lock(countdown->mu);
-      if (--countdown->remaining == 0) countdown->cv.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(countdown->mu);
-  countdown->cv.wait(lock, [&] { return countdown->remaining == 0; });
-}
-
-std::vector<Decision> CompletenessService::SubmitBatchImpl(
-    const std::vector<RoutedRequest>& routed) {
-  std::vector<Decision> results(routed.size());
-
-  // Dedup-aware planning: one computation per (shard, cache key); later
-  // occurrences are filled from the first's slot after the batch runs.
-  struct PlanKey {
-    const Shard* shard = nullptr;
-    RequestCacheKey key;
-    bool operator==(const PlanKey& other) const {
-      return shard == other.shard && key == other.key;
-    }
-  };
-  struct PlanKeyHash {
-    size_t operator()(const PlanKey& k) const {
-      return std::hash<const void*>()(k.shard) ^ RequestCacheKeyHash()(k.key);
-    }
-  };
-  const bool plan = options_.coalesce;
-  std::vector<RequestCacheKey> keys(plan ? routed.size() : 0);
-  if (plan) {
-    // Key derivation re-fingerprints each request's query and c-instance —
-    // the expensive part of planning — so it rides the pool instead of
-    // serializing on the submitting thread.
-    std::vector<std::function<void()>> key_jobs;
-    key_jobs.reserve(routed.size());
-    for (size_t i = 0; i < routed.size(); ++i) {
-      if (routed[i].shard == nullptr) continue;
-      key_jobs.push_back([&routed, &keys, i] {
-        keys[i] = RequestKeyFor(routed[i].shard->prepared, *routed[i].request);
-      });
-    }
-    RunJobs(std::move(key_jobs));
-  }
-
-  std::unordered_map<PlanKey, size_t, PlanKeyHash> first_of;
-  std::vector<std::pair<size_t, size_t>> duplicates;  // (dup, primary)
-  std::vector<std::function<void()>> jobs;
-  for (size_t i = 0; i < routed.size(); ++i) {
-    const RoutedRequest& r = routed[i];
-    if (r.shard == nullptr) {
-      results[i] = UnknownHandleDecision(r.handle);
-      continue;
-    }
-    const RequestCacheKey* key = nullptr;
-    if (plan) {
-      auto [it, inserted] = first_of.emplace(PlanKey{r.shard.get(), keys[i]}, i);
-      if (!inserted) {
-        duplicates.emplace_back(i, it->second);
-        continue;
-      }
-      key = &keys[i];
-    }
-    jobs.push_back([this, shard = r.shard, request = r.request, key,
-                    out = &results[i]] {
-      *out = DecideOnShard(*shard, *request, key);
-    });
-  }
-  RunJobs(std::move(jobs));
-
-  for (const auto& [dup, primary] : duplicates) {
-    Decision decision = results[primary];
-    decision.from_cache = true;
-    AppendNote(&decision, "coalesced with identical request in batch");
-    {
-      Shard& shard = *routed[dup].shard;
-      std::lock_guard<std::mutex> lock(shard.mu);
-      ++shard.counters.requests;
-      ++shard.counters.cache_hits;
-      ++shard.counters.coalesced;
-    }
-    results[dup] = std::move(decision);
-  }
-  return results;
-}
-
-std::vector<Decision> CompletenessService::SubmitBatch(
+std::vector<CompletenessService::RoutedRequest> CompletenessService::RouteBatch(
     const std::vector<ServiceRequest>& requests) {
   std::vector<RoutedRequest> routed;
   routed.reserve(requests.size());
@@ -347,9 +435,237 @@ std::vector<Decision> CompletenessService::SubmitBatch(
                .first;
     }
     routed.push_back(RoutedRequest{it->second, &request.request,
-                                   request.setting});
+                                   request.setting, &request.sched});
   }
-  return SubmitBatchImpl(routed);
+  return routed;
+}
+
+void CompletenessService::SubmitRouted(
+    const std::vector<RoutedRequest>& routed, DecisionStream* stream,
+    std::shared_ptr<const void> keep_alive) {
+  const bool plan = options_.coalesce;
+  const bool inline_mode = workers_.empty() || tls_on_worker_thread;
+
+  // Publishing from the submitting thread (inline mode — including the
+  // re-entrant on-a-worker case, where this thread is also the eventual
+  // consumer — rejected pushes, unknown handles) must never block on the
+  // stream bound: the consumer has not started draining yet. Pool workers
+  // executing scheduled tasks respect it — that is the backpressure —
+  // UNLESS admission itself can block: with OverloadPolicy::kBlock and a
+  // quota/rate-limited tenant in the batch, the submitting thread may park
+  // in Push until workers free queue slots, and a worker parked in Publish
+  // waiting for that same (not yet draining) thread would close a deadlock
+  // cycle. In that configuration delivery falls back to unbounded
+  // buffering; bound batch memory with kReject quotas instead.
+  bool admission_may_block = false;
+  if (options_.overload == sched::OverloadPolicy::kBlock) {
+    for (const RoutedRequest& r : routed) {
+      if (r.shard != nullptr && (r.shard->options.max_queue > 0 ||
+                                 r.shard->options.rate_per_sec > 0)) {
+        admission_may_block = true;
+        break;
+      }
+    }
+  }
+  const bool bypass_bound = inline_mode || admission_may_block;
+  auto publish = [stream, bypass_bound](size_t index, Decision decision) {
+    stream->Publish(StreamedDecision{index, std::move(decision)},
+                    /*ignore_bound=*/bypass_bound || !tls_on_worker_thread);
+  };
+
+  // Key derivation (re-fingerprinting each request's query and c-instance)
+  // runs on the submitting thread: planning must never depend on pool
+  // progress, because a worker publishing to a caller-owned bounded stream
+  // can legitimately block until that stream's consumer drains — a pool
+  // barrier here could deadlock against exactly that consumer.
+  std::vector<RequestCacheKey> keys(plan ? routed.size() : 0);
+  if (plan) {
+    for (size_t i = 0; i < routed.size(); ++i) {
+      if (routed[i].shard == nullptr) continue;
+      keys[i] = RequestKeyFor(routed[i].shard->prepared, *routed[i].request);
+    }
+  }
+
+  // Dedup-aware planning: one computation per (shard, cache key); the
+  // duplicates are delivered by their primary's task the moment it
+  // completes.
+  struct PlanKey {
+    const Shard* shard = nullptr;
+    RequestCacheKey key;
+    bool operator==(const PlanKey& other) const {
+      return shard == other.shard && key == other.key;
+    }
+  };
+  struct PlanKeyHash {
+    size_t operator()(const PlanKey& k) const {
+      return std::hash<const void*>()(k.shard) ^ RequestCacheKeyHash()(k.key);
+    }
+  };
+  std::unordered_map<PlanKey, size_t, PlanKeyHash> first_of;
+  std::unordered_map<size_t, std::vector<size_t>> dups_of;  // primary → dups
+  std::vector<size_t> primaries;
+  primaries.reserve(routed.size());
+  for (size_t i = 0; i < routed.size(); ++i) {
+    if (routed[i].shard == nullptr) {
+      publish(i, UnknownHandleDecision(routed[i].handle));
+      continue;
+    }
+    if (plan) {
+      auto [it, inserted] =
+          first_of.emplace(PlanKey{routed[i].shard.get(), keys[i]}, i);
+      if (!inserted) {
+        dups_of[it->second].push_back(i);
+        continue;
+      }
+    }
+    primaries.push_back(i);
+  }
+  if (primaries.empty()) {
+    stream->Finish();
+    return;
+  }
+
+  auto remaining = std::make_shared<std::atomic<size_t>>(primaries.size());
+  std::vector<sched::Task> tasks;
+  tasks.reserve(primaries.size());
+  for (size_t i : primaries) {
+    const RoutedRequest& r = routed[i];
+    // The dedup group's slots (primary first) and their cancel tokens.
+    // Sched params merge across members: the latest deadline and the most
+    // urgent priority govern the task, and — like in-flight flight groups
+    // — the computation is shed only when EVERY member's token is
+    // cancelled; individually-cancelled members report kCancelled at
+    // delivery. Tokens are copied (shared state), so the closure holds no
+    // pointers into the caller's sched params.
+    std::vector<size_t> slots{i};
+    if (auto it = dups_of.find(i); it != dups_of.end()) {
+      slots.insert(slots.end(), it->second.begin(), it->second.end());
+    }
+    sched::SchedParams effective;  // token stays empty: group check below
+    std::vector<sched::CancelToken> tokens(slots.size());
+    for (size_t j = 0; j < slots.size(); ++j) {
+      const sched::SchedParams* sp = routed[slots[j]].sched;
+      const sched::Priority priority =
+          sp != nullptr ? sp->priority : sched::Priority::kNormal;
+      const sched::TimePoint deadline =
+          sp != nullptr ? sp->deadline : sched::kNoDeadline;
+      if (sp != nullptr) tokens[j] = sp->cancel;
+      if (j == 0) {
+        effective.priority = priority;
+        effective.deadline = deadline;
+      } else {
+        effective.priority = std::min(effective.priority, priority);
+        effective.deadline = std::max(effective.deadline, deadline);
+      }
+    }
+    sched::Task task;
+    task.tenant = r.handle.id;
+    task.priority = effective.priority;
+    task.deadline = effective.deadline;
+    task.fn = [this, shard = r.shard, request = r.request,
+               has_key = plan, key = plan ? keys[i] : RequestCacheKey{},
+               slots = std::move(slots), tokens = std::move(tokens),
+               effective, remaining, stream, publish, keep_alive](
+                  sched::TaskOutcome outcome,
+                  std::chrono::microseconds wait) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        CountWaitLocked(shard->counters, wait);
+      }
+      // Cancellation snapshot at evaluation start: members cancelling
+      // later are too late (they receive the result), matching the
+      // flight-group semantics.
+      std::vector<bool> cancelled(slots.size());
+      bool all_cancelled = true;
+      for (size_t j = 0; j < slots.size(); ++j) {
+        cancelled[j] = tokens[j].cancelled();
+        all_cancelled = all_cancelled && cancelled[j];
+      }
+      Decision decision;
+      bool evaluated = false;
+      if (outcome == sched::TaskOutcome::kRun && !all_cancelled) {
+        // `effective` carries no token — the group-wide check above is
+        // the cancellation gate; its deadline is the group's latest.
+        decision = DecideOnShard(*shard, *request, has_key ? &key : nullptr,
+                                 &effective);
+        evaluated = true;  // DecideOnShard counted one request's outcome
+      } else if (outcome == sched::TaskOutcome::kExpired) {
+        decision = ExpiredDecision();
+      } else if (outcome == sched::TaskOutcome::kRejected) {
+        decision = RejectedDecision();
+      } else {
+        decision = CancelledDecision();  // every member cancelled
+      }
+      // The first live member inherits the evaluation's accounting (done
+      // inside DecideOnShard); everyone else is counted here per its own
+      // fate. Shed groups (expired / rejected / all-cancelled) charge
+      // every member.
+      size_t billed = slots.size();
+      if (evaluated) {
+        for (size_t j = 0; j < slots.size(); ++j) {
+          if (!cancelled[j]) {
+            billed = j;
+            break;
+          }
+        }
+      }
+      for (size_t j = 0; j < slots.size(); ++j) {
+        Decision member_decision;
+        if (j == billed) {
+          member_decision = decision;
+        } else if (cancelled[j]) {
+          member_decision = CancelledDecision();
+          std::lock_guard<std::mutex> lock(shard->mu);
+          ++shard->counters.requests;
+          ++shard->counters.cancelled;
+        } else if (!evaluated) {
+          member_decision = decision;
+          std::lock_guard<std::mutex> lock(shard->mu);
+          CountDuplicateLocked(shard->counters, decision);
+        } else {
+          member_decision = decision;
+          member_decision.from_cache = !IsShedDecision(decision);
+          AppendNote(&member_decision,
+                     "coalesced with identical request in batch");
+          std::lock_guard<std::mutex> lock(shard->mu);
+          CountDuplicateLocked(shard->counters, decision);
+        }
+        publish(slots[j], std::move(member_decision));
+      }
+      if (remaining->fetch_sub(1) == 1) stream->Finish();
+    };
+    tasks.push_back(std::move(task));
+  }
+
+  if (inline_mode) {
+    for (sched::Task& task : tasks) {
+      task.fn(InlineOutcome(task), sched::kNotQueued);
+    }
+    return;
+  }
+  for (sched::Task& task : tasks) {
+    if (!queue_.Push(std::move(task))) {
+      task.fn(sched::TaskOutcome::kRejected, sched::kNotQueued);
+    }
+  }
+}
+
+std::vector<Decision> CompletenessService::CollectRouted(
+    const std::vector<RoutedRequest>& routed) {
+  // The blocking collect shared by both SubmitBatch overloads: run the
+  // plan through an unbounded stream and reassemble by index.
+  DecisionStream stream(/*capacity=*/0);
+  SubmitRouted(routed, &stream);
+  std::vector<Decision> results(routed.size());
+  stream.Drain([&results](StreamedDecision item) {
+    results[item.index] = std::move(item.decision);
+  });
+  return results;
+}
+
+std::vector<Decision> CompletenessService::SubmitBatch(
+    const std::vector<ServiceRequest>& requests) {
+  return CollectRouted(RouteBatch(requests));
 }
 
 std::vector<Decision> CompletenessService::SubmitBatch(
@@ -358,44 +674,285 @@ std::vector<Decision> CompletenessService::SubmitBatch(
   std::vector<RoutedRequest> routed;
   routed.reserve(requests.size());
   for (const DecisionRequest& request : requests) {
-    routed.push_back(RoutedRequest{shard, &request, handle});
+    routed.push_back(RoutedRequest{shard, &request, handle, nullptr});
   }
-  return SubmitBatchImpl(routed);
+  return CollectRouted(routed);
+}
+
+void CompletenessService::SubmitStream(
+    const std::vector<ServiceRequest>& requests, DecisionStream* stream) {
+  // This flavor returns before delivery completes, so the scheduled tasks
+  // must not reference the caller's vector: route against a private copy
+  // pinned by every task until the last one ran.
+  auto owned = std::make_shared<const std::vector<ServiceRequest>>(requests);
+  std::vector<RoutedRequest> routed = RouteBatch(*owned);
+  SubmitRouted(routed, stream, owned);
+}
+
+void CompletenessService::SubmitStream(
+    const std::vector<ServiceRequest>& requests, const StreamSink& sink) {
+  DecisionStream stream(/*capacity=*/0);
+  SubmitStream(requests, &stream);
+  stream.Drain([&sink](StreamedDecision item) {
+    sink(item.index, item.decision);
+  });
+}
+
+void CompletenessService::SubmitAsyncImpl(
+    ServiceRequest request, std::shared_ptr<std::promise<Decision>> promise,
+    std::function<void(Decision)> on_complete) {
+  auto deliver = [&promise, &on_complete](Decision decision) {
+    FlightGroup::Member member;
+    member.promise = promise;
+    member.callback = on_complete;
+    ResolveMember(member, std::move(decision));
+  };
+  // Route at submission time: releasing the setting after admission does
+  // not fail requests already in the system.
+  std::shared_ptr<Shard> shard = FindShard(request.setting);
+  if (shard == nullptr) {
+    deliver(UnknownHandleDecision(request.setting));
+    return;
+  }
+  if (workers_.empty() || tls_on_worker_thread) {
+    deliver(DecideOnShard(*shard, request.request, nullptr, &request.sched));
+    return;
+  }
+  const sched::SchedParams& sp = request.sched;
+  // Admission-time shed: dead requests never pollute the queue.
+  if (sp.cancel.cancelled() || sp.deadline < sched::Clock::now()) {
+    const bool cancelled = sp.cancel.cancelled();
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      ++shard->counters.requests;
+      if (cancelled) {
+        ++shard->counters.cancelled;
+      } else {
+        ++shard->counters.expired;
+      }
+    }
+    deliver(cancelled ? CancelledDecision() : ExpiredDecision());
+    return;
+  }
+
+  if (!options_.coalesce) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      ++shard->counters.requests;
+    }
+    sched::Task task;
+    task.tenant = request.setting.id;
+    task.priority = sp.priority;
+    task.deadline = sp.deadline;
+    task.fn = [this, shard, request = std::move(request.request),
+               sched = sp, promise, on_complete = std::move(on_complete)](
+                  sched::TaskOutcome outcome,
+                  std::chrono::microseconds wait) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        CountWaitLocked(shard->counters, wait);
+      }
+      Decision decision;
+      switch (outcome) {
+        case sched::TaskOutcome::kRun:
+          decision = DecideOnShard(*shard, request, nullptr, &sched,
+                                   /*count_request=*/false);
+          break;
+        case sched::TaskOutcome::kExpired: {
+          std::lock_guard<std::mutex> lock(shard->mu);
+          ++shard->counters.expired;
+          decision = ExpiredDecision();
+          break;
+        }
+        case sched::TaskOutcome::kRejected: {
+          std::lock_guard<std::mutex> lock(shard->mu);
+          ++shard->counters.rejected;
+          decision = RejectedDecision();
+          break;
+        }
+      }
+      FlightGroup::Member member;
+      member.promise = promise;
+      member.callback = on_complete;  // const capture: copy, not move
+      ResolveMember(member, std::move(decision));
+    };
+    if (!queue_.Push(std::move(task))) {
+      task.fn(sched::TaskOutcome::kRejected, sched::kNotQueued);
+    }
+    return;
+  }
+
+  // Coalescing admission: cache hits and joins resolve without ever
+  // touching the queue; only a fresh computation becomes a task.
+  const RequestCacheKey key = RequestKeyFor(shard->prepared, request.request);
+  const bool memoize = options_.memoize && shard->cache.capacity() > 0;
+  std::shared_ptr<FlightGroup> group;
+  Decision hit;
+  bool have_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ++shard->counters.requests;
+    if (memoize) {
+      if (const Decision* cached = shard->cache.Get(key)) {
+        ++shard->counters.cache_hits;
+        hit = *cached;
+        hit.from_cache = true;
+        have_hit = true;
+      }
+    }
+    if (!have_hit) {
+      auto it = shard->in_flight.find(key);
+      if (it != shard->in_flight.end()) {
+        // Join the flight group (parked or already evaluating); this
+        // member is classified — result, coalesced copy, or cancelled —
+        // when the group publishes.
+        it->second->members.push_back(FlightGroup::Member{
+            sp.cancel, sp.deadline, promise, std::move(on_complete)});
+        return;
+      }
+      group = std::make_shared<FlightGroup>();
+      group->future = std::make_shared<std::shared_future<Decision>>(
+          group->sync_promise.get_future().share());
+      group->members.push_back(FlightGroup::Member{
+          sp.cancel, sp.deadline, promise, std::move(on_complete)});
+      shard->in_flight.emplace(key, group);
+    }
+  }
+  if (have_hit) {
+    deliver(std::move(hit));
+    return;
+  }
+  sched::Task task;
+  task.tenant = request.setting.id;
+  task.priority = sp.priority;
+  task.deadline = sp.deadline;
+  task.fn = [this, shard, key, group,
+             request = std::move(request.request)](
+                sched::TaskOutcome, std::chrono::microseconds wait) {
+    RunOwnerTask(shard, key, group, request, wait);
+  };
+  if (!queue_.Push(std::move(task))) {
+    ShedGroup(*shard, key, group);
+  }
+}
+
+void CompletenessService::RunOwnerTask(
+    const std::shared_ptr<Shard>& shard_ptr, const RequestCacheKey& key,
+    const std::shared_ptr<FlightGroup>& group, const DecisionRequest& request,
+    std::chrono::microseconds wait) {
+  Shard& shard = *shard_ptr;
+  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
+  enum class Action { kStolen, kShed, kHit, kEvaluate };
+  Action action = Action::kEvaluate;
+  size_t billed = kSyncBilled;
+  Decision hit;
+  std::vector<FlightGroup::Member> members;
+  std::vector<bool> member_cancelled;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    CountWaitLocked(shard.counters, wait);
+    if (group->started) {
+      // A synchronous caller stole the parked group; it owns publication.
+      action = Action::kStolen;
+    } else {
+      // Only a live member keeps the computation alive: a group whose
+      // every waiter has cancelled or expired is shed before evaluation.
+      // (Sync waiters only ever join *started* groups, so none exist.)
+      const sched::TimePoint now = sched::Clock::now();
+      for (size_t i = 0; i < group->members.size(); ++i) {
+        const FlightGroup::Member& m = group->members[i];
+        if (!m.cancel.cancelled() && m.deadline >= now) {
+          billed = i;
+          break;
+        }
+      }
+      if (billed == kSyncBilled) {
+        action = Action::kShed;
+        shard.in_flight.erase(key);
+        members = std::move(group->members);
+        group->members.clear();
+        member_cancelled.reserve(members.size());
+        for (const FlightGroup::Member& member : members) {
+          const bool cancelled = member.cancel.cancelled();
+          member_cancelled.push_back(cancelled);
+          if (cancelled) {
+            ++shard.counters.cancelled;
+          } else {
+            ++shard.counters.expired;
+          }
+        }
+      } else if (const Decision* cached =
+                     memoize ? shard.cache.Get(key) : nullptr) {
+        // A synchronous caller computed and cached this request while the
+        // task sat queued: serve the whole group from the cache.
+        action = Action::kHit;
+        hit = *cached;
+        hit.from_cache = true;
+        shard.in_flight.erase(key);
+        members = std::move(group->members);
+        group->members.clear();
+        member_cancelled.reserve(members.size());
+        for (size_t i = 0; i < members.size(); ++i) {
+          const bool cancelled =
+              i != billed && members[i].cancel.cancelled();
+          member_cancelled.push_back(cancelled);
+          if (cancelled) {
+            ++shard.counters.cancelled;
+          } else {
+            ++shard.counters.cache_hits;
+            if (i != billed) ++shard.counters.coalesced;
+          }
+        }
+      } else {
+        action = Action::kEvaluate;
+        group->started = true;
+        ++shard.counters.cache_misses;  // charged to the billed member
+      }
+    }
+  }
+  switch (action) {
+    case Action::kStolen:
+      return;
+    case Action::kShed: {
+      group->sync_promise.set_value(ExpiredDecision());
+      for (size_t i = 0; i < members.size(); ++i) {
+        ResolveMember(members[i], member_cancelled[i] ? CancelledDecision()
+                                                      : ExpiredDecision());
+      }
+      return;
+    }
+    case Action::kHit: {
+      group->sync_promise.set_value(hit);
+      for (size_t i = 0; i < members.size(); ++i) {
+        Decision decision;
+        if (member_cancelled[i]) {
+          decision = CancelledDecision();
+        } else {
+          decision = hit;
+          if (i != billed) {
+            AppendNote(&decision, "coalesced with identical in-flight request");
+          }
+        }
+        ResolveMember(members[i], std::move(decision));
+      }
+      return;
+    }
+    case Action::kEvaluate:
+      EvaluateForGroup(shard, request, key, group, billed);
+      return;
+  }
 }
 
 std::future<Decision> CompletenessService::SubmitAsync(ServiceRequest request) {
   auto promise = std::make_shared<std::promise<Decision>>();
   std::future<Decision> future = promise->get_future();
-  // Route at submission time: releasing the setting after admission does not
-  // fail requests already in the system.
-  std::shared_ptr<Shard> shard = FindShard(request.setting);
-  auto run = [this, shard = std::move(shard),
-              request = std::move(request), promise] {
-    promise->set_value(shard == nullptr
-                           ? UnknownHandleDecision(request.setting)
-                           : DecideOnShard(*shard, request.request));
-  };
-  if (workers_.empty() || tls_on_worker_thread) {
-    run();
-  } else {
-    Enqueue(std::move(run));
-  }
+  SubmitAsyncImpl(std::move(request), std::move(promise), nullptr);
   return future;
 }
 
 void CompletenessService::SubmitAsync(ServiceRequest request,
                                       std::function<void(Decision)> on_complete) {
-  std::shared_ptr<Shard> shard = FindShard(request.setting);
-  auto run = [this, shard = std::move(shard), request = std::move(request),
-              on_complete = std::move(on_complete)] {
-    on_complete(shard == nullptr ? UnknownHandleDecision(request.setting)
-                                 : DecideOnShard(*shard, request.request));
-  };
-  if (workers_.empty() || tls_on_worker_thread) {
-    run();
-  } else {
-    Enqueue(std::move(run));
-  }
+  SubmitAsyncImpl(std::move(request), nullptr, std::move(on_complete));
 }
 
 Result<EngineCounters> CompletenessService::counters(

@@ -5,7 +5,7 @@
 // fingerprint, refcounted, evicted by ReleaseSetting). Each registered
 // setting backs a shard owning its PreparedSetting, LRU result cache, and
 // counters; handle-carrying requests are routed to their shard and served
-// over ONE worker pool shared by every setting, through three submission
+// over ONE worker pool shared by every setting, through four submission
 // paths:
 //
 //   Decide       — one request, synchronously on the calling thread;
@@ -14,19 +14,34 @@
 //                  one batch collapse to a single computation, the
 //                  duplicates reporting from_cache = true with a note;
 //   SubmitAsync  — fire-and-collect: returns a std::future<Decision> (or
-//                  invokes a completion callback) resolved by the pool.
+//                  invokes a completion callback) resolved by the pool;
+//   SubmitStream — the batch plan, delivered incrementally: each Decision
+//                  is handed to a pull stream / callback sink as it
+//                  completes instead of materializing the result vector.
 //
-// Identical requests that are concurrently in flight — across batches and
-// async submissions — coalesce too: the second occurrence waits on the
-// first's slot instead of recomputing. Answers are deterministic:
-// independent of worker count, scheduling, and coalescing; only the
+// Between the request paths and the worker pool sits the sched/ subsystem:
+// work is scheduled by a FairQueue whose tenants are the setting shards.
+// ServiceOptions picks the policy (legacy strict FIFO by default, or
+// weighted fair share so a cheap tenant interleaves with an expensive
+// tenant's backlog), the overload decision (block the producer vs. reject
+// with a kUnavailable Decision), and per-tenant quotas; ShardOptions can
+// override weight, quota, rate limit, and cache capacity per setting at
+// registration. Requests may carry per-submission sched params: a priority
+// class, a best-effort deadline (still-queued requests past it are shed
+// before evaluation and report kDeadlineExceeded), and a cooperative
+// cancellation token.
+//
+// Identical requests that are concurrently in flight — across batches,
+// async and stream submissions — coalesce: later occurrences join the
+// first's flight group instead of recomputing. A coalesced group is shed
+// only when EVERY member has cancelled (or expired); one live waiter keeps
+// the computation alive for everyone. Answers are deterministic:
+// independent of worker count, scheduling policy, and coalescing; only the
 // from_cache flags and coalescing notes may differ between runs.
 #ifndef RELCOMP_SERVICE_SERVICE_H_
 #define RELCOMP_SERVICE_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -36,6 +51,10 @@
 #include <vector>
 
 #include "core/prepared_setting.h"
+#include "sched/cancel.h"
+#include "sched/policy.h"
+#include "sched/queue.h"
+#include "sched/stream.h"
 #include "service/decision.h"
 #include "service/lru_cache.h"
 
@@ -56,20 +75,78 @@ struct SettingHandle {
   }
 };
 
-/// One routed unit of service work: which setting, and what to decide.
+/// One routed unit of service work: which setting, what to decide, and how
+/// to schedule it. Default sched params reproduce the legacy behavior
+/// (normal priority, no deadline, not cancellable), so `{handle, request}`
+/// aggregates keep meaning what they always did.
 struct ServiceRequest {
   SettingHandle setting;
   DecisionRequest request;
+  sched::SchedParams sched;
 };
 
-/// Service configuration. Workers are shared across all settings; the cache
-/// capacity is per setting shard.
+/// Per-setting overrides, fixed at registration. When a setting
+/// deduplicates onto an existing shard, the FIRST registration's options
+/// stay in force (the shard is shared state; late registrants inherit it).
+struct ShardOptions {
+  /// "Inherit the service-wide default" marker for size fields.
+  static constexpr size_t kInherit = static_cast<size_t>(-1);
+
+  /// LRU entries for this shard's result cache; kInherit uses
+  /// ServiceOptions::cache_capacity, 0 disables memoization for the shard.
+  size_t cache_capacity = kInherit;
+  /// Fair-share weight of this tenant (kFairShare policy only): a weight-4
+  /// tenant gets 4x the worker time of a weight-1 tenant under contention.
+  uint32_t weight = 1;
+  /// Bounded in-queue quota; kInherit uses ServiceOptions::default_max_queue,
+  /// 0 means unbounded. Exceeding it triggers the overload policy.
+  size_t max_queue = kInherit;
+  /// Token-bucket admission rate in requests/second; 0 = unlimited.
+  double rate_per_sec = 0.0;
+  /// Token-bucket burst; 0 = max(1, rate_per_sec).
+  double burst = 0.0;
+};
+
+/// Service configuration. Workers are shared across all settings; cache
+/// capacity and the scheduling defaults below are per setting shard unless
+/// overridden by ShardOptions at registration.
 struct ServiceOptions {
   size_t num_workers = 4;       ///< shared pool; 0 = run everything inline
   size_t cache_capacity = 1024; ///< LRU entries per shard; 0 disables
   bool memoize = true;
-  bool coalesce = true;         ///< dedup-aware planning + in-flight waits
+  bool coalesce = true;         ///< dedup-aware planning + in-flight joins
+  /// Queue order across tenants. kFifo is the legacy strict arrival order;
+  /// kFairShare applies stride scheduling over shard weights.
+  sched::SchedPolicy policy = sched::SchedPolicy::kFifo;
+  /// What admission control does when a tenant is over quota/rate: block
+  /// the submitting thread (backpressure) or reject with a kUnavailable
+  /// Decision. Irrelevant until a quota or rate limit is configured.
+  sched::OverloadPolicy overload = sched::OverloadPolicy::kBlock;
+  /// Default per-tenant in-queue quota; 0 = unbounded.
+  size_t default_max_queue = 0;
 };
+
+/// One decision of a streamed batch: `index` positions it in the submitted
+/// request vector (stream delivery is completion-ordered, not
+/// submission-ordered).
+struct StreamedDecision {
+  size_t index = 0;
+  Decision decision;
+};
+
+/// Pull side of the streaming submission path; see Stream<T> for the
+/// backpressure contract. A bounded stream throttles pool workers when
+/// the consumer lags; it is honored only when admission cannot block
+/// (OverloadPolicy::kReject, or no quota/rate-limited tenant in the
+/// batch) — otherwise delivery falls back to unbounded buffering, since
+/// a worker waiting on the consumer while the consumer waits on
+/// admission would deadlock. To bound batch memory under backpressure,
+/// prefer kReject quotas over stream bounds.
+using DecisionStream = sched::Stream<StreamedDecision>;
+
+/// Push side: invoked once per request, serialized, from worker threads
+/// (or the submitting thread when the service runs inline).
+using StreamSink = std::function<void(size_t index, const Decision& decision)>;
 
 class CompletenessService {
  public:
@@ -82,8 +159,13 @@ class CompletenessService {
 
   /// Validates and prepares `setting`, or — when a live setting with the
   /// same stable fingerprint is already registered — bumps its refcount and
-  /// returns its existing handle without re-preparing anything.
-  Result<SettingHandle> RegisterSetting(PartiallyClosedSetting setting);
+  /// returns its existing handle without re-preparing anything (the
+  /// original registration's ShardOptions stay in force).
+  Result<SettingHandle> RegisterSetting(PartiallyClosedSetting setting,
+                                        const ShardOptions& shard_options);
+  Result<SettingHandle> RegisterSetting(PartiallyClosedSetting setting) {
+    return RegisterSetting(std::move(setting), ShardOptions{});
+  }
 
   /// Drops one registration. The shard (prepared setting, cache, counters)
   /// is evicted when the last registration is released; in-flight requests
@@ -97,6 +179,9 @@ class CompletenessService {
   /// The shard's prepared setting (a cheap shared handle).
   Result<PreparedSetting> prepared(SettingHandle handle) const;
 
+  /// The shard's resolved per-setting options.
+  Result<ShardOptions> shard_options(SettingHandle handle) const;
+
   /// Stable memoization key of a request under `handle`'s setting (the
   /// primary digest of the dual-digest cache key).
   Result<uint64_t> FingerprintRequest(SettingHandle handle,
@@ -104,7 +189,8 @@ class CompletenessService {
 
   /// Decides one request synchronously on the calling thread (consulting
   /// and filling the shard cache, coalescing with in-flight identical
-  /// requests). An invalid or released handle yields an error Decision, not
+  /// requests, honoring the request's cancellation token and deadline at
+  /// entry). An invalid or released handle yields an error Decision, not
   /// a crash. Thread-safe.
   Decision Decide(const ServiceRequest& request);
 
@@ -113,10 +199,11 @@ class CompletenessService {
 
   /// Decides a batch; the result vector is parallel to `requests`. Requests
   /// may target different settings — each routes to its own shard — and are
-  /// fanned out across the shared pool. Dedup-aware planning: identical
-  /// requests (same shard, same cache key) collapse to one computation;
-  /// duplicates report from_cache = true with a coalescing note. Multiple
-  /// batches may be submitted concurrently. Thread-safe.
+  /// fanned out across the shared pool under the scheduling policy. Dedup-
+  /// aware planning: identical requests (same shard, same cache key)
+  /// collapse to one computation; duplicates report from_cache = true with
+  /// a coalescing note. Multiple batches may be submitted concurrently;
+  /// under kFairShare their tenants share the pool by weight. Thread-safe.
   std::vector<Decision> SubmitBatch(const std::vector<ServiceRequest>& requests);
 
   /// Single-setting batch without per-request handle plumbing (and without
@@ -124,18 +211,37 @@ class CompletenessService {
   std::vector<Decision> SubmitBatch(SettingHandle handle,
                                     const std::vector<DecisionRequest>& requests);
 
-  /// Async path: enqueues the request on the shared pool and returns a
-  /// future for its decision. With 0 workers the request is decided inline
-  /// and the future is already resolved. Thread-safe.
+  /// Async path: admits the request (cache lookups and coalescing joins are
+  /// resolved immediately, on the submitting thread; fresh work is enqueued
+  /// on the shared pool) and returns a future for its decision. With 0
+  /// workers the request is decided inline and the future is already
+  /// resolved. Thread-safe.
   std::future<Decision> SubmitAsync(ServiceRequest request);
 
   /// Callback flavor: `on_complete` is invoked with the decision, on a
-  /// worker thread (or inline with 0 workers). Thread-safe. Submissions
-  /// made from inside a callback (or any pool thread) execute inline — a
-  /// worker parking on work only workers can drain would deadlock the
-  /// pool — so callbacks may safely call back into the service.
+  /// worker thread (or inline: with 0 workers, when the submission is made
+  /// from a pool thread, or when it resolves at admission from the cache).
+  /// Submissions made from inside a callback execute inline — a worker
+  /// parking on work only workers can drain would deadlock the pool — so
+  /// callbacks may safely call back into the service.
   void SubmitAsync(ServiceRequest request,
                    std::function<void(Decision)> on_complete);
+
+  /// Streaming submission, pull flavor: the batch plan of SubmitBatch, but
+  /// each decision is published to `stream` as it completes (tagged with
+  /// its request index) instead of materializing the whole result vector.
+  /// Returns once everything is admitted (the requests are copied, so the
+  /// caller's vector may die immediately); the stream must stay alive and
+  /// be drained until it finishes, after the last delivery. Decisions are
+  /// identical to what SubmitBatch would have returned for the same
+  /// vector. Thread-safe.
+  void SubmitStream(const std::vector<ServiceRequest>& requests,
+                    DecisionStream* stream);
+
+  /// Streaming submission, push flavor: blocks until every decision has
+  /// been delivered to `sink` (serialized, completion order). Thread-safe.
+  void SubmitStream(const std::vector<ServiceRequest>& requests,
+                    const StreamSink& sink);
 
   /// Per-shard counters; kNotFound after release.
   Result<EngineCounters> counters(SettingHandle handle) const;
@@ -154,24 +260,51 @@ class CompletenessService {
   using SettingKey = RequestCacheKey;
   using SettingKeyHash = RequestCacheKeyHash;
 
+  /// One coalesced computation in flight: every identical concurrent
+  /// request joins this group instead of recomputing. Members that joined
+  /// at admission (async/stream) carry their own promise or callback and a
+  /// cancellation token; synchronous callers wait on the shared future.
+  /// The group is shed without evaluation only when no sync caller waits
+  /// and every member has cancelled or expired.
+  struct FlightGroup {
+    struct Member {
+      sched::CancelToken cancel;
+      sched::TimePoint deadline = sched::kNoDeadline;
+      std::shared_ptr<std::promise<Decision>> promise;  // future flavor
+      std::function<void(Decision)> callback;           // callback flavor
+    };
+    std::vector<Member> members;  ///< async joiners; an async owner is [0]
+    /// Set once evaluation is claimed — by the queued owner task, or by a
+    /// synchronous caller that arrived first and "steals" the parked group
+    /// (a sync caller must never block on a task still parked in the
+    /// queue: with every worker blocked that way the pool would deadlock).
+    /// Sync callers therefore only ever wait on `future` of STARTED
+    /// groups, which is why the shed check needs no sync-waiter count.
+    bool started = false;
+    std::promise<Decision> sync_promise;
+    std::shared_ptr<std::shared_future<Decision>> future;
+  };
+
   /// One registered setting: prepared artifacts + cache + counters + the
   /// in-flight table used for request coalescing. Shared-ptr'd so requests
   /// already routed survive a concurrent ReleaseSetting.
   struct Shard {
     Shard(PreparedSetting prepared_setting, SettingKey key,
-          size_t cache_capacity)
+          const ShardOptions& resolved, size_t cache_capacity)
         : prepared(std::move(prepared_setting)),
           setting_key(key),
+          options(resolved),
           cache(cache_capacity) {}
 
     PreparedSetting prepared;
     const SettingKey setting_key;
+    const ShardOptions options;  ///< resolved (no kInherit markers)
     uint64_t refcount = 1;  // guarded by registry_mu_
 
     mutable std::mutex mu;  // cache + counters + in_flight
     LruCache<RequestCacheKey, Decision, RequestCacheKeyHash> cache;
     EngineCounters counters;
-    std::unordered_map<RequestCacheKey, std::shared_ptr<std::shared_future<Decision>>,
+    std::unordered_map<RequestCacheKey, std::shared_ptr<FlightGroup>,
                        RequestCacheKeyHash>
         in_flight;
   };
@@ -181,25 +314,79 @@ class CompletenessService {
     std::shared_ptr<Shard> shard;
     const DecisionRequest* request = nullptr;
     SettingHandle handle;
+    const sched::SchedParams* sched = nullptr;  ///< null = defaults
   };
 
   std::shared_ptr<Shard> FindShard(SettingHandle handle) const;
   static Decision UnknownHandleDecision(SettingHandle handle);
 
-  /// Cache-through, coalescing evaluation on one shard + counter update.
+  /// Delivers one async member's decision through whichever channel it
+  /// registered (future or completion callback). Must be called outside
+  /// the shard lock — callbacks may re-enter the service.
+  static void ResolveMember(FlightGroup::Member& member, Decision decision);
+
+  /// Cache-through, coalescing evaluation on one shard + counter update,
+  /// honoring `sched` (cancellation/deadline at entry) when given.
   /// `precomputed` lets the batch planner hand over the cache key it
-  /// already derived.
+  /// already derived; `count_request` is false when the caller already
+  /// charged the request at admission (async paths).
   Decision DecideOnShard(Shard& shard, const DecisionRequest& request,
-                         const RequestCacheKey* precomputed = nullptr);
+                         const RequestCacheKey* precomputed = nullptr,
+                         const sched::SchedParams* sched = nullptr,
+                         bool count_request = true);
 
-  /// Runs `jobs` to completion: inline with no workers, else enqueued on
-  /// the shared pool and awaited.
-  void RunJobs(std::vector<std::function<void()>> jobs);
+  /// Evaluates the group's request on the calling thread and publishes the
+  /// decision to the cache, every member, and all sync waiters. The caller
+  /// has set group->started under shard.mu. `billed_member` is the async
+  /// member charged with the evaluation (its decision is delivered
+  /// unannotated), or kSyncBilled when a synchronous caller owns the miss.
+  static constexpr size_t kSyncBilled = static_cast<size_t>(-1);
+  Decision EvaluateForGroup(Shard& shard, const DecisionRequest& request,
+                            const RequestCacheKey& key,
+                            const std::shared_ptr<FlightGroup>& group,
+                            size_t billed_member);
 
-  /// The shared planning/fan-out core of both SubmitBatch overloads.
-  std::vector<Decision> SubmitBatchImpl(const std::vector<RoutedRequest>& routed);
+  /// Sheds a not-yet-started group refused by admission control: members
+  /// report kUnavailable unless individually cancelled. No-op if
+  /// evaluation already started. Requires shard.mu NOT held.
+  void ShedGroup(Shard& shard, const RequestCacheKey& key,
+                 const std::shared_ptr<FlightGroup>& group);
 
-  void Enqueue(std::function<void()> job);
+  /// The queued owner task of an admission-time flight group: records the
+  /// queue wait, then evaluates, serves the group from a cache entry that
+  /// appeared meanwhile, or sheds it when every member cancelled/expired —
+  /// or yields entirely when a synchronous caller stole the evaluation.
+  void RunOwnerTask(const std::shared_ptr<Shard>& shard,
+                    const RequestCacheKey& key,
+                    const std::shared_ptr<FlightGroup>& group,
+                    const DecisionRequest& request,
+                    std::chrono::microseconds wait);
+
+  /// Shared admission core of both SubmitAsync flavors.
+  void SubmitAsyncImpl(ServiceRequest request,
+                       std::shared_ptr<std::promise<Decision>> promise,
+                       std::function<void(Decision)> on_complete);
+
+  /// The shared planning/fan-out core of SubmitBatch and SubmitStream:
+  /// plans dedup over `routed`, schedules one task per distinct request,
+  /// and publishes every slot's decision (duplicates right after their
+  /// primary) to `stream`, finishing it after the last slot. The stream
+  /// must outlive delivery (the caller drains it to completion). A dedup
+  /// group merges its members' sched params — latest deadline, most
+  /// urgent priority, shed only when EVERY member's token is cancelled —
+  /// and individually-cancelled members report kCancelled at delivery.
+  /// `keep_alive` pins whatever owns the routed requests until the last
+  /// task ran (the non-blocking pull flavor passes its private copy).
+  void SubmitRouted(const std::vector<RoutedRequest>& routed,
+                    DecisionStream* stream,
+                    std::shared_ptr<const void> keep_alive = nullptr);
+
+  /// Blocking collect over SubmitRouted — the SubmitBatch backend.
+  std::vector<Decision> CollectRouted(const std::vector<RoutedRequest>& routed);
+
+  std::vector<RoutedRequest> RouteBatch(
+      const std::vector<ServiceRequest>& requests);
+
   void WorkerLoop();
 
   const ServiceOptions options_;
@@ -211,13 +398,12 @@ class CompletenessService {
       handle_by_fingerprint_;
   uint64_t next_handle_id_ = 1;
 
-  // Shared worker pool. Workers drain the queue before honoring shutdown,
-  // so async submissions accepted before destruction still resolve.
+  // The scheduler subsystem: a policy-driven multi-tenant queue (tenant =
+  // setting shard) feeding the shared worker pool. Workers drain the queue
+  // before honoring shutdown, so async submissions accepted before
+  // destruction still resolve.
+  sched::FairQueue queue_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  bool shutdown_ = false;
 };
 
 }  // namespace relcomp

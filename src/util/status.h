@@ -26,6 +26,15 @@ enum class StatusCode {
   kParseError,
   /// Internal invariant violation.
   kInternal,
+  /// The service refused admission (per-tenant quota or rate exceeded
+  /// under OverloadPolicy::kReject). Distinct from kResourceExhausted,
+  /// which reports a decider's own search budget running out.
+  kUnavailable,
+  /// A best-effort deadline passed while the request was queued; it was
+  /// shed before evaluation.
+  kDeadlineExceeded,
+  /// Every waiter cancelled the request before evaluation started.
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode.
@@ -57,6 +66,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -428,6 +428,117 @@ TEST(ServiceTest, ConcurrentIdenticalAsyncRequestsCoalesce) {
   EXPECT_EQ(counters.coalesced, counters.cache_hits);
 }
 
+TEST(ServiceTest, PerSettingCacheCapacityOverride) {
+  // ShardOptions::cache_capacity overrides the service-wide default per
+  // setting: a capacity-1 shard thrashes between two alternating requests
+  // while a default shard keeps both resident.
+  AuditFixture tiny_fx = MakeAuditFixture(0);
+  AuditFixture roomy_fx = MakeAuditFixture(1);
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/1024));
+  ShardOptions tiny_options;
+  tiny_options.cache_capacity = 1;
+  ASSERT_OK_AND_ASSIGN(tiny, service.RegisterSetting(tiny_fx.setting,
+                                                     tiny_options));
+  ASSERT_OK_AND_ASSIGN(roomy, service.RegisterSetting(roomy_fx.setting));
+
+  ASSERT_OK_AND_ASSIGN(tiny_resolved, service.shard_options(tiny));
+  ASSERT_OK_AND_ASSIGN(roomy_resolved, service.shard_options(roomy));
+  EXPECT_EQ(tiny_resolved.cache_capacity, 1u);
+  EXPECT_EQ(roomy_resolved.cache_capacity, 1024u);
+
+  auto alternate = [&](const AuditFixture& fx, SettingHandle handle) {
+    DecisionRequest first;
+    first.kind = ProblemKind::kRcdpStrong;
+    first.query = fx.by_patient;
+    first.cinstance = fx.audited;
+    DecisionRequest second = first;
+    second.query = fx.all_cities;
+    // first, second, first, second: with capacity 1 every access evicts
+    // the other entry — four misses; with room for both, two hits.
+    for (int round = 0; round < 2; ++round) {
+      service.Decide(handle, first);
+      service.Decide(handle, second);
+    }
+  };
+  alternate(tiny_fx, tiny);
+  alternate(roomy_fx, roomy);
+
+  ASSERT_OK_AND_ASSIGN(tiny_counters, service.counters(tiny));
+  ASSERT_OK_AND_ASSIGN(roomy_counters, service.counters(roomy));
+  EXPECT_EQ(tiny_counters.cache_misses, 4u);
+  EXPECT_EQ(tiny_counters.cache_hits, 0u);
+  EXPECT_EQ(roomy_counters.cache_misses, 2u);
+  EXPECT_EQ(roomy_counters.cache_hits, 2u);
+}
+
+TEST(ServiceTest, TotalCountersEqualsPerShardSumAfterMixedTraffic) {
+  // The counter-drift regression: after sync, async, batch (with
+  // duplicates), stream, shed, and cancelled traffic across several
+  // shards, the field-wise sum of every live shard's counters must equal
+  // TotalCounters() exactly, and each shard's outcome buckets must
+  // partition its requests.
+  AuditFixture fx_a = MakeAuditFixture(0);
+  AuditFixture fx_b = MakeAuditFixture(1);
+  CompletenessService service(MakeOptions(/*workers=*/2, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle_a, service.RegisterSetting(fx_a.setting));
+  ASSERT_OK_AND_ASSIGN(handle_b, service.RegisterSetting(fx_b.setting));
+
+  std::vector<DecisionRequest> workload_a = AuditWorkload(fx_a);
+  std::vector<DecisionRequest> workload_b = AuditWorkload(fx_b);
+
+  // Sync + batch with duplicates.
+  service.Decide(handle_a, workload_a[0]);
+  std::vector<DecisionRequest> dup_batch = workload_a;
+  dup_batch.push_back(workload_a[0]);
+  dup_batch.push_back(workload_a[0]);
+  service.SubmitBatch(handle_a, dup_batch);
+
+  // Async futures on the other shard.
+  std::vector<std::future<Decision>> futures;
+  for (const DecisionRequest& request : workload_b) {
+    futures.push_back(service.SubmitAsync(ServiceRequest{handle_b, request}));
+  }
+  for (std::future<Decision>& future : futures) future.get();
+
+  // Stream across both shards.
+  std::vector<ServiceRequest> interleaved;
+  for (size_t i = 0; i < workload_a.size(); ++i) {
+    interleaved.push_back(ServiceRequest{handle_a, workload_a[i]});
+    interleaved.push_back(ServiceRequest{handle_b, workload_b[i]});
+  }
+  size_t streamed = 0;
+  service.SubmitStream(interleaved,
+                       [&streamed](size_t, const Decision&) { ++streamed; });
+  EXPECT_EQ(streamed, interleaved.size());
+
+  // A cancelled and an expired request.
+  sched::CancelSource source;
+  source.Cancel();
+  ServiceRequest cancelled;
+  cancelled.setting = handle_a;
+  cancelled.request = workload_a[1];
+  cancelled.sched.cancel = source.token();
+  EXPECT_EQ(service.SubmitAsync(std::move(cancelled)).get().status.code(),
+            StatusCode::kCancelled);
+  ServiceRequest expired;
+  expired.setting = handle_b;
+  expired.request = workload_b[1];
+  expired.sched.deadline = sched::Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(service.SubmitAsync(std::move(expired)).get().status.code(),
+            StatusCode::kDeadlineExceeded);
+
+  EngineCounters summed;
+  for (SettingHandle handle : {handle_a, handle_b}) {
+    ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+    EXPECT_EQ(counters.requests,
+              counters.cache_hits + counters.cache_misses + counters.rejected +
+                  counters.expired + counters.cancelled)
+        << "shard " << handle.id << ": " << counters.ToString();
+    summed += counters;
+  }
+  EXPECT_EQ(summed.ToString(), service.TotalCounters().ToString());
+}
+
 TEST(ServiceTest, EngineAdapterMatchesService) {
   // The deprecated single-setting engine is a shim over the service: same
   // answers, same counters semantics.

@@ -46,6 +46,17 @@ struct CliOptions {
   std::string minstance_name;
   bool compare = false;
   bool witness = false;
+  // Scheduler knobs. --weight / --max-queue bind to the most recent
+  // --setting (or set the default for all settings when given first).
+  sched::SchedPolicy policy = sched::SchedPolicy::kFifo;
+  sched::OverloadPolicy overload = sched::OverloadPolicy::kBlock;
+  sched::Priority priority = sched::Priority::kNormal;
+  uint64_t deadline_ms = 0;  // 0 = none
+  bool stream = false;
+  uint32_t default_weight = 1;
+  size_t default_max_queue = 0;  // 0 = unbounded
+  std::vector<uint32_t> weights;     // parallel to setting_files
+  std::vector<size_t> max_queues;    // parallel to setting_files
 };
 
 /// One registered setting and its share of the workload.
@@ -213,6 +224,56 @@ int main(int argc, char** argv) {
     };
     if (arg == "--setting") {
       cli.setting_files.push_back(next("--setting"));
+      cli.weights.push_back(cli.default_weight);
+      cli.max_queues.push_back(cli.default_max_queue);
+    } else if (arg == "--weight") {
+      const size_t weight = ParseCount("--weight", next("--weight"));
+      if (cli.weights.empty()) {
+        cli.default_weight = static_cast<uint32_t>(weight);
+      } else {
+        cli.weights.back() = static_cast<uint32_t>(weight);
+      }
+    } else if (arg == "--max-queue") {
+      const size_t quota = ParseCount("--max-queue", next("--max-queue"));
+      if (cli.max_queues.empty()) {
+        cli.default_max_queue = quota;
+      } else {
+        cli.max_queues.back() = quota;
+      }
+    } else if (arg == "--policy") {
+      const std::string name = next("--policy");
+      if (name == "fifo") {
+        cli.policy = sched::SchedPolicy::kFifo;
+      } else if (name == "fair") {
+        cli.policy = sched::SchedPolicy::kFairShare;
+      } else {
+        return Fail("--policy expects 'fifo' or 'fair', got '" + name + "'");
+      }
+    } else if (arg == "--overload") {
+      const std::string name = next("--overload");
+      if (name == "block") {
+        cli.overload = sched::OverloadPolicy::kBlock;
+      } else if (name == "reject") {
+        cli.overload = sched::OverloadPolicy::kReject;
+      } else {
+        return Fail("--overload expects 'block' or 'reject', got '" + name +
+                    "'");
+      }
+    } else if (arg == "--priority") {
+      const std::string name = next("--priority");
+      if (name == "high") {
+        cli.priority = sched::Priority::kHigh;
+      } else if (name == "normal") {
+        cli.priority = sched::Priority::kNormal;
+      } else if (name == "low") {
+        cli.priority = sched::Priority::kLow;
+      } else {
+        return Fail("--priority expects high|normal|low, got '" + name + "'");
+      }
+    } else if (arg == "--deadline-ms") {
+      cli.deadline_ms = ParseCount("--deadline-ms", next("--deadline-ms"));
+    } else if (arg == "--stream") {
+      cli.stream = true;
     } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
@@ -255,7 +316,19 @@ int main(int argc, char** argv) {
           "  --instance NAME   audited instance block (default: db/first)\n"
           "  --minstance NAME  master data block (default: dm/first)\n"
           "  --compare         also time cold per-call decider dispatch\n"
-          "  --witness         request counterexample witnesses\n",
+          "  --witness         request counterexample witnesses\n"
+          "scheduler:\n"
+          "  --policy P        queue policy: fifo (default) | fair\n"
+          "  --weight W        fair-share weight of the preceding --setting\n"
+          "                    (before any --setting: default for all)\n"
+          "  --max-queue N     in-queue quota of the preceding --setting,\n"
+          "                    0 = unbounded (before any --setting: default)\n"
+          "  --overload P      over-quota behavior: block (default) | reject\n"
+          "  --priority P      request priority: high | normal | low\n"
+          "  --deadline-ms N   best-effort deadline per submission; queued\n"
+          "                    requests past it are shed, not evaluated\n"
+          "  --stream          deliver decisions incrementally as they\n"
+          "                    complete (SubmitStream) instead of one batch\n",
           kinds.c_str());
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -269,6 +342,8 @@ int main(int argc, char** argv) {
     // Legacy shape: the first positional file is the setting.
     if (cli.files.empty()) return Fail("no input files (see --help)");
     cli.setting_files.push_back(cli.files[0]);
+    cli.weights.push_back(cli.default_weight);
+    cli.max_queues.push_back(cli.default_max_queue);
     query_files.erase(query_files.begin());
   }
   if (cli.repeat == 0) cli.repeat = 1;
@@ -283,11 +358,19 @@ int main(int argc, char** argv) {
   service_options.num_workers = cli.workers;
   service_options.cache_capacity = cli.cache;
   service_options.memoize = cli.cache > 0;
+  service_options.policy = cli.policy;
+  service_options.overload = cli.overload;
+  service_options.default_max_queue = cli.default_max_queue;
 
   CompletenessService service(service_options);
   auto prep_start = std::chrono::steady_clock::now();
-  for (SettingWorkload& load : loads) {
-    Result<SettingHandle> handle = service.RegisterSetting(load.setting);
+  for (size_t s = 0; s < loads.size(); ++s) {
+    SettingWorkload& load = loads[s];
+    ShardOptions shard_options;
+    shard_options.weight = cli.weights[s];
+    shard_options.max_queue = cli.max_queues[s];
+    Result<SettingHandle> handle =
+        service.RegisterSetting(load.setting, shard_options);
     if (!handle.ok()) {
       return Fail(load.file + ": " + handle.status().ToString());
     }
@@ -307,16 +390,52 @@ int main(int argc, char** argv) {
   for (size_t k = 0; k < widest; ++k) {
     for (size_t s = 0; s < loads.size(); ++s) {
       if (k >= loads[s].requests.size()) continue;
-      batch.push_back(ServiceRequest{loads[s].handle, loads[s].requests[k]});
+      ServiceRequest request{loads[s].handle, loads[s].requests[k]};
+      request.sched.priority = cli.priority;
+      batch.push_back(std::move(request));
       origin.emplace_back(s, k);
     }
   }
   size_t total_requests = batch.size() * cli.repeat;
 
+  // Deadlines are armed per submission round: a --deadline-ms budget is
+  // relative to when the round enters the queue, not to process start.
+  auto arm_deadlines = [&batch, &cli] {
+    if (cli.deadline_ms == 0) return;
+    const sched::TimePoint deadline = sched::DeadlineAfterMs(cli.deadline_ms);
+    for (ServiceRequest& request : batch) request.sched.deadline = deadline;
+  };
+
+  std::vector<Decision> decisions(batch.size());
   auto batch_start = std::chrono::steady_clock::now();
-  std::vector<Decision> decisions = service.SubmitBatch(batch);
-  for (size_t r = 1; r < cli.repeat; ++r) {
-    service.SubmitBatch(batch);
+  if (cli.stream) {
+    // Streaming submission: decisions arrive (and print) as they
+    // complete, in completion order — no result vector materializes
+    // inside the service.
+    for (size_t r = 0; r < cli.repeat; ++r) {
+      arm_deadlines();
+      DecisionStream stream;
+      service.SubmitStream(batch, &stream);
+      StreamedDecision item;
+      size_t arrived = 0;
+      while (stream.Next(&item)) {
+        if (r == 0) {
+          const auto [s, k] = origin[item.index];
+          std::printf("stream [%zu/%zu] %s: %-40s %s\n", ++arrived,
+                      batch.size(), loads[s].file.c_str(),
+                      loads[s].labels[k].c_str(),
+                      item.decision.ToString().c_str());
+          decisions[item.index] = std::move(item.decision);
+        }
+      }
+    }
+  } else {
+    arm_deadlines();
+    decisions = service.SubmitBatch(batch);
+    for (size_t r = 1; r < cli.repeat; ++r) {
+      arm_deadlines();
+      service.SubmitBatch(batch);
+    }
   }
   auto batch_end = std::chrono::steady_clock::now();
 
@@ -349,6 +468,12 @@ int main(int argc, char** argv) {
   std::printf("\n=== service ===\n");
   std::printf("  settings     %zu registered (%zu distinct shards)\n",
               loads.size(), service.num_settings());
+  std::printf("  scheduler    %s policy, %s on overload%s\n",
+              cli.policy == sched::SchedPolicy::kFairShare ? "fair-share"
+                                                           : "fifo",
+              cli.overload == sched::OverloadPolicy::kReject ? "reject"
+                                                             : "block",
+              cli.stream ? ", streaming delivery" : "");
   std::printf("  prepare      %.3f ms (validation, Adom seed, projections)\n",
               prep_s * 1e3);
   std::printf("  batch        %zu requests in %.3f ms  (%.0f req/s, %zu workers)\n",

@@ -343,6 +343,79 @@ void BM_Service_TwoTenantContended_FairShare(benchmark::State& state) {
 }
 BENCHMARK(BM_Service_TwoTenantContended_FairShare)->UseRealTime();
 
+/// An audited c-instance whose Mod(T, Dm, V) enumeration must exhaust the
+/// full |Adom|^vars valuation space: `vars` variables in the infinite nhs
+/// column plus one ground "ghost" row no world can satisfy the IND with.
+CInstance MakeSlowAudited(const DatabaseSchema& schema, int vars) {
+  CInstance audited(schema);
+  CTable& visits = audited.at("Visit");
+  visits.AddRow({Cell(S("ghost")), Cell(S("EDI")), Cell(Value::Int(1999))});
+  for (int v = 0; v < vars; ++v) {
+    visits.AddRow({Cell(VarId{v}), Cell(S("EDI")), Cell(Value::Int(1999))});
+  }
+  return audited;
+}
+
+/// Experiment SCHED-D: mid-run shed latency — the checkpoints' reason to
+/// exist. One slow evaluation (a ~260-constant Adom squared, ≥100ms of
+/// enumeration) is submitted with a deadline that expires almost
+/// immediately; reported is the latency from deadline expiry to the
+/// decision resolving. With checkpoint_interval = 0 (the pre-checkpoint
+/// behavior) the worker runs the search to completion and shed latency is
+/// the full evaluation time; with checkpoints on, the abort lands within
+/// one interval — shed_p50/p99 should collapse by orders of magnitude.
+void RunDeadlineShedLatency(benchmark::State& state,
+                            uint64_t checkpoint_interval) {
+  PartiallyClosedSetting setting = MakeAuditSetting(256);
+  CInstance audited = MakeSlowAudited(setting.schema, /*vars=*/2);
+  DecisionRequest request;
+  request.kind = ProblemKind::kRcdpStrong;
+  request.query = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{20})},
+      {RelAtom{"Visit", {VarId{21}, VarId{20}, VarId{22}}}}));
+  request.cinstance = audited;
+  request.options.checkpoint_interval = checkpoint_interval;
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_capacity = 0;  // aborted runs are never cached anyway
+  options.memoize = false;
+  CompletenessService service(options);
+  Result<SettingHandle> handle = service.RegisterSetting(setting);
+  if (!handle.ok()) {
+    state.SkipWithError(handle.status().ToString().c_str());
+    return;
+  }
+
+  std::vector<double> shed_us;
+  for (auto _ : state) {
+    ServiceRequest sr{*handle, request};
+    const sched::TimePoint deadline = sched::DeadlineAfterMs(2);
+    sr.sched.deadline = deadline;
+    Decision decision = service.SubmitAsync(std::move(sr)).get();
+    const double us = std::chrono::duration<double, std::micro>(
+                          sched::Clock::now() - deadline)
+                          .count();
+    shed_us.push_back(us > 0 ? us : 0.0);
+    benchmark::DoNotOptimize(decision);
+  }
+  if (!shed_us.empty()) {
+    std::sort(shed_us.begin(), shed_us.end());
+    state.counters["shed_p50_us"] = shed_us[shed_us.size() / 2];
+    state.counters["shed_p99_us"] = shed_us[shed_us.size() * 99 / 100];
+  }
+}
+
+void BM_Service_DeadlineShedLatency_NoCheckpoints(benchmark::State& state) {
+  RunDeadlineShedLatency(state, /*checkpoint_interval=*/0);
+}
+BENCHMARK(BM_Service_DeadlineShedLatency_NoCheckpoints)->UseRealTime();
+
+void BM_Service_DeadlineShedLatency_Checkpointed(benchmark::State& state) {
+  RunDeadlineShedLatency(state, /*checkpoint_interval=*/4096);
+}
+BENCHMARK(BM_Service_DeadlineShedLatency_Checkpointed)->UseRealTime();
+
 }  // namespace
 }  // namespace relcomp
 

@@ -15,7 +15,8 @@ class ExtensionSearcher {
         adom_(adom),
         max_added_(max_added),
         options_(options),
-        stats_(stats) {
+        stats_(stats),
+        checkpoint_(options_, "bounded incompleteness search") {
     for (const RelationSchema& rel : setting.schema.relations()) {
       std::vector<Tuple> tuples;
       TupleEnumerator it(rel, adom);
@@ -41,10 +42,7 @@ class ExtensionSearcher {
                  Instance* current, size_t added, size_t rel_index,
                  size_t tuple_index, BoundedSearchResult* result) {
     if (result->witness_found) return Status::OK();
-    if (++steps_ > options_.max_steps) {
-      return Status::ResourceExhausted(
-          "bounded incompleteness search exceeded the step budget");
-    }
+    RELCOMP_RETURN_IF_ERROR(checkpoint_.Tick());
     if (added > 0) {
       ++result->explored;
       if (stats_ != nullptr) {
@@ -101,7 +99,7 @@ class ExtensionSearcher {
   SearchOptions options_;
   SearchStats* stats_;
   std::vector<std::vector<Tuple>> candidates_;
-  uint64_t steps_ = 0;
+  SearchCheckpoint checkpoint_;
 };
 
 }  // namespace

@@ -26,16 +26,13 @@ Result<bool> IsExtensible(const PreparedSetting& prepared,
                           const SearchOptions& options, SearchStats* stats,
                           ExtensionWitness* witness) {
   AdomContext adom = prepared.BuildAdomForGround(instance, nullptr);
-  uint64_t steps = 0;
+  SearchCheckpoint checkpoint(options, "extensibility search");
   for (const RelationSchema& rel : prepared.schema().relations()) {
     const Relation& existing = instance.at(rel.name());
     TupleEnumerator tuples(rel, adom);
     Tuple t;
     while (tuples.Next(&t)) {
-      if (++steps > options.max_steps) {
-        return Status::ResourceExhausted(
-            "extensibility search exceeded the step budget");
-      }
+      RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
       if (stats != nullptr) ++stats->extensions;
       if (existing.Contains(t)) continue;
       Instance extended = instance;

@@ -326,7 +326,8 @@ ModEnumerator::ModEnumerator(const CInstance& cinstance,
       prepared_(prepared),
       options_(options),
       stats_(stats),
-      valuations_(CInstanceVarCandidates(cinstance, adom)) {}
+      valuations_(CInstanceVarCandidates(cinstance, adom)),
+      checkpoint_(options_, "Mod(T, Dm, V) enumeration") {}
 
 ModEnumerator::ModEnumerator(const CInstance& cinstance,
                              const PartiallyClosedSetting& setting,
@@ -339,10 +340,7 @@ Result<bool> ModEnumerator::Next(Valuation* mu, Instance* world) {
   Valuation local_mu;
   Valuation* mu_ptr = mu != nullptr ? mu : &local_mu;
   while (valuations_.Next(mu_ptr)) {
-    if (++steps_ > options_.max_steps) {
-      return Status::ResourceExhausted(
-          "Mod(T, Dm, V) enumeration exceeded the step budget");
-    }
+    RELCOMP_RETURN_IF_ERROR(checkpoint_.Tick());
     if (stats_ != nullptr) ++stats_->valuations;
     Result<Instance> candidate = cinstance_.Apply(*mu_ptr);
     if (!candidate.ok()) return candidate.status();

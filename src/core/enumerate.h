@@ -137,7 +137,8 @@ class ModEnumerator {
 
   /// Produces the next distinct world; `mu` and/or `world` may be null.
   /// Returns false when exhausted; fails with kResourceExhausted if the
-  /// step budget runs out.
+  /// step budget runs out, or kDeadlineExceeded / kCancelled when a
+  /// checkpoint observes the options' deadline or cancellation token.
   Result<bool> Next(Valuation* mu, Instance* world);
 
  private:
@@ -147,7 +148,7 @@ class ModEnumerator {
   SearchStats* stats_;
   ValuationEnumerator valuations_;
   std::set<std::string> seen_;
-  uint64_t steps_ = 0;
+  SearchCheckpoint checkpoint_;
 };
 
 }  // namespace relcomp

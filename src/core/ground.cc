@@ -42,7 +42,7 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
   Result<std::vector<ConjunctiveQuery>> disjuncts = q.Disjuncts();
   if (!disjuncts.ok()) return disjuncts.status();
 
-  uint64_t steps = 0;
+  SearchCheckpoint checkpoint(options, "ground completeness search");
   for (const ConjunctiveQuery& disjunct : *disjuncts) {
     // Fresh constants are interchangeable in this existential search, so a
     // symmetry-broken enumeration suffices (values of I stay pinned).
@@ -50,10 +50,7 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
         MakeCanonicalCqEnumerator(disjunct, prepared.schema(), adom, instance);
     Valuation nu;
     while (nus.Next(&nu)) {
-      if (++steps > options.max_steps) {
-        return Status::ResourceExhausted(
-            "ground completeness search exceeded the step budget");
-      }
+      RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
       if (stats != nullptr) ++stats->valuations;
       // The canonical extension only produces a new answer if the builtins
       // hold under ν.

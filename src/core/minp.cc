@@ -16,8 +16,10 @@ Result<bool> MinimalCompleteWorld(const Query& q, const Instance& instance,
       IsCompleteGround(q, instance, prepared, adom, options, stats, nullptr);
   if (!complete.ok()) return complete.status();
   if (!*complete) return false;
+  SearchCheckpoint checkpoint(options, "minimality single-removal sweep");
   for (const Relation& rel : instance.relations()) {
     for (const Tuple& t : rel.rows()) {
+      RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
       Instance smaller = instance;
       smaller.RemoveTuple(rel.schema().name(), t);
       Result<bool> sub_complete = IsCompleteGround(q, smaller, prepared, adom,
@@ -112,8 +114,10 @@ Result<bool> MinpWeak(const Query& q, const CInstance& cinstance,
         std::to_string(positions.size()) + " is too many");
   }
   uint64_t combos = uint64_t{1} << positions.size();
+  SearchCheckpoint checkpoint(options, "weak-model minimality enumeration");
   // Skip the empty removal (∆ = ∅); every other subset is removed.
   for (uint64_t mask = 1; mask < combos; ++mask) {
+    RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
     std::vector<std::pair<int, int>> removal;
     for (size_t i = 0; i < positions.size(); ++i) {
       if ((mask >> i) & 1) removal.push_back(positions[i]);

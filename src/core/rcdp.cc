@@ -119,7 +119,7 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
   // extensions of all worlds (sufficient by monotonicity).
   bool any_extension = false;
   Relation extension_certain;
-  uint64_t steps = 0;
+  SearchCheckpoint checkpoint(options, "weak-model extension enumeration");
 
   ModEnumerator worlds(cinstance, prepared, adom, options, stats);
   Valuation mu;
@@ -133,10 +133,7 @@ Result<bool> RcdpWeak(const Query& q, const CInstance& cinstance,
       TupleEnumerator tuples(rel, adom);
       Tuple t;
       while (tuples.Next(&t)) {
-        if (++steps > options.max_steps) {
-          return Status::ResourceExhausted(
-              "weak-model extension enumeration exceeded the step budget");
-        }
+        RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
         if (stats != nullptr) ++stats->extensions;
         if (existing.Contains(t)) continue;
         Instance extended = world;

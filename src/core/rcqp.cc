@@ -30,7 +30,8 @@ class RcqpSearcher {
         adom_(adom),
         max_tuples_(max_tuples),
         options_(options),
-        stats_(stats) {
+        stats_(stats),
+        checkpoint_(options_, "RCQP search") {
     // Materialize candidate tuples per relation.
     for (const RelationSchema& rel : prepared.schema().relations()) {
       std::vector<Tuple> tuples;
@@ -55,9 +56,7 @@ class RcqpSearcher {
   // (rel_index, tuple_index).
   Result<bool> Explore(Instance* current, size_t rel_index,
                        size_t tuple_index, RcqpSearchResult* result) {
-    if (++steps_ > options_.max_steps) {
-      return Status::ResourceExhausted("RCQP search exceeded the step budget");
-    }
+    RELCOMP_RETURN_IF_ERROR(checkpoint_.Tick());
     // Check the current instance.
     Result<bool> closed = IsPartiallyClosed(prepared_, *current);
     if (!closed.ok()) return closed.status();
@@ -94,7 +93,7 @@ class RcqpSearcher {
   SearchOptions options_;
   SearchStats* stats_;
   std::vector<std::vector<Tuple>> candidates_;
-  uint64_t steps_ = 0;
+  SearchCheckpoint checkpoint_;
 };
 
 }  // namespace
@@ -187,7 +186,7 @@ Result<bool> RcqpStrongInd(const Query& q,
   CInstance empty(prepared.schema());
   AdomContext adom = prepared.BuildAdom(empty, &q);
 
-  uint64_t steps = 0;
+  SearchCheckpoint checkpoint(options, "IND RCQP valuation search");
   for (const ConjunctiveQuery& disjunct : *disjuncts) {
     if (IsBoundedDisjunct(disjunct, prepared.schema(), prepared.ccs())) {
       continue;
@@ -200,10 +199,7 @@ Result<bool> RcqpStrongInd(const Query& q,
         disjunct, prepared.schema(), adom, empty_instance);
     Valuation nu;
     while (nus.Next(&nu)) {
-      if (++steps > options.max_steps) {
-        return Status::ResourceExhausted(
-            "IND RCQP valuation search exceeded the step budget");
-      }
+      RELCOMP_RETURN_IF_ERROR(checkpoint.Tick());
       if (stats != nullptr) ++stats->valuations;
       Result<bool> builtins_ok = disjunct.BuiltinsSatisfied(nu);
       if (!builtins_ok.ok()) return builtins_ok.status();

@@ -13,6 +13,57 @@ Status PartiallyClosedSetting::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+// Smallest (power of two) - 1 covering `interval`, so `steps & mask == 0`
+// fires at most once per requested interval.
+uint64_t PollMask(uint64_t interval) {
+  uint64_t size = 1;
+  while (size < interval && size < (uint64_t{1} << 62)) size <<= 1;
+  return size - 1;
+}
+
+}  // namespace
+
+SearchCheckpoint::SearchCheckpoint(const SearchOptions& options,
+                                   const char* what)
+    : max_steps_(options.max_steps),
+      mask_(PollMask(options.checkpoint_interval)),
+      poll_(options.checkpoint_interval > 0 &&
+            (options.cancel.valid() || options.shared_deadline != nullptr ||
+             options.deadline !=
+                 std::chrono::steady_clock::time_point::max())),
+      deadline_(options.deadline),
+      shared_deadline_(options.shared_deadline),
+      cancel_(options.cancel),
+      what_(what) {}
+
+Status SearchCheckpoint::Exhausted() const {
+  return Status::ResourceExhausted(std::string(what_) +
+                                   " exceeded the step budget");
+}
+
+Status SearchCheckpoint::Poll() const {
+  if (cancel_.cancelled()) {
+    return Status::Cancelled(std::string(what_) +
+                             " aborted at a checkpoint: cancelled");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  // The shared deadline is re-read every poll: waiters joining a coalesced
+  // evaluation mid-run may have extended (or lifted) it since the last one.
+  const bool expired =
+      now > deadline_ ||
+      (shared_deadline_ != nullptr &&
+       now.time_since_epoch().count() >
+           shared_deadline_->load(std::memory_order_relaxed));
+  if (expired) {
+    return Status::DeadlineExceeded(std::string(what_) +
+                                    " aborted at a checkpoint: deadline "
+                                    "exceeded mid-evaluation");
+  }
+  return Status::OK();
+}
+
 SearchStats& SearchStats::Merge(const SearchStats& other) {
   valuations += other.valuations;
   worlds += other.worlds;

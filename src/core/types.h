@@ -3,6 +3,8 @@
 #ifndef RELCOMP_CORE_TYPES_H_
 #define RELCOMP_CORE_TYPES_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -10,6 +12,8 @@
 #include "data/instance.h"
 #include "query/containment.h"
 #include "query/query.h"
+#include "sched/cancel.h"
+#include "util/status.h"
 
 namespace relcomp {
 
@@ -25,11 +29,78 @@ struct PartiallyClosedSetting {
   Status Validate() const;
 };
 
-/// Budget for the (inherently exponential) valuation searches. Every
-/// enumerated valuation / candidate tuple costs one step; procedures fail
-/// with kResourceExhausted when the budget runs out instead of hanging.
+/// Budget and cooperative-abort controls for the (inherently exponential)
+/// valuation searches. Every enumerated valuation / candidate tuple costs
+/// one step; procedures fail with kResourceExhausted when the budget runs
+/// out instead of hanging. A deadline or cancellation token makes a running
+/// search *anytime*: the long enumeration loops poll both at amortized
+/// checkpoints (every `checkpoint_interval` steps) and abort with
+/// kDeadlineExceeded / kCancelled — distinct from kResourceExhausted —
+/// leaving whatever SearchStats the aborted run accumulated in place.
 struct SearchOptions {
-  uint64_t max_steps = 50'000'000ULL;
+  /// The built-in step budget; the service treats requests still carrying
+  /// it as "no explicit budget" when a shard-level default is configured.
+  static constexpr uint64_t kDefaultMaxSteps = 50'000'000ULL;
+  uint64_t max_steps = kDefaultMaxSteps;
+  /// Hard wall-clock bound for the whole search (steady clock; max() = no
+  /// deadline). Unlike the scheduler's queued-request shedding, this is
+  /// enforced *inside* a running evaluation.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Cooperative cancellation; an invalid (default) token never aborts.
+  CancelToken cancel;
+  /// Optional EXTENDABLE deadline, read afresh at every poll: the count of
+  /// the steady clock's duration-since-epoch (max = no deadline), stored
+  /// where another thread may push it later. The service points this at a
+  /// coalesced flight group's shared run deadline, so a waiter that joins
+  /// an already-running evaluation can extend (or lift) its deadline the
+  /// same way a late joiner re-pins cancellation. The pointee must outlive
+  /// the search. Enforced in addition to the fixed `deadline` above.
+  const std::atomic<std::chrono::steady_clock::rep>* shared_deadline =
+      nullptr;
+  /// How many enumeration steps pass between deadline/cancellation polls
+  /// (rounded up to a power of two so the hot-loop test is one AND). The
+  /// interval bounds worst-case abort latency; 0 disables mid-run polling
+  /// entirely (the pre-checkpoint behavior — the step budget still holds).
+  uint64_t checkpoint_interval = 4096;
+};
+
+/// Amortized cooperative checkpoint threaded through every long enumeration
+/// loop. Each loop constructs one checkpoint from its SearchOptions and
+/// calls Tick() once per step: the hot path is a counter increment, the
+/// budget compare, and one AND; the deadline clock read and the token's
+/// atomic load run only every checkpoint_interval steps. Tick() returns the
+/// abort reason — kResourceExhausted, kDeadlineExceeded, or kCancelled —
+/// tagged with the loop's `what` phrase, or OK to keep searching.
+class SearchCheckpoint {
+ public:
+  /// `what` names the enclosing search in abort messages; it must outlive
+  /// the checkpoint (string literals in practice).
+  SearchCheckpoint(const SearchOptions& options, const char* what);
+
+  /// Charges one enumeration step.
+  Status Tick() {
+    ++steps_;
+    if (steps_ > max_steps_) return Exhausted();
+    if (poll_ && (steps_ & mask_) == 0) return Poll();
+    return Status::OK();
+  }
+
+  /// Steps charged so far.
+  uint64_t steps() const { return steps_; }
+
+ private:
+  Status Exhausted() const;
+  Status Poll() const;  ///< the cold path: clock read + token load
+
+  uint64_t steps_ = 0;
+  uint64_t max_steps_;
+  uint64_t mask_;
+  bool poll_;
+  std::chrono::steady_clock::time_point deadline_;
+  const std::atomic<std::chrono::steady_clock::rep>* shared_deadline_;
+  CancelToken cancel_;
+  const char* what_;
 };
 
 /// Counters reported by the deciders; benchmarks use them to show the
@@ -44,6 +115,12 @@ struct SearchStats {
   /// Field-wise accumulation, for aggregating per-request stats.
   SearchStats& Merge(const SearchStats& other);
   SearchStats& operator+=(const SearchStats& other) { return Merge(other); }
+
+  /// Total units of search work recorded — the "wasted steps" measure the
+  /// service reports for aborted evaluations.
+  uint64_t TotalSteps() const {
+    return valuations + worlds + extensions + cc_checks + query_evals;
+  }
 
   std::string ToString() const;
 };

@@ -2,24 +2,30 @@
 // cancelled bit; CancelTokens are cheap shared observers handed to
 // submissions. Cancellation is a request, not an interrupt: the scheduler
 // and the service check tokens at evaluation boundaries (admission, queue
-// pop, publication) and shed work that nobody is waiting for any more —
-// a decider that has already started always runs to completion.
+// pop, publication), and the core search loops poll them at amortized
+// checkpoints (SearchOptions::cancel), so a decider that has already
+// started aborts at the next checkpoint instead of running to completion.
 //
-// Coalescing interacts through polling: a coalesced in-flight group is shed
-// only when EVERY member's token is cancelled (members without a token
-// count as permanently interested), which the service checks by iterating
-// member tokens under its shard lock.
+// Coalescing interacts through polling: a coalesced flight group is shed
+// (queued) or aborted (running) only when EVERY member's token is
+// cancelled — members without a token count as permanently interested.
+// CancelGroup packages that rule as a single joint token the running
+// evaluation can poll, with membership that may still grow while the
+// computation runs.
 #ifndef RELCOMP_SCHED_CANCEL_H_
 #define RELCOMP_SCHED_CANCEL_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 namespace relcomp {
 namespace sched {
 
 class CancelSource;
+class CancelGroup;
 
 /// Observer half: copyable, cheap, thread-safe. A default-constructed token
 /// is "invalid" — it belongs to no source and never reports cancellation,
@@ -32,18 +38,31 @@ class CancelToken {
   /// Whether this token is connected to a source at all.
   bool valid() const { return state_ != nullptr; }
 
-  /// Whether the owning source has requested cancellation. Invalid tokens
-  /// are never cancelled.
-  bool cancelled() const {
-    return state_ != nullptr && state_->load(std::memory_order_acquire);
-  }
+  /// Whether the owning source (or joint group) has requested cancellation.
+  /// Invalid tokens are never cancelled.
+  bool cancelled() const { return state_ != nullptr && state_->cancelled(); }
+
+  /// Either-cancels composition: a token that reports cancellation when
+  /// `a` OR `b` does (the service merges a request's own options.cancel
+  /// with the submission's sched token this way). Degenerates to the other
+  /// operand when one is invalid.
+  static CancelToken AnyOf(CancelToken a, CancelToken b);
 
  private:
   friend class CancelSource;
-  explicit CancelToken(std::shared_ptr<std::atomic<bool>> state)
+  friend class CancelGroup;
+
+  /// Pluggable observer state: a plain flipped-once bit (CancelSource) or a
+  /// joint all-members poll (CancelGroup).
+  struct State {
+    virtual ~State() = default;
+    virtual bool cancelled() const = 0;
+  };
+
+  explicit CancelToken(std::shared_ptr<const State> state)
       : state_(std::move(state)) {}
 
-  std::shared_ptr<std::atomic<bool>> state_;
+  std::shared_ptr<const State> state_;
 };
 
 /// Owner half: Cancel() flips the shared bit exactly once; every token
@@ -52,19 +71,105 @@ class CancelToken {
 /// merely goes away without asking to cancel).
 class CancelSource {
  public:
-  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+  CancelSource() : state_(std::make_shared<FlagState>()) {}
 
   CancelToken token() const { return CancelToken(state_); }
 
-  void Cancel() { state_->store(true, std::memory_order_release); }
+  void Cancel() { state_->flag.store(true, std::memory_order_release); }
 
-  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+  bool cancelled() const {
+    return state_->flag.load(std::memory_order_acquire);
+  }
 
  private:
-  std::shared_ptr<std::atomic<bool>> state_;
+  struct FlagState : CancelToken::State {
+    std::atomic<bool> flag{false};
+    bool cancelled() const override {
+      return flag.load(std::memory_order_acquire);
+    }
+  };
+
+  std::shared_ptr<FlagState> state_;
 };
 
+/// Joint interest in one shared computation (a coalesced flight group or a
+/// deduplicated batch slot group). Participants register their tokens with
+/// Add; token() observes the group rule: cancelled only when the group has
+/// at least one participant and EVERY participant's token is cancelled.
+/// Adding an invalid token pins the group live forever (that participant
+/// can never withdraw its interest), and participants may keep joining
+/// while the computation runs — a late joiner revives a group whose earlier
+/// members have all cancelled, provided the evaluation has not yet observed
+/// the joint cancellation at a checkpoint.
+///
+/// Polls take a mutex; they are meant for amortized checkpoints and queue
+/// boundaries, not per-step hot loops.
+class CancelGroup {
+ public:
+  CancelGroup() : state_(std::make_shared<GroupState>()) {}
+
+  /// Registers one participant. Thread-safe against token() polls.
+  void Add(CancelToken member) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->pinned) return;
+    if (!member.valid()) {
+      state_->pinned = true;
+      state_->members.clear();  // the poll can never succeed again
+      return;
+    }
+    state_->members.push_back(std::move(member));
+  }
+
+  /// The joint observer token (cheap to copy; polls under the group lock).
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// Whether every registered participant has cancelled (false while the
+  /// group is empty or pinned).
+  bool cancelled() const { return state_->cancelled(); }
+
+ private:
+  struct GroupState : CancelToken::State {
+    mutable std::mutex mu;
+    bool pinned = false;  ///< an uncancellable participant joined
+    std::vector<CancelToken> members;
+
+    bool cancelled() const override {
+      std::lock_guard<std::mutex> lock(mu);
+      if (pinned || members.empty()) return false;
+      for (const CancelToken& member : members) {
+        if (!member.cancelled()) return false;
+      }
+      return true;
+    }
+  };
+
+  std::shared_ptr<GroupState> state_;
+};
+
+inline CancelToken CancelToken::AnyOf(CancelToken a, CancelToken b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  struct EitherState : State {
+    CancelToken first, second;
+    EitherState(CancelToken f, CancelToken s)
+        : first(std::move(f)), second(std::move(s)) {}
+    bool cancelled() const override {
+      return first.cancelled() || second.cancelled();
+    }
+  };
+  return CancelToken(
+      std::make_shared<const EitherState>(std::move(a), std::move(b)));
+}
+
 }  // namespace sched
+
+// The cancellation vocabulary is used below the sched layer too (core
+// search loops poll a token via SearchOptions), so the names are also
+// exported at the relcomp level.
+using sched::CancelGroup;
+using sched::CancelSource;
+using sched::CancelToken;
+
 }  // namespace relcomp
 
 #endif  // RELCOMP_SCHED_CANCEL_H_

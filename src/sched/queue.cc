@@ -101,8 +101,10 @@ bool FairQueue::Push(Task&& task) {
         } else {
           if (was_idle) {
             // A tenant returning from idle joins at the current virtual
-            // time instead of spending credit hoarded while away.
+            // time instead of spending credit hoarded while away, and
+            // enters the pass-ordered dispatch index.
             tenant.pass = std::max(tenant.pass, global_pass_);
+            ready_.emplace(tenant.pass, task.tenant);
           }
           tenant.by_priority[lane].push_back(std::move(task));
         }
@@ -124,24 +126,6 @@ bool FairQueue::Push(Task&& task) {
   }
 }
 
-bool FairQueue::SelectTenant(uint64_t* id) {
-  // Linear scan for the smallest pass among backlogged tenants; ordered map
-  // iteration makes ties resolve to the lowest tenant id, deterministically.
-  // Tenant counts are small (one per registered setting); a pass-ordered
-  // heap is the upgrade path if registries grow to thousands.
-  bool found = false;
-  uint64_t best_pass = 0;
-  for (const auto& [tenant_id, tenant] : tenants_) {
-    if (tenant.queued == 0) continue;
-    if (!found || tenant.pass < best_pass) {
-      found = true;
-      best_pass = tenant.pass;
-      *id = tenant_id;
-    }
-  }
-  return found;
-}
-
 bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
   std::unique_lock<std::mutex> lock(mu_);
   work_cv_.wait(lock, [this] { return shutdown_ || depth_ > 0; });
@@ -160,8 +144,10 @@ bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
       GcTenant(task->tenant);
     }
   } else {
-    uint64_t id = 0;
-    SelectTenant(&id);  // depth_ > 0 guarantees a backlogged tenant
+    // The dispatch index head is the backlogged tenant with the smallest
+    // pass (ties: lowest id); depth_ > 0 guarantees it exists.
+    const uint64_t id = ready_.begin()->second;
+    ready_.erase(ready_.begin());
     Tenant& tenant = tenants_.at(id);
     for (auto& lane : tenant.by_priority) {
       if (lane.empty()) continue;
@@ -172,7 +158,11 @@ bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
     global_pass_ = tenant.pass;
     tenant.pass += tenant.stride;
     --tenant.queued;
-    GcTenant(id);
+    if (tenant.queued > 0) {
+      ready_.emplace(tenant.pass, id);  // re-key at the advanced pass
+    } else {
+      GcTenant(id);
+    }
   }
   --depth_;
   // notify_all, not notify_one: space_cv_ waiters have heterogeneous

@@ -29,6 +29,8 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
+#include <utility>
 
 #include "sched/policy.h"
 
@@ -123,8 +125,6 @@ class FairQueue {
   std::chrono::nanoseconds TakeToken(Tenant& tenant, TimePoint now);
   /// Whether `tenant` can admit one more task right now. Requires mu_.
   bool HasRoom(const Tenant& tenant) const;
-  /// The tenant id to dispatch from, or false when empty. Requires mu_.
-  bool SelectTenant(uint64_t* id);
   void GcTenant(uint64_t id);  // requires mu_
 
   const SchedPolicy policy_;
@@ -135,6 +135,13 @@ class FairQueue {
   std::condition_variable work_cv_;   ///< waits in Pop
   std::condition_variable space_cv_;  ///< waits in Push (kBlock overload)
   std::map<uint64_t, Tenant> tenants_;  ///< ordered: deterministic tie-break
+  /// kFairShare dispatch index: the backlogged tenants ordered by
+  /// (pass, id). The head is the stride scheduler's pick in O(log n) —
+  /// entries move only when a tenant's pass advances (one erase + insert
+  /// per dispatch) or its backlog empties, so thousands of tenants cost a
+  /// tree walk instead of the old linear min-pass scan. The id in the key
+  /// keeps ties deterministic (lowest tenant id wins, as before).
+  std::set<std::pair<uint64_t, uint64_t>> ready_;
   /// kFifo dispatch order across all tenants, one lane per priority class.
   std::array<std::deque<Task>, kNumPriorities> fifo_;
   uint64_t global_pass_ = 0;  ///< pass of the last dispatched tenant

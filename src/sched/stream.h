@@ -87,6 +87,18 @@ class Stream {
     space_cv_.notify_all();
   }
 
+  /// Consumer side: blocks until the producer side has called Finish() —
+  /// the point after which no producer touches this stream again. A
+  /// consumer that abandoned the stream with Close() must not destroy it
+  /// before this returns (Close only unblocks producers; stragglers may
+  /// still be publishing into the void), unless it otherwise knows every
+  /// producer is gone — e.g. the owning service was already destroyed,
+  /// draining its queue.
+  void WaitProducersFinished() {
+    std::unique_lock<std::mutex> lock(mu_);
+    items_cv_.wait(lock, [this] { return finished_; });
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:

@@ -70,6 +70,8 @@ EngineCounters& EngineCounters::operator+=(const EngineCounters& other) {
   rejected += other.rejected;
   expired += other.expired;
   cancelled += other.cancelled;
+  shed_running += other.shed_running;
+  aborted_steps += other.aborted_steps;
   waited += other.waited;
   wait_micros += other.wait_micros;
   max_wait_micros = std::max(max_wait_micros, other.max_wait_micros);
@@ -86,6 +88,10 @@ std::string EngineCounters::ToString() const {
   if (rejected != 0) out += " rejected=" + std::to_string(rejected);
   if (expired != 0) out += " expired=" + std::to_string(expired);
   if (cancelled != 0) out += " cancelled=" + std::to_string(cancelled);
+  if (shed_running != 0) {
+    out += " shed_running=" + std::to_string(shed_running) +
+           " aborted_steps=" + std::to_string(aborted_steps);
+  }
   if (waited != 0) {
     out += " avg_wait_us=" + std::to_string(wait_micros / waited) +
            " max_wait_us=" + std::to_string(max_wait_micros);
@@ -94,7 +100,10 @@ std::string EngineCounters::ToString() const {
 }
 
 Decision EvaluateRequest(const DecisionRequest& request,
-                         const PreparedSetting& prepared) {
+                         const PreparedSetting& prepared,
+                         const SearchOptions* options_override) {
+  const SearchOptions& options =
+      options_override != nullptr ? *options_override : request.options;
   Decision decision;
   CompletenessWitness witness;
   CompletenessWitness* wp = request.want_witness ? &witness : nullptr;
@@ -106,18 +115,18 @@ Decision EvaluateRequest(const DecisionRequest& request,
   switch (request.kind) {
     case ProblemKind::kRcdpStrong:
       answer = RcdpStrong(request.query, request.cinstance, prepared,
-                          request.options, &decision.stats, wp);
+                          options, &decision.stats, wp);
       attach_on_no = true;
       break;
     case ProblemKind::kRcdpWeak:
       answer = RcdpWeak(request.query, request.cinstance, prepared,
-                        request.options, &decision.stats, wp);
+                        options, &decision.stats, wp);
       attach_on_no = true;
       break;
     case ProblemKind::kRcdpViable: {
       Instance world;
       answer = RcdpViable(request.query, request.cinstance, prepared,
-                          request.options, &decision.stats,
+                          options, &decision.stats,
                           wp != nullptr ? &world : nullptr);
       if (wp != nullptr && answer.ok() && *answer) {
         witness.world = std::move(world);
@@ -130,13 +139,13 @@ Decision EvaluateRequest(const DecisionRequest& request,
       if (prepared.all_inds()) {
         // Corollary 7.2: all CCs are INDs — decide in PTIME (no witness
         // instance is materialized on this path).
-        answer = RcqpStrongInd(request.query, prepared, request.options,
+        answer = RcqpStrongInd(request.query, prepared, options,
                                &decision.stats);
         break;
       }
       Result<RcqpSearchResult> found =
           RcqpStrongBounded(request.query, prepared, request.rcqp_max_tuples,
-                            request.options, &decision.stats);
+                            options, &decision.stats);
       if (!found.ok()) {
         answer = found.status();
         break;
@@ -160,21 +169,21 @@ Decision EvaluateRequest(const DecisionRequest& request,
       break;
     case ProblemKind::kMinpStrong:
       answer = MinpStrong(request.query, request.cinstance, prepared,
-                          request.options, &decision.stats);
+                          options, &decision.stats);
       break;
     case ProblemKind::kMinpViable:
       answer = MinpViable(request.query, request.cinstance, prepared,
-                          request.options, &decision.stats);
+                          options, &decision.stats);
       break;
     case ProblemKind::kMinpWeak:
       // Lemma 5.7 dichotomy: CQ has a coDP fast path; the general subset
       // removal handles UCQ/∃FO⁺/FP.
       if (request.query.language() == QueryLanguage::kCQ) {
         answer = MinpWeakCq(request.query, request.cinstance, prepared,
-                            request.options, &decision.stats);
+                            options, &decision.stats);
       } else {
         answer = MinpWeak(request.query, request.cinstance, prepared,
-                          request.options, &decision.stats);
+                          options, &decision.stats);
       }
       break;
   }

@@ -79,10 +79,15 @@ struct Decision {
 /// hits plus coalesced duplicates; `coalesced` is the subset of hits that
 /// piggy-backed on an identical in-flight or same-batch request. The
 /// scheduler outcomes partition the remainder: `rejected` (admission
-/// control refused the request), `expired` (deadline passed while queued;
-/// shed before evaluation), `cancelled` (every waiter cancelled before
-/// evaluation). Every request lands in exactly one bucket:
+/// control refused the request), `expired` (deadline passed — while queued
+/// OR mid-evaluation at a cooperative checkpoint), `cancelled` (every
+/// waiter cancelled — before evaluation OR while it ran). Every request
+/// lands in exactly one bucket:
 ///   requests == cache_hits + cache_misses + rejected + expired + cancelled.
+/// `shed_running` is the subset of expired + cancelled whose evaluation had
+/// already started when it aborted, and `aborted_steps` the search work
+/// those aborted runs burned before the checkpoint stopped them — together
+/// they make mid-run shedding visible separately from queue-time shedding.
 /// Wait-time counters cover scheduled tasks only (inline and coalesced
 /// requests never sit in the queue): `wait_micros` sums queue residency
 /// over `waited` tasks; `max_wait_micros` is the worst single wait.
@@ -95,6 +100,8 @@ struct EngineCounters {
   uint64_t rejected = 0;
   uint64_t expired = 0;
   uint64_t cancelled = 0;
+  uint64_t shed_running = 0;   ///< evaluations aborted after they started
+  uint64_t aborted_steps = 0;  ///< search steps spent inside aborted runs
   uint64_t waited = 0;
   uint64_t wait_micros = 0;
   uint64_t max_wait_micros = 0;  ///< aggregated with max, not sum
@@ -107,9 +114,14 @@ struct EngineCounters {
 /// THE kind→decider dispatch table: decides one request against a prepared
 /// setting, with witness plumbing. No cache, no counters — service shards,
 /// the engine adapter, and DecideCold all call this one function, so a new
-/// ProblemKind is wired up in exactly one place.
+/// ProblemKind is wired up in exactly one place. `options_override`, when
+/// given, replaces the request's own SearchOptions for this evaluation —
+/// the service uses it to inject per-submission deadlines, the coalesced
+/// group's joint cancellation token, and per-shard step-budget defaults
+/// without copying the (heavy) request.
 Decision EvaluateRequest(const DecisionRequest& request,
-                         const PreparedSetting& prepared);
+                         const PreparedSetting& prepared,
+                         const SearchOptions* options_override = nullptr);
 
 /// Decides one request by per-call preparation of the raw setting — the
 /// cold baseline the CLI's --compare mode and the batch benchmark measure

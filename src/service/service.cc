@@ -50,7 +50,8 @@ Decision RejectedDecision() {
 
 /// Whether a decision was shed by the scheduler rather than evaluated —
 /// batch duplicates of a shed primary mirror its scheduling fate in the
-/// counters instead of counting as cache hits.
+/// counters instead of counting as cache hits. Mid-run aborts carry the
+/// same codes, so an aborted primary's duplicates mirror the abort too.
 bool IsShedDecision(const Decision& decision) {
   switch (decision.status.code()) {
     case StatusCode::kCancelled:
@@ -60,6 +61,52 @@ bool IsShedDecision(const Decision& decision) {
     default:
       return false;
   }
+}
+
+/// Whether an evaluation that RAN was aborted mid-run by a cooperative
+/// checkpoint (deadline or joint cancellation).
+bool IsAbortStatus(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Whether a decision is a definitive verdict that may live in the shard
+/// LRU. Resource-dependent failures — mid-run aborts, admission rejections,
+/// and a decider's own step-budget exhaustion — must never be replayed
+/// from the cache as if they were answers.
+bool IsCacheableDecision(const Decision& decision) {
+  switch (decision.status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kUnavailable:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Files one request under the partition bucket matching an abort status
+/// (kCancelled → cancelled, kDeadlineExceeded → expired). The ONE place
+/// that owns the mapping — every abort-accounting site goes through it so
+/// the requests == hits+misses+rejected+expired+cancelled invariant cannot
+/// drift between them. Requires the shard mutex.
+void CountAbortBucketLocked(EngineCounters& counters, const Status& status) {
+  if (status.code() == StatusCode::kCancelled) {
+    ++counters.cancelled;
+  } else {
+    ++counters.expired;
+  }
+}
+
+/// Re-files an evaluation that aborted mid-run: the claim-time cache miss
+/// becomes the matching abort bucket, and the wasted search work becomes
+/// visible as shed_running / aborted_steps. Requires the shard mutex.
+void ReclassifyAbortLocked(EngineCounters& counters, const Decision& decision) {
+  --counters.cache_misses;
+  CountAbortBucketLocked(counters, decision.status);
+  ++counters.shed_running;
+  counters.aborted_steps += decision.stats.TotalSteps();
 }
 
 /// Counter bucket for one batch duplicate mirroring `primary`. Requires the
@@ -238,6 +285,24 @@ Result<uint64_t> CompletenessService::FingerprintRequest(
   return RequestKeyFor(shard->prepared, request).primary;
 }
 
+SearchOptions CompletenessService::EffectiveOptions(
+    const Shard& shard, const DecisionRequest& request,
+    const sched::SchedParams* sched) {
+  SearchOptions effective = request.options;
+  if (shard.options.max_steps != 0 &&
+      effective.max_steps == SearchOptions::kDefaultMaxSteps) {
+    effective.max_steps = shard.options.max_steps;
+  }
+  if (sched != nullptr) {
+    effective.deadline = std::min(effective.deadline, sched->deadline);
+    // Either-cancels: the request's own token keeps working alongside the
+    // submission's (group composite for scheduled batch work).
+    effective.cancel =
+        sched::CancelToken::AnyOf(effective.cancel, sched->cancel);
+  }
+  return effective;
+}
+
 Decision CompletenessService::DecideOnShard(Shard& shard,
                                             const DecisionRequest& request,
                                             const RequestCacheKey* precomputed,
@@ -280,12 +345,22 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
       }
     }
     if (coalesce) {
+      // Whatever role this caller ends up in, it is one more participant
+      // whose interest keeps the (possibly already running) computation
+      // alive — a caller without a token pins it forever — and whose
+      // deadline extends the run's shared deadline (none lifts it).
+      const sched::CancelToken participant =
+          sched != nullptr ? sched->cancel : sched::CancelToken{};
+      const sched::TimePoint participant_deadline =
+          sched != nullptr ? sched->deadline : sched::kNoDeadline;
       auto it = shard.in_flight.find(key);
       if (it != shard.in_flight.end() && it->second->started) {
         // Live evaluation on another thread: wait on its shared future.
         ++shard.counters.cache_hits;
         ++shard.counters.coalesced;
         joined = it->second;
+        joined->interest.Add(participant);
+        ExtendRunDeadline(*joined, participant_deadline);
       } else if (it != shard.in_flight.end()) {
         // The group is parked — its owner task is still in the queue. A
         // synchronous caller must never block on parked work (with every
@@ -293,10 +368,14 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
         // evaluation; the owner task will find started == true and yield.
         owned = it->second;
         owned->started = true;
+        owned->interest.Add(participant);
+        ExtendRunDeadline(*owned, participant_deadline);
         ++shard.counters.cache_misses;
       } else {
         owned = std::make_shared<FlightGroup>();
         owned->started = true;
+        owned->interest.Add(participant);
+        ExtendRunDeadline(*owned, participant_deadline);
         owned->future = std::make_shared<std::shared_future<Decision>>(
             owned->sync_promise.get_future().share());
         shard.in_flight.emplace(key, owned);
@@ -310,41 +389,82 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     // The computation is live on the claiming thread (never parked on the
     // queue), so this wait always makes progress.
     Decision decision = joined->future->get();
+    if (IsAbortStatus(decision.status)) {
+      // The run this caller piggy-backed on was aborted mid-evaluation:
+      // re-file the join-time hit under the abort's bucket instead.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      --shard.counters.cache_hits;
+      --shard.counters.coalesced;
+      CountAbortBucketLocked(shard.counters, decision.status);
+      return decision;
+    }
     decision.from_cache = true;
     AppendNote(&decision, "coalesced with identical in-flight request");
     return decision;
   }
   if (owned == nullptr) {
-    // Coalescing off: plain cache-through evaluation.
-    Decision decision = EvaluateRequest(request, shard.prepared);
+    // Coalescing off: plain cache-through evaluation under the merged
+    // budget / deadline / token.
+    const SearchOptions effective = EffectiveOptions(shard, request, sched);
+    Decision decision = EvaluateRequest(request, shard.prepared, &effective);
+    const bool aborted = IsAbortStatus(decision.status);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.search += decision.stats;
-    if (!decision.status.ok()) ++shard.counters.errors;
-    if (memoize) shard.cache.Put(key, decision);
+    if (!decision.status.ok() && !aborted) ++shard.counters.errors;
+    if (aborted) ReclassifyAbortLocked(shard.counters, decision);
+    if (memoize && IsCacheableDecision(decision)) {
+      shard.cache.Put(key, decision);
+    }
     return decision;
   }
   return EvaluateForGroup(shard, request, key, owned, kSyncBilled);
+}
+
+void CompletenessService::ExtendRunDeadline(FlightGroup& group,
+                                            sched::TimePoint deadline) {
+  const sched::Clock::rep candidate = deadline.time_since_epoch().count();
+  sched::Clock::rep current = group.run_deadline.load(std::memory_order_relaxed);
+  while (current < candidate &&
+         !group.run_deadline.compare_exchange_weak(current, candidate,
+                                                   std::memory_order_relaxed)) {
+  }
 }
 
 Decision CompletenessService::EvaluateForGroup(
     Shard& shard, const DecisionRequest& request, const RequestCacheKey& key,
     const std::shared_ptr<FlightGroup>& group, size_t billed_member) {
   const bool memoize = options_.memoize && shard.cache.capacity() > 0;
-  Decision decision = EvaluateRequest(request, shard.prepared);
+  SearchOptions effective = EffectiveOptions(shard, request, nullptr);
+  // The joint interest token and the extendable run deadline: checkpoints
+  // abort this run only once EVERY participant — including ones that join
+  // mid-run — has cancelled, and only past the LATEST deadline among them
+  // (re-read each poll, so a late deadline-less joiner lifts the bound).
+  // Every participant was recorded at its join site; the group outlives
+  // the evaluation (the caller holds the shared_ptr), so the pointer into
+  // it stays valid for the whole search.
+  effective.cancel = group->interest.token();
+  effective.shared_deadline = &group->run_deadline;
+  Decision decision = EvaluateRequest(request, shard.prepared, &effective);
+  const bool aborted = IsAbortStatus(decision.status);
 
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.search += decision.stats;
-    if (!decision.status.ok()) ++shard.counters.errors;
-    if (memoize) shard.cache.Put(key, decision);
+    if (!decision.status.ok() && !aborted) ++shard.counters.errors;
+    if (aborted) ReclassifyAbortLocked(shard.counters, decision);
+    if (memoize && IsCacheableDecision(decision)) {
+      shard.cache.Put(key, decision);
+    }
     shard.in_flight.erase(key);
     members = std::move(group->members);
     group->members.clear();
     // Classify each async member while the counters are consistent with
     // the cancellation snapshot (a token flipping after this point is too
-    // late: the result is already being published).
+    // late: the result is already being published). Members of an aborted
+    // run mirror the abort's bucket — they were never served an answer, so
+    // they must not count as cache hits.
     member_cancelled.reserve(members.size());
     for (size_t i = 0; i < members.size(); ++i) {
       const bool cancelled =
@@ -353,6 +473,8 @@ Decision CompletenessService::EvaluateForGroup(
       if (i == billed_member) continue;  // charged as the evaluation miss
       if (cancelled) {
         ++shard.counters.cancelled;
+      } else if (aborted) {
+        CountAbortBucketLocked(shard.counters, decision.status);
       } else {
         ++shard.counters.cache_hits;
         ++shard.counters.coalesced;
@@ -369,7 +491,7 @@ Decision CompletenessService::EvaluateForGroup(
       member_decision = CancelledDecision();
     } else {
       member_decision = decision;
-      if (i != billed_member) {
+      if (i != billed_member && !aborted) {
         member_decision.from_cache = true;
         AppendNote(&member_decision, "coalesced with identical in-flight request");
       }
@@ -541,8 +663,9 @@ void CompletenessService::SubmitRouted(
     if (auto it = dups_of.find(i); it != dups_of.end()) {
       slots.insert(slots.end(), it->second.begin(), it->second.end());
     }
-    sched::SchedParams effective;  // token stays empty: group check below
+    sched::SchedParams effective;
     std::vector<sched::CancelToken> tokens(slots.size());
+    sched::CancelGroup slot_interest;
     for (size_t j = 0; j < slots.size(); ++j) {
       const sched::SchedParams* sp = routed[slots[j]].sched;
       const sched::Priority priority =
@@ -550,6 +673,7 @@ void CompletenessService::SubmitRouted(
       const sched::TimePoint deadline =
           sp != nullptr ? sp->deadline : sched::kNoDeadline;
       if (sp != nullptr) tokens[j] = sp->cancel;
+      slot_interest.Add(tokens[j]);  // a token-less slot pins the group
       if (j == 0) {
         effective.priority = priority;
         effective.deadline = deadline;
@@ -558,6 +682,10 @@ void CompletenessService::SubmitRouted(
         effective.deadline = std::max(effective.deadline, deadline);
       }
     }
+    // The merged params carry the slots' JOINT token: both the entry gate
+    // in DecideOnShard and the decider's mid-run checkpoints then abort
+    // exactly when every member of the dedup group has cancelled.
+    effective.cancel = slot_interest.token();
     sched::Task task;
     task.tenant = r.handle.id;
     task.priority = effective.priority;
@@ -584,8 +712,9 @@ void CompletenessService::SubmitRouted(
       Decision decision;
       bool evaluated = false;
       if (outcome == sched::TaskOutcome::kRun && !all_cancelled) {
-        // `effective` carries no token — the group-wide check above is
-        // the cancellation gate; its deadline is the group's latest.
+        // `effective` carries the slots' joint token and latest deadline,
+        // so the evaluation itself aborts at a checkpoint if the whole
+        // group cancels (or the merged deadline passes) mid-run.
         decision = DecideOnShard(*shard, *request, has_key ? &key : nullptr,
                                  &effective);
         evaluated = true;  // DecideOnShard counted one request's outcome
@@ -805,12 +934,19 @@ void CompletenessService::SubmitAsyncImpl(
       if (it != shard->in_flight.end()) {
         // Join the flight group (parked or already evaluating); this
         // member is classified — result, coalesced copy, or cancelled —
-        // when the group publishes.
+        // when the group publishes. Its token joins the group interest and
+        // its deadline extends the run deadline, so a RUNNING evaluation
+        // stays alive (and deadline-bounded correctly) while this member
+        // is live.
+        it->second->interest.Add(sp.cancel);
+        ExtendRunDeadline(*it->second, sp.deadline);
         it->second->members.push_back(FlightGroup::Member{
             sp.cancel, sp.deadline, promise, std::move(on_complete)});
         return;
       }
       group = std::make_shared<FlightGroup>();
+      group->interest.Add(sp.cancel);
+      ExtendRunDeadline(*group, sp.deadline);
       group->future = std::make_shared<std::shared_future<Decision>>(
           group->sync_promise.get_future().share());
       group->members.push_back(FlightGroup::Member{

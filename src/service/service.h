@@ -25,22 +25,35 @@
 // weighted fair share so a cheap tenant interleaves with an expensive
 // tenant's backlog), the overload decision (block the producer vs. reject
 // with a kUnavailable Decision), and per-tenant quotas; ShardOptions can
-// override weight, quota, rate limit, and cache capacity per setting at
-// registration. Requests may carry per-submission sched params: a priority
-// class, a best-effort deadline (still-queued requests past it are shed
-// before evaluation and report kDeadlineExceeded), and a cooperative
-// cancellation token.
+// override weight, quota, rate limit, cache capacity, and the default
+// decider step budget per setting at registration. Requests may carry
+// per-submission sched params: a priority class, a deadline, and a
+// cooperative cancellation token. Deadlines and cancellation are ENFORCED,
+// not best-effort: a still-queued request past its deadline is shed before
+// evaluation, and a request already executing is aborted at the next
+// cooperative checkpoint inside the decider's search loops (SearchOptions
+// deadline/cancel plumbed per evaluation), reporting kDeadlineExceeded /
+// kCancelled with the partial SearchStats the aborted run accumulated.
+// Aborted and budget-exhausted decisions are never admitted to the shard
+// cache.
 //
 // Identical requests that are concurrently in flight — across batches,
 // async and stream submissions — coalesce: later occurrences join the
 // first's flight group instead of recomputing. A coalesced group is shed
-// only when EVERY member has cancelled (or expired); one live waiter keeps
-// the computation alive for everyone. Answers are deterministic:
-// independent of worker count, scheduling policy, and coalescing; only the
-// from_cache flags and coalescing notes may differ between runs.
+// (queued) or aborted (running) only when EVERY member has cancelled (or
+// expired); one live waiter keeps the computation alive for everyone — the
+// running evaluation polls the group's joint cancellation token at its
+// checkpoints, so the last waiter's Cancel() stops a computation that is
+// already burning a worker, not just parked ones. Answers are
+// deterministic: independent of worker count, scheduling policy, and
+// coalescing; only the from_cache flags and coalescing notes may differ
+// between runs. (The coalesced paths drive cancellation through the sched
+// params; a DecisionRequest's own options.cancel token is honored on the
+// non-coalesced paths only.)
 #ifndef RELCOMP_SERVICE_SERVICE_H_
 #define RELCOMP_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -105,6 +118,11 @@ struct ShardOptions {
   double rate_per_sec = 0.0;
   /// Token-bucket burst; 0 = max(1, rate_per_sec).
   double burst = 0.0;
+  /// Default decider step budget for this shard's evaluations. Requests
+  /// that leave DecisionRequest::options.max_steps at the built-in default
+  /// inherit this value; requests that set their own budget keep it.
+  /// 0 = no shard default (every request keeps its own budget).
+  uint64_t max_steps = 0;
 };
 
 /// Service configuration. Workers are shared across all settings; cache
@@ -189,9 +207,10 @@ class CompletenessService {
 
   /// Decides one request synchronously on the calling thread (consulting
   /// and filling the shard cache, coalescing with in-flight identical
-  /// requests, honoring the request's cancellation token and deadline at
-  /// entry). An invalid or released handle yields an error Decision, not
-  /// a crash. Thread-safe.
+  /// requests, honoring the request's cancellation token and deadline both
+  /// at entry and mid-run via the decider's cooperative checkpoints). An
+  /// invalid or released handle yields an error Decision, not a crash.
+  /// Thread-safe.
   Decision Decide(const ServiceRequest& request);
 
   /// Same, without wrapping the request (no copy) — the adapter hot path.
@@ -232,8 +251,12 @@ class CompletenessService {
   /// its request index) instead of materializing the whole result vector.
   /// Returns once everything is admitted (the requests are copied, so the
   /// caller's vector may die immediately); the stream must stay alive and
-  /// be drained until it finishes, after the last delivery. Decisions are
-  /// identical to what SubmitBatch would have returned for the same
+  /// be drained until it finishes, after the last delivery. A consumer
+  /// abandoning the stream mid-drain must Close() it (throttled workers
+  /// unblock and drop further deliveries; parked coalesced waiters still
+  /// resolve) and may destroy it only after WaitProducersFinished() — or
+  /// after this service is destroyed, which drains the queue. Decisions
+  /// are identical to what SubmitBatch would have returned for the same
   /// vector. Thread-safe.
   void SubmitStream(const std::vector<ServiceRequest>& requests,
                     DecisionStream* stream);
@@ -274,6 +297,24 @@ class CompletenessService {
       std::function<void(Decision)> callback;           // callback flavor
     };
     std::vector<Member> members;  ///< async joiners; an async owner is [0]
+    /// Joint cancellation interest of every participant — async members,
+    /// sync callers (owners, stealers, and joiners), and batch dedup
+    /// composites. The running evaluation polls interest.token() at its
+    /// cooperative checkpoints, so it aborts exactly when every registered
+    /// participant has cancelled; participants without a token pin the
+    /// computation live forever. Membership may grow while the evaluation
+    /// runs (a late joiner re-pins a not-yet-aborted run).
+    sched::CancelGroup interest;
+    /// The run's EXTENDABLE deadline: the latest deadline among every
+    /// participant recorded so far (steady-clock rep; max = none — one
+    /// deadline-less waiter lifts the bound for everyone). The evaluation's
+    /// checkpoints re-read it each poll via SearchOptions::shared_deadline,
+    /// so a waiter joining mid-run extends a running search's deadline the
+    /// same way its token re-pins cancellation. Grows monotonically
+    /// (ExtendRunDeadline); a member cancelling does not shrink it — the
+    /// cancellation side is the CancelGroup's job.
+    std::atomic<sched::Clock::rep> run_deadline{
+        sched::TimePoint::min().time_since_epoch().count()};
     /// Set once evaluation is claimed — by the queued owner task, or by a
     /// synchronous caller that arrived first and "steals" the parked group
     /// (a sync caller must never block on a task still parked in the
@@ -335,11 +376,31 @@ class CompletenessService {
                          const sched::SchedParams* sched = nullptr,
                          bool count_request = true);
 
+  /// The evaluation-time SearchOptions for one request on `shard`: the
+  /// shard's default step budget (for requests that left max_steps at the
+  /// built-in default), the earliest of the request's own and the
+  /// submission's deadline, and the submission's cancellation token (the
+  /// group composite for scheduled batch work).
+  static SearchOptions EffectiveOptions(const Shard& shard,
+                                        const DecisionRequest& request,
+                                        const sched::SchedParams* sched);
+
+  /// Records one participant's deadline in the group's shared run
+  /// deadline (monotonic max; kNoDeadline lifts it entirely). Called at
+  /// every join/creation/steal site, including while the evaluation runs.
+  static void ExtendRunDeadline(FlightGroup& group, sched::TimePoint deadline);
+
   /// Evaluates the group's request on the calling thread and publishes the
   /// decision to the cache, every member, and all sync waiters. The caller
   /// has set group->started under shard.mu. `billed_member` is the async
   /// member charged with the evaluation (its decision is delivered
   /// unannotated), or kSyncBilled when a synchronous caller owns the miss.
+  /// The evaluation runs under the group's joint cancellation token and
+  /// its extendable run deadline (the latest among all participants,
+  /// re-read at every checkpoint, so late joiners extend it). An aborted
+  /// evaluation reports kDeadlineExceeded / kCancelled to every live
+  /// member, moves the billed miss into the matching abort bucket (plus
+  /// shed_running / aborted_steps), and is never cached.
   static constexpr size_t kSyncBilled = static_cast<size_t>(-1);
   Decision EvaluateForGroup(Shard& shard, const DecisionRequest& request,
                             const RequestCacheKey& key,

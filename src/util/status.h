@@ -30,10 +30,13 @@ enum class StatusCode {
   /// under OverloadPolicy::kReject). Distinct from kResourceExhausted,
   /// which reports a decider's own search budget running out.
   kUnavailable,
-  /// A best-effort deadline passed while the request was queued; it was
-  /// shed before evaluation.
+  /// A deadline passed: either while the request was still queued (shed
+  /// before evaluation) or mid-run, observed by a cooperative checkpoint
+  /// inside the search loops (the evaluation aborted with partial stats).
   kDeadlineExceeded,
-  /// Every waiter cancelled the request before evaluation started.
+  /// Every waiter cancelled the request — before evaluation started, or
+  /// while it ran (the search observed the joint cancellation at a
+  /// checkpoint and aborted).
   kCancelled,
 };
 

@@ -209,6 +209,131 @@ TEST(FairQueueTest, ExpiredDeadlineShedsAtPop) {
   EXPECT_FALSE(queue.Pop(&task, &outcome));
 }
 
+TEST(CancelTokenTest, AnyOfFiresWhenEitherOperandCancels) {
+  sched::CancelSource a, b;
+  sched::CancelToken any = sched::CancelToken::AnyOf(a.token(), b.token());
+  EXPECT_TRUE(any.valid());
+  EXPECT_FALSE(any.cancelled());
+  b.Cancel();
+  EXPECT_TRUE(any.cancelled());
+
+  // Degenerate shapes: one invalid operand yields the other; two invalid
+  // operands yield an invalid (never-cancelling) token.
+  sched::CancelSource c;
+  sched::CancelToken only =
+      sched::CancelToken::AnyOf(sched::CancelToken{}, c.token());
+  EXPECT_FALSE(only.cancelled());
+  c.Cancel();
+  EXPECT_TRUE(only.cancelled());
+  EXPECT_FALSE(
+      sched::CancelToken::AnyOf(sched::CancelToken{}, sched::CancelToken{})
+          .valid());
+}
+
+TEST(CancelGroupTest, JointTokenFiresOnlyWhenEveryMemberCancels) {
+  sched::CancelGroup group;
+  sched::CancelToken joint = group.token();
+  EXPECT_FALSE(joint.cancelled()) << "an empty group must not be cancelled";
+
+  sched::CancelSource a, b;
+  group.Add(a.token());
+  group.Add(b.token());
+  a.Cancel();
+  EXPECT_FALSE(joint.cancelled()) << "one live member must pin the group";
+  b.Cancel();
+  EXPECT_TRUE(joint.cancelled());
+}
+
+TEST(CancelGroupTest, InvalidMemberPinsTheGroupForever) {
+  sched::CancelGroup group;
+  sched::CancelSource a;
+  group.Add(a.token());
+  group.Add(sched::CancelToken{});  // a participant that can never cancel
+  a.Cancel();
+  EXPECT_FALSE(group.cancelled());
+  // Even members added later cannot un-pin it.
+  sched::CancelSource b;
+  b.Cancel();
+  group.Add(b.token());
+  EXPECT_FALSE(group.token().cancelled());
+}
+
+TEST(CancelGroupTest, LateJoinerRevivesAnAllCancelledGroup) {
+  sched::CancelGroup group;
+  sched::CancelSource a;
+  group.Add(a.token());
+  a.Cancel();
+  EXPECT_TRUE(group.cancelled());
+  // A live joiner arriving before the computation observed the joint
+  // cancellation keeps it alive again.
+  sched::CancelSource b;
+  group.Add(b.token());
+  EXPECT_FALSE(group.cancelled());
+  b.Cancel();
+  EXPECT_TRUE(group.cancelled());
+}
+
+TEST(FairQueueTest, ManyTenantHeapKeepsDeterministicTieBreakOrder) {
+  // 64 tenants, equal weights, one task each pushed in DESCENDING id
+  // order: every pass is equal, so the pass-ordered dispatch index must
+  // resolve ties by lowest tenant id — ascending pops, independent of
+  // arrival order.
+  sched::FairQueue queue(sched::SchedPolicy::kFairShare,
+                         sched::OverloadPolicy::kBlock);
+  std::vector<uint64_t> order;
+  for (uint64_t tenant = 64; tenant >= 1; --tenant) {
+    ASSERT_TRUE(queue.Push(MakeTask(tenant, &order)));
+  }
+  queue.Shutdown();
+  sched::Task task;
+  sched::TaskOutcome outcome;
+  while (queue.Pop(&task, &outcome)) task.fn(outcome, task.wait);
+  ASSERT_EQ(order.size(), 64u);
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_EQ(order[i], i + 1);
+}
+
+TEST(FairQueueTest, ManyTenantHeapStaysProportionalUnderLoad) {
+  // 60 backlogged tenants, weight 3 for every third tenant: across the
+  // first half of the dispatches, the heavy group's per-capita share must
+  // sit clearly above the light group's (stride fairness survives the
+  // linear-scan → pass-ordered-heap swap), and two identical runs must
+  // dispatch identically (heap order is deterministic).
+  auto run = [] {
+    sched::FairQueue queue(sched::SchedPolicy::kFairShare,
+                           sched::OverloadPolicy::kBlock);
+    std::vector<uint64_t> order;
+    constexpr uint64_t kTenants = 60;
+    constexpr int kTasksEach = 6;
+    for (uint64_t tenant = 1; tenant <= kTenants; ++tenant) {
+      queue.RegisterTenant(
+          tenant, sched::TenantOptions{tenant % 3 == 0 ? 3u : 1u});
+    }
+    for (int round = 0; round < kTasksEach; ++round) {
+      for (uint64_t tenant = 1; tenant <= kTenants; ++tenant) {
+        EXPECT_TRUE(queue.Push(MakeTask(tenant, &order)));
+      }
+    }
+    queue.Shutdown();
+    sched::Task task;
+    sched::TaskOutcome outcome;
+    while (queue.Pop(&task, &outcome)) task.fn(outcome, task.wait);
+    return order;
+  };
+  std::vector<uint64_t> order = run();
+  ASSERT_EQ(order.size(), 360u);
+  size_t heavy_first_half = 0, light_first_half = 0;
+  for (size_t i = 0; i < order.size() / 2; ++i) {
+    (order[i] % 3 == 0 ? heavy_first_half : light_first_half) += 1;
+  }
+  // Per-capita: 20 heavy tenants vs 40 light. Weight 3:1 means the heavy
+  // group's per-capita dispatch rate should be ~3x in the contended half.
+  const double heavy_rate = static_cast<double>(heavy_first_half) / 20.0;
+  const double light_rate = static_cast<double>(light_first_half) / 40.0;
+  EXPECT_GT(heavy_rate, 2.0 * light_rate)
+      << "heavy=" << heavy_first_half << " light=" << light_first_half;
+  EXPECT_EQ(order, run()) << "heap dispatch order is not deterministic";
+}
+
 TEST(FairQueueTest, ShutdownDrainsAdmittedTasksThenStops) {
   sched::FairQueue queue(sched::SchedPolicy::kFifo,
                          sched::OverloadPolicy::kBlock);
@@ -722,6 +847,288 @@ TEST(SchedServiceTest, BoundedStreamWithBlockingQuotaStaysLive) {
             std::future_status::ready)
       << "bounded stream + blocking quota deadlocked the submission";
   EXPECT_EQ(done.get(), 8u);
+}
+
+/// Polls `service` until `handle`'s shard shows at least `misses` claimed
+/// evaluations — i.e. a worker has started deciding (the miss is counted
+/// under the shard lock when the evaluation is claimed, before it runs).
+void WaitForEvaluationStart(CompletenessService& service, SettingHandle handle,
+                            uint64_t misses = 1) {
+  for (int i = 0; i < 2000; ++i) {
+    Result<EngineCounters> counters = service.counters(handle);
+    ASSERT_TRUE(counters.ok());
+    if (counters->cache_misses >= misses) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "no evaluation started";
+}
+
+void ExpectPartitionHolds(const EngineCounters& counters) {
+  EXPECT_EQ(counters.requests,
+            counters.cache_hits + counters.cache_misses + counters.rejected +
+                counters.expired + counters.cancelled)
+      << counters.ToString();
+}
+
+TEST(SchedServiceTest, RunningEvaluationAbortsOnMidRunDeadline) {
+  // The headline bugfix: a deadline that expires while the decider is
+  // ALREADY RUNNING must abort it at a checkpoint — before this PR the
+  // evaluation ran to its (here unreachable within the deadline) budget.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/40,
+                                                     /*vars=*/6);
+  ServiceOptions options;
+  options.num_workers = 1;
+  CompletenessService service(options);
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  ServiceRequest request;
+  request.setting = handle;
+  request.request = fx.Request();
+  request.request.options.max_steps = 20'000'000;  // ≫ reachable in 250ms
+  request.sched.deadline = sched::DeadlineAfterMs(250);
+  std::future<Decision> future = service.SubmitAsync(std::move(request));
+
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "mid-run deadline did not abort the evaluation";
+  Decision decision = future.get();
+  EXPECT_EQ(decision.status.code(), StatusCode::kDeadlineExceeded)
+      << decision.status.ToString();
+  EXPECT_FALSE(decision.from_cache);
+  EXPECT_GT(decision.stats.valuations, 0u)
+      << "no partial stats from the aborted run";
+
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.requests, 1u);
+  EXPECT_EQ(counters.expired, 1u);
+  EXPECT_EQ(counters.cache_misses, 0u)
+      << "the aborted claim was not re-filed as expired";
+  EXPECT_EQ(counters.shed_running, 1u);
+  EXPECT_GT(counters.aborted_steps, 0u);
+  ExpectPartitionHolds(counters);
+
+  // Never cached: resubmitting the identical request must evaluate again —
+  // a second mid-run abort (a fresh shed_running increment, no from_cache)
+  // proves the first abort was not replayed from the LRU.
+  ServiceRequest again;
+  again.setting = handle;
+  again.request = fx.Request();
+  again.request.options.max_steps = 20'000'000;
+  again.sched.deadline = sched::DeadlineAfterMs(250);
+  Decision retry = service.Decide(again);
+  EXPECT_EQ(retry.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(retry.from_cache);
+  ASSERT_OK_AND_ASSIGN(after, service.counters(handle));
+  EXPECT_EQ(after.shed_running, 2u) << "the abort was served from the cache";
+}
+
+TEST(SchedServiceTest, RunningFlightGroupAbortsOnlyWhenLastWaiterCancels) {
+  // Two waiters coalesce on one slow evaluation. The first Cancel() must
+  // NOT stop the running computation; the second (last) one must.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/40,
+                                                     /*vars=*/6);
+  ServiceOptions options;
+  options.num_workers = 1;
+  CompletenessService service(options);
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest slow = fx.Request();
+  slow.options.max_steps = 20'000'000;
+  sched::CancelSource first, second;
+  ServiceRequest a{handle, slow};
+  a.sched.cancel = first.token();
+  ServiceRequest b{handle, slow};
+  b.sched.cancel = second.token();
+  std::future<Decision> future_a = service.SubmitAsync(std::move(a));
+  std::future<Decision> future_b = service.SubmitAsync(std::move(b));
+
+  WaitForEvaluationStart(service, handle);
+  first.Cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(future_b.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout)
+      << "a single waiter's cancel aborted a group another waiter needs";
+
+  second.Cancel();
+  ASSERT_EQ(future_a.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "the last waiter's cancel did not abort the running evaluation";
+  ASSERT_EQ(future_b.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(future_a.get().status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(future_b.get().status.code(), StatusCode::kCancelled);
+
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.cancelled, 2u);
+  EXPECT_EQ(counters.cache_misses, 0u);
+  EXPECT_EQ(counters.shed_running, 1u);
+  ExpectPartitionHolds(counters);
+}
+
+TEST(SchedServiceTest, LateDeadlinelessJoinerLiftsARunningDeadline) {
+  // Deadline symmetry with cancellation: a waiter that joins an
+  // already-running evaluation without a deadline must LIFT the run's
+  // deadline — the original waiter's deadline expiring mid-run must not
+  // rob the live joiner of its answer.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/40,
+                                                     /*vars=*/3);
+  ServiceOptions options;
+  options.num_workers = 1;
+  CompletenessService service(options);
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest slow = fx.Request();  // ~64^3 steps: slow but finite
+  ServiceRequest deadlined{handle, slow};
+  deadlined.sched.deadline = sched::DeadlineAfterMs(400);
+  std::future<Decision> first = service.SubmitAsync(std::move(deadlined));
+  WaitForEvaluationStart(service, handle);
+  // Joins the RUNNING group with no deadline of its own.
+  std::future<Decision> second =
+      service.SubmitAsync(ServiceRequest{handle, slow});
+
+  Decision lifted = second.get();
+  EXPECT_TRUE(lifted.status.ok())
+      << "the run aborted on the first waiter's deadline despite a live "
+         "deadline-less joiner: "
+      << lifted.status.ToString();
+  // The original waiter receives the (possibly late) answer too.
+  EXPECT_TRUE(first.get().status.ok());
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.shed_running, 0u);
+  ExpectPartitionHolds(counters);
+}
+
+TEST(SchedServiceTest, SubmitStreamCancellationStopsProducingPromptly) {
+  // A streamed batch of slow requests under one cancel source: cancelling
+  // mid-drain must abort the running evaluation AND shed everything still
+  // queued, so the stream finishes promptly with kCancelled decisions
+  // instead of grinding through the remaining searches.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/40,
+                                                     /*vars=*/6);
+  ServiceOptions options;
+  options.num_workers = 1;
+  CompletenessService service(options);
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  sched::CancelSource source;
+  std::vector<ServiceRequest> requests;
+  for (ProblemKind kind :
+       {ProblemKind::kRcdpStrong, ProblemKind::kRcdpViable,
+        ProblemKind::kMinpStrong, ProblemKind::kMinpViable}) {
+    ServiceRequest request;
+    request.setting = handle;
+    request.request = fx.Request(kind);
+    request.request.options.max_steps = 20'000'000;
+    request.sched.cancel = source.token();
+    requests.push_back(std::move(request));
+  }
+
+  DecisionStream stream;
+  service.SubmitStream(requests, &stream);
+  WaitForEvaluationStart(service, handle);
+  source.Cancel();
+
+  std::future<std::vector<StatusCode>> drained =
+      std::async(std::launch::async, [&stream] {
+        std::vector<StatusCode> codes;
+        StreamedDecision item;
+        while (stream.Next(&item)) codes.push_back(item.decision.status.code());
+        return codes;
+      });
+  ASSERT_EQ(drained.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "cancelled stream kept producing decisions";
+  std::vector<StatusCode> codes = drained.get();
+  ASSERT_EQ(codes.size(), requests.size());
+  for (StatusCode code : codes) EXPECT_EQ(code, StatusCode::kCancelled);
+
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.cancelled, requests.size());
+  ExpectPartitionHolds(counters);
+}
+
+TEST(StreamShutdownTest, AbandonedBoundedStreamUnblocksProducers) {
+  // The consumer walks away from a bounded stream mid-drain: producers
+  // blocked on capacity must wake and drop instead of deadlocking.
+  sched::Stream<int> stream(/*capacity=*/1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&stream, p] {
+      for (int i = 0; i < 50; ++i) stream.Publish(p * 100 + i);
+    });
+  }
+  int item = 0;
+  ASSERT_TRUE(stream.Next(&item));  // consume one, then abandon
+  stream.Close();
+  std::future<void> joined = std::async(std::launch::async, [&] {
+    for (std::thread& producer : producers) producer.join();
+  });
+  ASSERT_EQ(joined.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "producers stayed blocked on an abandoned stream";
+  EXPECT_FALSE(stream.Next(&item)) << "closed stream still yields items";
+}
+
+TEST(StreamShutdownTest, PublishRacingCloseNeitherDeadlocksNorDelivers) {
+  for (int round = 0; round < 20; ++round) {
+    sched::Stream<int> stream(/*capacity=*/2);
+    std::thread closer([&stream] { stream.Close(); });
+    std::thread publisher([&stream] {
+      for (int i = 0; i < 16; ++i) stream.Publish(i);
+    });
+    closer.join();
+    publisher.join();
+    int item = 0;
+    EXPECT_FALSE(stream.Next(&item));
+  }
+}
+
+TEST(StreamShutdownTest, AbandonedServiceStreamKeepsPoolAndWaitersLive) {
+  // Abandoning a bounded SubmitStream mid-drain must not wedge the pool:
+  // workers blocked publishing wake on Close, a parked flight-group waiter
+  // coalesced onto a streamed request still resolves, and the service
+  // keeps serving (and shuts down) normally.
+  AuditFixture fx = MakeAuditFixture();
+  auto run = [&fx] {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.cache_capacity = 0;
+    options.memoize = false;
+    CompletenessService service(options);
+    Result<SettingHandle> handle = service.RegisterSetting(fx.setting);
+    ASSERT_TRUE(handle.ok());
+
+    std::vector<ServiceRequest> requests;
+    for (const DecisionRequest& request : DistinctWorkload(fx)) {
+      requests.push_back(ServiceRequest{*handle, request});
+    }
+    DecisionStream stream(/*capacity=*/1);
+    service.SubmitStream(requests, &stream);
+    // A waiter that coalesces with one of the streamed requests; it must
+    // resolve even after the stream is abandoned.
+    std::future<Decision> waiter =
+        service.SubmitAsync(ServiceRequest{*handle, requests[7].request});
+
+    StreamedDecision item;
+    ASSERT_TRUE(stream.Next(&item));  // drain one, then walk away
+    stream.Close();
+
+    ASSERT_EQ(waiter.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "flight-group waiter leaked when the stream was abandoned";
+    EXPECT_TRUE(waiter.get().status.ok());
+    // The pool still serves fresh work after the abandoned stream.
+    Decision after = service.Decide(*handle, requests[0].request);
+    EXPECT_TRUE(after.status.ok()) << after.status.ToString();
+    // An abandoned stream may be destroyed only after the producer side
+    // finished with it (stragglers publish into the void until then).
+    stream.WaitProducersFinished();
+  };  // ~CompletenessService drains; a wedged pool would hang here
+  std::future<void> done = std::async(std::launch::async, run);
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "abandoned bounded stream wedged the worker pool";
 }
 
 TEST(SchedServiceTest, StressMixedTrafficKeepsCounterInvariant) {

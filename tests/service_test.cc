@@ -539,6 +539,114 @@ TEST(ServiceTest, TotalCountersEqualsPerShardSumAfterMixedTraffic) {
   EXPECT_EQ(summed.ToString(), service.TotalCounters().ToString());
 }
 
+TEST(ServiceTest, MaxStepsReachesDecidersPerRequestAndPerShard) {
+  // The budget-plumbing bugfix: SearchOptions::max_steps must be reachable
+  // both per request and as a ShardOptions default — before this PR every
+  // service tenant silently ran with the built-in 50M budget.
+  // The slow fixture's Mod(T) enumeration has no early exit, so a 1-step
+  // budget always exhausts and a few-thousand-step budget always finishes.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/8,
+                                                     /*vars=*/3);
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/64));
+
+  // Per request: a one-step budget exhausts immediately.
+  ASSERT_OK_AND_ASSIGN(plain, service.RegisterSetting(fx.setting));
+  DecisionRequest tiny = fx.Request();
+  tiny.options.max_steps = 1;
+  Decision exhausted = service.Decide(plain, tiny);
+  EXPECT_EQ(exhausted.status.code(), StatusCode::kResourceExhausted)
+      << exhausted.status.ToString();
+  EXPECT_TRUE(service.Decide(plain, fx.Request()).status.ok());
+
+  // Per shard: requests that leave max_steps at the built-in default
+  // inherit the shard's default; an explicit per-request budget wins.
+  // (A second, fingerprint-distinct setting gets its own shard.)
+  testing::SlowFixture fx_b = testing::MakeSlowFixture(/*master_rows=*/9,
+                                                       /*vars=*/3);
+  ShardOptions starved;
+  starved.max_steps = 1;
+  ASSERT_OK_AND_ASSIGN(shard, service.RegisterSetting(fx_b.setting, starved));
+  ASSERT_OK_AND_ASSIGN(resolved, service.shard_options(shard));
+  EXPECT_EQ(resolved.max_steps, 1u);
+  Decision shard_limited = service.Decide(shard, fx_b.Request());
+  EXPECT_EQ(shard_limited.status.code(), StatusCode::kResourceExhausted)
+      << "ShardOptions::max_steps never reached the decider";
+  DecisionRequest explicit_budget = fx_b.Request();
+  explicit_budget.options.max_steps = 500'000;
+  Decision roomy = service.Decide(shard, explicit_budget);
+  EXPECT_TRUE(roomy.status.ok())
+      << "an explicit per-request budget must override the shard default: "
+      << roomy.status.ToString();
+}
+
+TEST(ServiceTest, ExhaustedEvaluationIsNeverCachedAndCountsAsError) {
+  // kResourceExhausted is a resource verdict, not an answer: with
+  // memoization ON it must not be replayed from the LRU, and the counter
+  // partition must stay intact (exhaustions are misses + errors).
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/8,
+                                                     /*vars=*/3);
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/64));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  DecisionRequest tiny = fx.Request();
+  tiny.options.max_steps = 1;
+
+  Decision first = service.Decide(handle, tiny);
+  Decision second = service.Decide(handle, tiny);
+  EXPECT_EQ(first.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(second.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_FALSE(second.from_cache) << "an exhausted decision was cached";
+
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.cache_misses, 2u);
+  EXPECT_EQ(counters.cache_hits, 0u);
+  EXPECT_EQ(counters.errors, 2u);
+  EXPECT_EQ(counters.shed_running, 0u)
+      << "budget exhaustion must not masquerade as a mid-run abort";
+  EXPECT_EQ(counters.requests,
+            counters.cache_hits + counters.cache_misses + counters.rejected +
+                counters.expired + counters.cancelled);
+
+  // A definitive verdict for the same query under a workable budget still
+  // caches normally afterwards.
+  DecisionRequest roomy = tiny;
+  roomy.options.max_steps = SearchOptions::kDefaultMaxSteps;
+  EXPECT_TRUE(service.Decide(handle, roomy).status.ok());
+  EXPECT_TRUE(service.Decide(handle, roomy).from_cache);
+}
+
+TEST(ServiceTest, RequestLevelCancelTokenSurvivesSchedMerge) {
+  // A DecisionRequest's own options.cancel must keep working on the
+  // non-coalesced path even when the submission also carries a (live)
+  // sched token — the two merge either-cancels, not last-writer-wins.
+  testing::SlowFixture fx = testing::MakeSlowFixture(/*master_rows=*/8,
+                                                     /*vars=*/3);
+  CompletenessService service(MakeOptions(/*workers=*/0, /*cache=*/0,
+                                          /*coalesce=*/false));
+  ASSERT_OK_AND_ASSIGN(handle, service.RegisterSetting(fx.setting));
+
+  sched::CancelSource poisoned;
+  poisoned.Cancel();
+  sched::CancelSource live;  // valid, never cancelled
+  ServiceRequest request{handle, fx.Request()};
+  request.request.options.cancel = poisoned.token();
+  request.request.options.checkpoint_interval = 1;
+  request.sched.cancel = live.token();
+  Decision decision = service.Decide(request);
+  EXPECT_EQ(decision.status.code(), StatusCode::kCancelled)
+      << "the request-level token was dropped in the sched merge: "
+      << decision.status.ToString();
+
+  ASSERT_OK_AND_ASSIGN(counters, service.counters(handle));
+  EXPECT_EQ(counters.cancelled, 1u);
+  EXPECT_EQ(counters.cache_misses, 0u);
+  EXPECT_EQ(counters.requests,
+            counters.cache_hits + counters.cache_misses + counters.rejected +
+                counters.expired + counters.cancelled);
+}
+
 TEST(ServiceTest, EngineAdapterMatchesService) {
   // The deprecated single-setting engine is a shim over the service: same
   // answers, same counters semantics.

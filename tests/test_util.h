@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "core/types.h"
+#include "ctable/cinstance.h"
 #include "data/instance.h"
 #include "query/query.h"
+#include "service/decision.h"
 
 namespace relcomp {
 namespace testing {
@@ -73,6 +75,60 @@ inline AuditFixture MakeAuditFixture(int city_offset = 0) {
       {CTerm(VarId{0})}, {RelAtom{"Visit", {CTerm(S("nhs-0")), VarId{0}}}}));
   fx.all_cities = Query::Cq(ConjunctiveQuery(
       {CTerm(VarId{1})}, {RelAtom{"Visit", {VarId{0}, VarId{1}}}}));
+  return fx;
+}
+
+/// A deliberately expensive decision: the audited c-instance carries `vars`
+/// distinct variables in an infinite-domain column plus one ground "ghost"
+/// row that violates the IND CC in every world, so Mod(T, Dm, V) is empty
+/// but proving it exhausts the FULL |Adom|^vars valuation space (no early
+/// exit) — |Adom| ≈ master_rows + a handful. The canonical use: a search
+/// that runs long enough (or forever, up to the step budget) for a
+/// mid-run deadline/cancellation checkpoint to fire, with per-step cost
+/// dominated by Apply + CC checks.
+struct SlowFixture {
+  PartiallyClosedSetting setting;
+  CInstance audited;
+  Query query;
+
+  DecisionRequest Request(ProblemKind kind = ProblemKind::kRcdpStrong) const {
+    DecisionRequest request;
+    request.kind = kind;
+    request.query = query;
+    request.cinstance = audited;
+    return request;
+  }
+};
+
+inline SlowFixture MakeSlowFixture(int master_rows, int vars) {
+  SlowFixture fx;
+  fx.setting.schema.AddRelation(RelationSchema(
+      "Visit", {Attribute{"nhs", Domain::Infinite()},
+                Attribute{"city", Domain::Finite({S("EDI"), S("LON")})}}));
+  fx.setting.master_schema.AddRelation(
+      RelationSchema("Patientm", {Attribute{"nhs", Domain::Infinite()}}));
+  fx.setting.dm = Instance(fx.setting.master_schema);
+  for (int i = 0; i < master_rows; ++i) {
+    fx.setting.dm.AddTuple("Patientm",
+                           {Value::Sym("nhs-" + std::to_string(i))});
+  }
+  ConjunctiveQuery proj({CTerm(VarId{0})},
+                        {RelAtom{"Visit", {VarId{0}, VarId{1}}}});
+  fx.setting.ccs.emplace_back("visits_known", std::move(proj), "Patientm",
+                              std::vector<int>{0});
+
+  fx.audited = CInstance(fx.setting.schema);
+  CTable& visits = fx.audited.at("Visit");
+  visits.AddRow({Cell(S("ghost")), Cell(S("EDI"))});  // never in Patientm
+  for (int v = 0; v < vars; ++v) {
+    visits.AddRow({Cell(VarId{v}), Cell(S("EDI"))});
+  }
+
+  // Query variables keep small ids: the fresh-constant budget scales with
+  // the variable universe (max id + 1), and a large id would inflate Adom
+  // far beyond master_rows.
+  fx.query = Query::Cq(ConjunctiveQuery(
+      {CTerm(VarId{20})}, {RelAtom{"Visit", {VarId{21}, VarId{20}}}}));
   return fx;
 }
 

@@ -52,6 +52,9 @@ struct CliOptions {
   sched::OverloadPolicy overload = sched::OverloadPolicy::kBlock;
   sched::Priority priority = sched::Priority::kNormal;
   uint64_t deadline_ms = 0;  // 0 = none
+  uint64_t max_steps = 0;    // 0 = keep the built-in decider budget
+  bool checkpoint_set = false;
+  uint64_t checkpoint_interval = 0;  // with checkpoint_set: 0 disables
   bool stream = false;
   uint32_t default_weight = 1;
   size_t default_max_queue = 0;  // 0 = unbounded
@@ -202,6 +205,10 @@ SettingWorkload LoadSetting(const std::string& setting_file,
       request.query = query;
       request.cinstance = load.audited;
       request.want_witness = cli.witness;
+      if (cli.max_steps != 0) request.options.max_steps = cli.max_steps;
+      if (cli.checkpoint_set) {
+        request.options.checkpoint_interval = cli.checkpoint_interval;
+      }
       load.requests.push_back(std::move(request));
       load.labels.push_back(name + " / " + std::string(ProblemKindName(kind)));
     }
@@ -272,6 +279,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--deadline-ms") {
       cli.deadline_ms = ParseCount("--deadline-ms", next("--deadline-ms"));
+    } else if (arg == "--max-steps") {
+      cli.max_steps = ParseCount("--max-steps", next("--max-steps"));
+      if (cli.max_steps == 0) {
+        return Fail("--max-steps expects a positive step budget");
+      }
+    } else if (arg == "--checkpoint-interval") {
+      cli.checkpoint_interval =
+          ParseCount("--checkpoint-interval", next("--checkpoint-interval"));
+      cli.checkpoint_set = true;
     } else if (arg == "--stream") {
       cli.stream = true;
     } else if (arg == "--problem") {
@@ -325,11 +341,19 @@ int main(int argc, char** argv) {
           "                    0 = unbounded (before any --setting: default)\n"
           "  --overload P      over-quota behavior: block (default) | reject\n"
           "  --priority P      request priority: high | normal | low\n"
-          "  --deadline-ms N   best-effort deadline per submission; queued\n"
-          "                    requests past it are shed, not evaluated\n"
+          "  --deadline-ms N   deadline per submission round; queued requests\n"
+          "                    past it are shed, and RUNNING evaluations abort\n"
+          "                    at the next cooperative checkpoint\n"
+          "  --max-steps N     decider step budget per request (default %llu;\n"
+          "                    exhaustion reports kResourceExhausted)\n"
+          "  --checkpoint-interval N\n"
+          "                    steps between deadline/cancel polls inside the\n"
+          "                    search loops (rounded to a power of two;\n"
+          "                    0 disables mid-run aborting)\n"
           "  --stream          deliver decisions incrementally as they\n"
           "                    complete (SubmitStream) instead of one batch\n",
-          kinds.c_str());
+          kinds.c_str(),
+          static_cast<unsigned long long>(SearchOptions::kDefaultMaxSteps));
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown flag '" + arg + "' (see --help)");
@@ -463,9 +487,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Abort causes across the first round's decisions: how many requests were
+  // shed/aborted, and why (queue-time vs mid-run is visible in the shard
+  // counters' shed_running/aborted_steps fields below).
+  size_t n_expired = 0, n_cancelled = 0, n_rejected = 0, n_exhausted = 0;
+  for (const Decision& decision : decisions) {
+    switch (decision.status.code()) {
+      case StatusCode::kDeadlineExceeded: ++n_expired; break;
+      case StatusCode::kCancelled: ++n_cancelled; break;
+      case StatusCode::kUnavailable: ++n_rejected; break;
+      case StatusCode::kResourceExhausted: ++n_exhausted; break;
+      default: break;
+    }
+  }
+
   double prep_s = Seconds(prep_start, prep_end);
   double batch_s = Seconds(batch_start, batch_end);
   std::printf("\n=== service ===\n");
+  if (n_expired + n_cancelled + n_rejected + n_exhausted > 0) {
+    std::printf("  aborts       deadline=%zu cancelled=%zu rejected=%zu "
+                "budget-exhausted=%zu (of %zu decisions)\n",
+                n_expired, n_cancelled, n_rejected, n_exhausted,
+                decisions.size());
+  }
   std::printf("  settings     %zu registered (%zu distinct shards)\n",
               loads.size(), service.num_settings());
   std::printf("  scheduler    %s policy, %s on overload%s\n",

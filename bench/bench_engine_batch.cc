@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <mutex>
 #include <string>
@@ -415,6 +416,78 @@ void BM_Service_DeadlineShedLatency_Checkpointed(benchmark::State& state) {
   RunDeadlineShedLatency(state, /*checkpoint_interval=*/4096);
 }
 BENCHMARK(BM_Service_DeadlineShedLatency_Checkpointed)->UseRealTime();
+
+/// Experiment CACHE-W: warm-start first-batch latency — the reason cache
+/// persistence exists. Each iteration stands up a FRESH service (the
+/// "restarted process") and submits the whole audit workload once:
+///   Cold     — every request evaluates from scratch;
+///   Restored — the service first loads a snapshot saved by a previous
+///              service (LoadCaches, fingerprint-matched at
+///              RegisterSetting), so the first batch is served from
+///              yesterday's decisions with zero evaluations.
+/// The gap is the restart penalty persistence removes; `misses` confirms
+/// Restored did no decider work.
+void RunWarmStartFirstBatch(benchmark::State& state, bool restored) {
+  PartiallyClosedSetting setting = MakeAuditSetting(2048);
+  CInstance audited = MakeAuditedInstance(setting.schema);
+  std::vector<DecisionRequest> workload =
+      MakeWorkload(audited, kDistinctQueries, /*repeat=*/1);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 1024;
+  const std::string snapshot_path =
+      "/tmp/relcomp_bench_warmstart.rccs";
+  if (restored) {
+    // The "previous process": compute the workload once and snapshot it.
+    CompletenessService warmer(options);
+    Result<SettingHandle> handle = warmer.RegisterSetting(setting);
+    if (!handle.ok()) {
+      state.SkipWithError(handle.status().ToString().c_str());
+      return;
+    }
+    warmer.SubmitBatch(*handle, workload);
+    Status saved = warmer.SaveCaches(snapshot_path);
+    if (!saved.ok()) {
+      state.SkipWithError(saved.ToString().c_str());
+      return;
+    }
+  }
+
+  uint64_t misses = 0;
+  for (auto _ : state) {
+    CompletenessService service(options);
+    if (restored) {
+      Result<size_t> staged = service.LoadCaches(snapshot_path);
+      if (!staged.ok()) {
+        state.SkipWithError(staged.status().ToString().c_str());
+        return;
+      }
+    }
+    Result<SettingHandle> handle = service.RegisterSetting(setting);
+    if (!handle.ok()) {
+      state.SkipWithError(handle.status().ToString().c_str());
+      return;
+    }
+    std::vector<Decision> decisions = service.SubmitBatch(*handle, workload);
+    benchmark::DoNotOptimize(decisions);
+    misses = service.TotalCounters().cache_misses;
+  }
+  state.counters["first_batch_misses"] = static_cast<double>(misses);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.size()));
+  if (restored) std::remove(snapshot_path.c_str());
+}
+
+void BM_Service_WarmStart_Cold(benchmark::State& state) {
+  RunWarmStartFirstBatch(state, /*restored=*/false);
+}
+BENCHMARK(BM_Service_WarmStart_Cold)->UseRealTime();
+
+void BM_Service_WarmStart_Restored(benchmark::State& state) {
+  RunWarmStartFirstBatch(state, /*restored=*/true);
+}
+BENCHMARK(BM_Service_WarmStart_Restored)->UseRealTime();
 
 }  // namespace
 }  // namespace relcomp

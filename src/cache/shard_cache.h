@@ -1,0 +1,202 @@
+// ShardCache: the byte-weighted result cache behind one setting shard,
+// replacing the entry-count LruCache on the service hot path. Three ideas
+// compose:
+//
+//   * SEGMENTED LRU — entries land in a probation segment and are promoted
+//     to a protected segment on re-reference; eviction drains probation
+//     first, so a one-shot scan churns probation while the re-referenced
+//     working set rides out the flood in protected. The protected segment
+//     is capped at a fraction of resident bytes (tail demoted back to
+//     probation), so it cannot monopolize the cache.
+//   * FREQUENCY-SKETCH ADMISSION — a count-min sketch of recent accesses
+//     (4-bit counters, periodically halved) gatekeeps inserts under local
+//     entry-capacity pressure: a candidate seen LESS often than the
+//     eviction victim it would displace is refused admission (counted, not
+//     an error — the decision was still computed, it just isn't worth
+//     caching), so cold one-shot results cannot flush warmer ones.
+//     Byte-budget pressure is NOT sketch-gated: there the displaced entry
+//     lives in the globally coldest shard, and the CacheBudget arbiter
+//     owns that trade.
+//   * SHARED BYTE BUDGET — entry bytes (weigher.h) are charged to an
+//     optional service-wide CacheBudget; when a charge overflows it, the
+//     cache sheds the arbiter's chosen victims (the globally coldest
+//     shards, floors respected) before making its own entry resident, so
+//     total resident bytes across every shard never exceed the budget.
+//
+// Thread safety: fully internally synchronized — unlike the legacy
+// LruCache, callers need no external lock, because budget pressure makes
+// OTHER shards' caches shed entries concurrently with their owners' reads.
+// The internal mutex is never held while acquiring another cache's mutex
+// (see budget.h for the lock order), and Get copies the Decision out under
+// the lock (a returned pointer could dangle the moment a peer shard sheds).
+#ifndef RELCOMP_CACHE_SHARD_CACHE_H_
+#define RELCOMP_CACHE_SHARD_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/budget.h"
+#include "service/decision.h"
+
+namespace relcomp {
+namespace cache {
+
+/// Count-min sketch over 4-bit saturating counters with periodic aging
+/// (every counter halved once the increment count reaches the sample
+/// period), TinyLFU-style: approximate access frequency in O(1) space,
+/// biased toward the recent past.
+class FrequencySketch {
+ public:
+  /// Sizes the sketch for roughly `capacity_hint` distinct keys.
+  explicit FrequencySketch(size_t capacity_hint);
+
+  /// Records one access of the key with the given 64-bit hash.
+  void Increment(uint64_t hash);
+  /// Estimated access count (min over the hash rows, saturated at 15).
+  uint32_t Estimate(uint64_t hash) const;
+
+ private:
+  static constexpr int kRows = 4;
+  uint64_t CounterIndex(uint64_t hash, int row) const;
+
+  std::vector<uint64_t> table_;  ///< 16 packed 4-bit counters per word
+  uint64_t counter_mask_ = 0;    ///< counters per table == mask + 1
+  uint64_t sample_period_ = 0;   ///< increments between agings
+  uint64_t additions_ = 0;
+};
+
+/// Cumulative cache-local statistics (monotone except entries/bytes, which
+/// are gauges). `hits`/`misses` count Get outcomes at THIS layer — unlike
+/// EngineCounters::cache_hits, coalesced requests never reach it.
+struct CacheStats {
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  uint64_t protected_bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;          ///< entries removed by any pressure
+  uint64_t admission_rejects = 0;  ///< inserts refused (sketch or budget)
+  uint64_t restored = 0;           ///< entries inserted from a snapshot
+  /// Lifetime Get hit ratio; 0 before the first lookup.
+  double hit_ratio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+struct ShardCacheOptions {
+  /// Entry-count capacity (the legacy LruCache bound, still enforced);
+  /// 0 disables the cache entirely — Put stores nothing, Get always misses.
+  size_t max_entries = 0;
+  /// Resident-byte share the protected segment may occupy before its tail
+  /// is demoted back to probation.
+  double protected_fraction = 0.8;
+  /// Frequency-sketch admission under pressure; off = always admit (the
+  /// legacy behavior, and what snapshot restores use).
+  bool admission_filter = true;
+};
+
+class ShardCache {
+ public:
+  explicit ShardCache(ShardCacheOptions options);
+  ~ShardCache();
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
+
+  /// Joins the shared budget. Must be called before the first Put and
+  /// requires `self` to be the shared_ptr owning this cache (the arbiter
+  /// hands it to peer shards as a victim). `budget` must outlive this
+  /// cache; the destructor deregisters.
+  void AttachBudget(CacheBudget* budget, const std::shared_ptr<ShardCache>& self,
+                    size_t floor_bytes);
+
+  /// Copies the cached decision into `*out` and refreshes its recency
+  /// (second touch promotes probation → protected). False on miss.
+  bool Get(const RequestCacheKey& key, Decision* out);
+
+  /// Inserts (or overwrites) a decision. Returns false when the entry was
+  /// NOT admitted: the cache is disabled, the sketch refused a cold
+  /// candidate under pressure, or the shared budget could not make room
+  /// even after shedding. A refused insert leaves the cache unchanged
+  /// except for the admission_rejects counter.
+  bool Put(const RequestCacheKey& key, Decision value);
+
+  /// Put without the admission filter, counted as `restored` — the
+  /// snapshot warm-start path (entries earned their place in a previous
+  /// process; refusing them on a cold sketch would defeat persistence).
+  bool Restore(const RequestCacheKey& key, Decision value);
+
+  /// Evicts coldest-first (probation tail, then protected tail) until
+  /// `target_bytes` have been freed or evicting further would drop the
+  /// resident total below `floor_bytes`. Returns bytes actually freed.
+  /// Called by PEER shards under budget pressure; thread-safe.
+  size_t ShedBytes(size_t target_bytes, size_t floor_bytes);
+
+  /// Drops every entry (budget released, cumulative stats preserved).
+  void Clear();
+
+  /// Resident entries, coldest first (probation tail → head, then
+  /// protected tail → head), so replaying the snapshot through Restore in
+  /// order reproduces the recency order. Decisions are deep-copied.
+  std::vector<std::pair<RequestCacheKey, Decision>> SnapshotEntries() const;
+
+  size_t capacity() const { return options_.max_entries; }
+  size_t size() const;
+  size_t bytes() const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    RequestCacheKey key;
+    Decision value;
+    size_t bytes = 0;
+    uint64_t touch = 0;
+    bool in_protected = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  bool PutInternal(const RequestCacheKey& key, Decision value, bool restore);
+  /// Makes `bytes` admissible against the shared budget: charge, then shed
+  /// the arbiter's victims until under budget. False = infeasible (charge
+  /// rolled back). Must be called WITHOUT holding mu_.
+  bool ReserveBudget(size_t bytes);
+
+  void TouchLocked(Entry& entry);
+  void PromoteLocked(EntryList::iterator it);
+  void EnforceProtectedCapLocked();
+  /// Evicts one entry, coldest-first; returns its bytes (0 when empty).
+  size_t EvictOneLocked();
+  void RemoveLocked(EntryList::iterator it);
+  /// Coldest resident stamp → budget registration (lock-free store).
+  void PublishColdnessLocked();
+  const Entry* VictimLocked() const;
+
+  const ShardCacheOptions options_;
+  CacheBudget* budget_ = nullptr;
+  uint64_t budget_id_ = 0;
+
+  mutable std::mutex mu_;
+  EntryList probation_;
+  EntryList protected_;
+  std::unordered_map<RequestCacheKey, EntryList::iterator, RequestCacheKeyHash>
+      index_;
+  FrequencySketch sketch_;
+  size_t bytes_ = 0;
+  size_t protected_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t admission_rejects_ = 0;
+  uint64_t restored_ = 0;
+};
+
+}  // namespace cache
+}  // namespace relcomp
+
+#endif  // RELCOMP_CACHE_SHARD_CACHE_H_

@@ -48,6 +48,12 @@ class Valuation {
   /// Resolves a term: constants map to themselves.
   std::optional<Value> Resolve(const CTerm& term) const;
 
+  /// Number of allocated variable slots (max bound-or-presized id + 1).
+  /// Bindings live at their VarId's index, so iterating [0, num_slots())
+  /// with Get visits every binding — used by the cache weigher and the
+  /// snapshot serializer.
+  size_t num_slots() const { return slots_.size(); }
+
   std::string ToString() const;
 
  private:

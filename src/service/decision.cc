@@ -75,6 +75,9 @@ EngineCounters& EngineCounters::operator+=(const EngineCounters& other) {
   waited += other.waited;
   wait_micros += other.wait_micros;
   max_wait_micros = std::max(max_wait_micros, other.max_wait_micros);
+  evictions += other.evictions;
+  admission_rejects += other.admission_rejects;
+  cache_bytes += other.cache_bytes;
   search += other.search;
   return *this;
 }
@@ -96,6 +99,11 @@ std::string EngineCounters::ToString() const {
     out += " avg_wait_us=" + std::to_string(wait_micros / waited) +
            " max_wait_us=" + std::to_string(max_wait_micros);
   }
+  if (evictions != 0) out += " evictions=" + std::to_string(evictions);
+  if (admission_rejects != 0) {
+    out += " admission_rejects=" + std::to_string(admission_rejects);
+  }
+  if (cache_bytes != 0) out += " cache_bytes=" + std::to_string(cache_bytes);
   return out + " | " + search.ToString();
 }
 

@@ -91,6 +91,15 @@ struct Decision {
 /// Wait-time counters cover scheduled tasks only (inline and coalesced
 /// requests never sit in the queue): `wait_micros` sums queue residency
 /// over `waited` tasks; `max_wait_micros` is the worst single wait.
+///
+/// The cache-lifecycle counters sit OUTSIDE the request partition — they
+/// describe what happened to cache ENTRIES, not requests: `evictions`
+/// counts entries removed by capacity or shared-budget pressure (possibly
+/// triggered by ANOTHER shard's insert), `admission_rejects` counts
+/// computed decisions the frequency-sketch filter or the byte budget
+/// refused to cache (the request itself was still served, and counted as
+/// a miss), and `cache_bytes` is a gauge: the shard cache's resident
+/// bytes at read time (summed across shards by TotalCounters).
 struct EngineCounters {
   uint64_t requests = 0;
   uint64_t cache_hits = 0;
@@ -105,6 +114,9 @@ struct EngineCounters {
   uint64_t waited = 0;
   uint64_t wait_micros = 0;
   uint64_t max_wait_micros = 0;  ///< aggregated with max, not sum
+  uint64_t evictions = 0;          ///< cache entries evicted (any pressure)
+  uint64_t admission_rejects = 0;  ///< decisions the cache refused to admit
+  uint64_t cache_bytes = 0;        ///< resident cache bytes (gauge)
   SearchStats search;  ///< per-request stats merged via SearchStats::Merge
 
   EngineCounters& operator+=(const EngineCounters& other);

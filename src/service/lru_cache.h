@@ -1,6 +1,9 @@
-// A small intrusive-list LRU map used by the service shards' result
-// memoization. Not thread-safe by itself: each shard serializes access with
-// its own mutex so lookup+insert pairs stay atomic with the counters.
+// A small intrusive-list LRU map, bounded by ENTRY COUNT. Formerly the
+// service shards' result memoization; the shard hot path now runs on the
+// byte-weighted, admission-filtered cache::ShardCache (src/cache/), which
+// also understands the shared cross-shard byte budget. This template stays
+// as the plain building block for fixed-population caches whose values are
+// uniformly small. Not thread-safe by itself: callers serialize access.
 #ifndef RELCOMP_SERVICE_LRU_CACHE_H_
 #define RELCOMP_SERVICE_LRU_CACHE_H_
 

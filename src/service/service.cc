@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "cache/persist.h"
 #include "core/fingerprint.h"
 
 namespace relcomp {
@@ -148,6 +149,10 @@ sched::TaskOutcome InlineOutcome(const sched::Task& task) {
 
 CompletenessService::CompletenessService(ServiceOptions options)
     : options_(options),
+      cache_budget_(options.cache_budget_bytes > 0
+                        ? std::make_unique<cache::CacheBudget>(
+                              options.cache_budget_bytes)
+                        : nullptr),
       queue_(options.policy, options.overload,
              sched::TenantOptions{/*weight=*/1, options.default_max_queue,
                                   /*rate_per_sec=*/0.0, /*burst=*/0.0}) {
@@ -196,10 +201,22 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
   if (resolved.cache_capacity == ShardOptions::kInherit) {
     resolved.cache_capacity = options_.cache_capacity;
   }
+  // The resolved options report the EFFECTIVE capacity: memoization off
+  // service-wide means every shard's cache is capacity 0, and
+  // shard_options() must say so rather than echo a capacity no cache has.
+  if (!options_.memoize) resolved.cache_capacity = 0;
   if (resolved.max_queue == ShardOptions::kInherit) {
     resolved.max_queue = options_.default_max_queue;
   }
   if (resolved.weight == 0) resolved.weight = 1;
+
+  cache::ShardCacheOptions cache_options;
+  cache_options.max_entries = resolved.cache_capacity;
+  auto shard_cache = std::make_shared<cache::ShardCache>(cache_options);
+  if (cache_budget_ != nullptr && cache_options.max_entries > 0) {
+    shard_cache->AttachBudget(cache_budget_.get(), shard_cache,
+                              resolved.cache_floor_bytes);
+  }
 
   std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = handle_by_fingerprint_.find(key);
@@ -208,10 +225,23 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
     ++shards_.at(it->second)->refcount;
     return SettingHandle{it->second};
   }
+  // Warm start: replay any staged snapshot entries computed under this
+  // exact setting fingerprint (coldest first, so recency survives the
+  // round trip). A snapshot of different master data fingerprints
+  // differently and simply never matches.
+  if (cache_options.max_entries > 0) {
+    auto warm = pending_warm_.find(key);
+    if (warm != pending_warm_.end()) {
+      for (auto& [entry_key, decision] : warm->second) {
+        shard_cache->Restore(entry_key, std::move(decision));
+      }
+      pending_warm_.erase(warm);
+    }
+  }
   const uint64_t id = next_handle_id_++;
-  shards_.emplace(id, std::make_shared<Shard>(
-                          std::move(prepared).value(), key, resolved,
-                          options_.memoize ? resolved.cache_capacity : 0));
+  shards_.emplace(id, std::make_shared<Shard>(std::move(prepared).value(), key,
+                                              resolved,
+                                              std::move(shard_cache)));
   handle_by_fingerprint_.emplace(key, id);
   queue_.RegisterTenant(id, sched::TenantOptions{resolved.weight,
                                                  resolved.max_queue,
@@ -324,7 +354,7 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
       return ExpiredDecision();
     }
   }
-  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
+  const bool memoize = options_.memoize && shard.cache->capacity() > 0;
   const bool coalesce = options_.coalesce;
   RequestCacheKey key;
   if (memoize || coalesce) {
@@ -337,9 +367,9 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     std::lock_guard<std::mutex> lock(shard.mu);
     if (count_request) ++shard.counters.requests;
     if (memoize) {
-      if (const Decision* cached = shard.cache.Get(key)) {
+      Decision hit;
+      if (shard.cache->Get(key, &hit)) {
         ++shard.counters.cache_hits;
-        Decision hit = *cached;
         hit.from_cache = true;
         return hit;
       }
@@ -413,7 +443,7 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
     if (memoize && IsCacheableDecision(decision)) {
-      shard.cache.Put(key, decision);
+      shard.cache->Put(key, decision);
     }
     return decision;
   }
@@ -433,7 +463,7 @@ void CompletenessService::ExtendRunDeadline(FlightGroup& group,
 Decision CompletenessService::EvaluateForGroup(
     Shard& shard, const DecisionRequest& request, const RequestCacheKey& key,
     const std::shared_ptr<FlightGroup>& group, size_t billed_member) {
-  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
+  const bool memoize = options_.memoize && shard.cache->capacity() > 0;
   SearchOptions effective = EffectiveOptions(shard, request, nullptr);
   // The joint interest token and the extendable run deadline: checkpoints
   // abort this run only once EVERY participant — including ones that join
@@ -455,7 +485,7 @@ Decision CompletenessService::EvaluateForGroup(
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
     if (memoize && IsCacheableDecision(decision)) {
-      shard.cache.Put(key, decision);
+      shard.cache->Put(key, decision);
     }
     shard.in_flight.erase(key);
     members = std::move(group->members);
@@ -914,7 +944,7 @@ void CompletenessService::SubmitAsyncImpl(
   // Coalescing admission: cache hits and joins resolve without ever
   // touching the queue; only a fresh computation becomes a task.
   const RequestCacheKey key = RequestKeyFor(shard->prepared, request.request);
-  const bool memoize = options_.memoize && shard->cache.capacity() > 0;
+  const bool memoize = options_.memoize && shard->cache->capacity() > 0;
   std::shared_ptr<FlightGroup> group;
   Decision hit;
   bool have_hit = false;
@@ -922,9 +952,8 @@ void CompletenessService::SubmitAsyncImpl(
     std::lock_guard<std::mutex> lock(shard->mu);
     ++shard->counters.requests;
     if (memoize) {
-      if (const Decision* cached = shard->cache.Get(key)) {
+      if (shard->cache->Get(key, &hit)) {
         ++shard->counters.cache_hits;
-        hit = *cached;
         hit.from_cache = true;
         have_hit = true;
       }
@@ -977,7 +1006,7 @@ void CompletenessService::RunOwnerTask(
     const std::shared_ptr<FlightGroup>& group, const DecisionRequest& request,
     std::chrono::microseconds wait) {
   Shard& shard = *shard_ptr;
-  const bool memoize = options_.memoize && shard.cache.capacity() > 0;
+  const bool memoize = options_.memoize && shard.cache->capacity() > 0;
   enum class Action { kStolen, kShed, kHit, kEvaluate };
   Action action = Action::kEvaluate;
   size_t billed = kSyncBilled;
@@ -1017,12 +1046,10 @@ void CompletenessService::RunOwnerTask(
             ++shard.counters.expired;
           }
         }
-      } else if (const Decision* cached =
-                     memoize ? shard.cache.Get(key) : nullptr) {
+      } else if (memoize && shard.cache->Get(key, &hit)) {
         // A synchronous caller computed and cached this request while the
         // task sat queued: serve the whole group from the cache.
         action = Action::kHit;
-        hit = *cached;
         hit.from_cache = true;
         shard.in_flight.erase(key);
         members = std::move(group->members);
@@ -1091,12 +1118,29 @@ void CompletenessService::SubmitAsync(ServiceRequest request,
   SubmitAsyncImpl(std::move(request), nullptr, std::move(on_complete));
 }
 
+namespace {
+
+/// Folds the cache-lifecycle stats into a shard's request counters. The
+/// shard counters never carry these fields themselves — evictions can be
+/// triggered by ANOTHER shard's insert (budget pressure), so the cache is
+/// the one source of truth and the accessors overlay at read time.
+EngineCounters WithCacheStats(EngineCounters counters,
+                              const cache::CacheStats& cache_stats) {
+  counters.evictions = cache_stats.evictions;
+  counters.admission_rejects = cache_stats.admission_rejects;
+  counters.cache_bytes = cache_stats.bytes;
+  return counters;
+}
+
+}  // namespace
+
 Result<EngineCounters> CompletenessService::counters(
     SettingHandle handle) const {
   std::shared_ptr<Shard> shard = FindShard(handle);
   if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  const cache::CacheStats cache_stats = shard->cache->stats();
   std::lock_guard<std::mutex> lock(shard->mu);
-  return shard->counters;
+  return WithCacheStats(shard->counters, cache_stats);
 }
 
 EngineCounters CompletenessService::TotalCounters() const {
@@ -1108,17 +1152,72 @@ EngineCounters CompletenessService::TotalCounters() const {
   }
   EngineCounters total;
   for (const std::shared_ptr<Shard>& shard : shards) {
+    const cache::CacheStats cache_stats = shard->cache->stats();
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->counters;
+    total += WithCacheStats(shard->counters, cache_stats);
   }
   return total;
+}
+
+Result<cache::CacheStats> CompletenessService::CacheStats(
+    SettingHandle handle) const {
+  std::shared_ptr<Shard> shard = FindShard(handle);
+  if (shard == nullptr) return UnknownHandleDecision(handle).status;
+  return shard->cache->stats();
+}
+
+Status CompletenessService::SaveCaches(const std::string& path) const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) shards.push_back(shard);
+  }
+  cache::Snapshot snapshot;
+  for (const std::shared_ptr<Shard>& shard : shards) {
+    if (shard->cache->capacity() == 0) continue;  // nothing cached, ever
+    cache::SnapshotShard image;
+    image.setting_key = shard->setting_key;
+    image.entries = shard->cache->SnapshotEntries();
+    if (image.entries.empty()) continue;
+    snapshot.shards.push_back(std::move(image));
+  }
+  return cache::SaveSnapshot(snapshot, path);
+}
+
+Result<size_t> CompletenessService::LoadCaches(const std::string& path) {
+  Result<cache::Snapshot> snapshot = cache::LoadSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  size_t accepted = 0;
+  for (cache::SnapshotShard& image : snapshot->shards) {
+    std::shared_ptr<Shard> live;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      auto it = handle_by_fingerprint_.find(image.setting_key);
+      if (it == handle_by_fingerprint_.end()) {
+        // Stage for a future RegisterSetting with this fingerprint; a
+        // re-load of the same snapshot replaces the staged entries.
+        pending_warm_[image.setting_key] = std::move(image.entries);
+        ++accepted;
+        continue;
+      }
+      live = shards_.at(it->second);
+    }
+    // A live shard with its cache disabled can never apply the image:
+    // dropped, and NOT counted as accepted.
+    if (live->cache->capacity() == 0) continue;
+    for (auto& [key, decision] : image.entries) {
+      live->cache->Restore(key, std::move(decision));
+    }
+    ++accepted;
+  }
+  return accepted;
 }
 
 Status CompletenessService::ClearCache(SettingHandle handle) {
   std::shared_ptr<Shard> shard = FindShard(handle);
   if (shard == nullptr) return UnknownHandleDecision(handle).status;
-  std::lock_guard<std::mutex> lock(shard->mu);
-  shard->cache.Clear();
+  shard->cache->Clear();
   return Status::OK();
 }
 

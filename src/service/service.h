@@ -3,7 +3,7 @@
 // service hosts a registry of them — one per tenant / master-data snapshot —
 // admitted via RegisterSetting (deduplicated by the stable setting
 // fingerprint, refcounted, evicted by ReleaseSetting). Each registered
-// setting backs a shard owning its PreparedSetting, LRU result cache, and
+// setting backs a shard owning its PreparedSetting, result cache, and
 // counters; handle-carrying requests are routed to their shard and served
 // over ONE worker pool shared by every setting, through four submission
 // paths:
@@ -50,6 +50,18 @@
 // between runs. (The coalesced paths drive cancellation through the sched
 // params; a DecisionRequest's own options.cancel token is honored on the
 // non-coalesced paths only.)
+//
+// Shard caches live in the cache/ subsystem: each shard owns a
+// byte-weighted segmented LRU (cache::ShardCache — probation/protected
+// segments with frequency-sketch admission, so one-shot scans cannot flush
+// a hot working set), every entry is charged its deep byte cost
+// (cache/weigher.h, witnesses included), and ServiceOptions::
+// cache_budget_bytes arbitrates ONE shared byte budget across all shards
+// (coldest shard evicted first, per-shard cache_floor_bytes floors
+// respected). SaveCaches / LoadCaches persist the caches across restarts:
+// a reloaded snapshot warm-starts any setting whose fingerprint matches at
+// RegisterSetting, so a restarted service serves yesterday's decisions as
+// cache hits without re-evaluating anything.
 #ifndef RELCOMP_SERVICE_SERVICE_H_
 #define RELCOMP_SERVICE_SERVICE_H_
 
@@ -63,13 +75,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/budget.h"
+#include "cache/shard_cache.h"
 #include "core/prepared_setting.h"
 #include "sched/cancel.h"
 #include "sched/policy.h"
 #include "sched/queue.h"
 #include "sched/stream.h"
 #include "service/decision.h"
-#include "service/lru_cache.h"
 
 namespace relcomp {
 
@@ -105,9 +118,21 @@ struct ShardOptions {
   /// "Inherit the service-wide default" marker for size fields.
   static constexpr size_t kInherit = static_cast<size_t>(-1);
 
-  /// LRU entries for this shard's result cache; kInherit uses
+  /// Entry capacity for this shard's result cache; kInherit uses
   /// ServiceOptions::cache_capacity, 0 disables memoization for the shard.
+  /// The RESOLVED options returned by shard_options() always report the
+  /// EFFECTIVE capacity: kInherit replaced by the service default, and 0
+  /// whenever memoization is off service-wide (ServiceOptions::memoize =
+  /// false zeroes every shard's capacity at registration), so the reported
+  /// value and the cache's actual behavior cannot disagree.
   size_t cache_capacity = kInherit;
+  /// Starvation floor under the shared byte budget: OTHER shards' budget
+  /// pressure never evicts this shard below this many resident bytes (the
+  /// shard may still shed its own entries past it for its own inserts).
+  /// Meaningful only with ServiceOptions::cache_budget_bytes set; floors
+  /// should sum to well under the budget or over-floor inserts start being
+  /// refused admission.
+  size_t cache_floor_bytes = 0;
   /// Fair-share weight of this tenant (kFairShare policy only): a weight-4
   /// tenant gets 4x the worker time of a weight-1 tenant under contention.
   uint32_t weight = 1;
@@ -130,7 +155,14 @@ struct ShardOptions {
 /// overridden by ShardOptions at registration.
 struct ServiceOptions {
   size_t num_workers = 4;       ///< shared pool; 0 = run everything inline
-  size_t cache_capacity = 1024; ///< LRU entries per shard; 0 disables
+  size_t cache_capacity = 1024; ///< cache entries per shard; 0 disables
+  /// ONE byte budget shared by every shard's result cache (entry costs per
+  /// cache/weigher.h). 0 = unbounded. When an insert would overflow it, the
+  /// CacheBudget arbiter evicts from the globally coldest shard first,
+  /// respecting per-shard cache_floor_bytes — so total resident cache
+  /// bytes never exceed the budget no matter how witness-heavy one
+  /// tenant's results are.
+  size_t cache_budget_bytes = 0;
   bool memoize = true;
   bool coalesce = true;         ///< dedup-aware planning + in-flight joins
   /// Queue order across tenants. kFifo is the legacy strict arrival order;
@@ -266,11 +298,32 @@ class CompletenessService {
   void SubmitStream(const std::vector<ServiceRequest>& requests,
                     const StreamSink& sink);
 
-  /// Per-shard counters; kNotFound after release.
+  /// Per-shard counters; kNotFound after release. The cache-lifecycle
+  /// fields (evictions / admission_rejects / cache_bytes) are overlaid
+  /// from the shard cache's own stats at read time.
   Result<EngineCounters> counters(SettingHandle handle) const;
 
   /// Field-wise sum of every live shard's counters.
   EngineCounters TotalCounters() const;
+
+  /// Cache introspection for one shard: resident entries/bytes, lifetime
+  /// hit ratio at the cache layer (coalesced requests never reach it),
+  /// evictions, admission rejections, and snapshot-restored entries.
+  Result<cache::CacheStats> CacheStats(SettingHandle handle) const;
+
+  /// Snapshots every live shard's result cache to `path` (atomic write,
+  /// versioned + checksummed; see cache/persist.h). Shards with disabled
+  /// caches are skipped. Safe to call while serving.
+  Status SaveCaches(const std::string& path) const;
+
+  /// Loads a snapshot saved by SaveCaches. Entries for already-registered
+  /// settings are restored into their shard caches immediately; the rest
+  /// are staged and restored when a setting with a MATCHING fingerprint
+  /// registers (the warm-start path) — entries whose fingerprint never
+  /// matches (stale master data) are simply never applied. Returns the
+  /// number of setting cache images applied or staged; images matching a
+  /// live shard whose cache is disabled are dropped and not counted.
+  Result<size_t> LoadCaches(const std::string& path);
 
   /// Drops the shard's memoized results (counters are preserved).
   Status ClearCache(SettingHandle handle);
@@ -331,19 +384,23 @@ class CompletenessService {
   /// already routed survive a concurrent ReleaseSetting.
   struct Shard {
     Shard(PreparedSetting prepared_setting, SettingKey key,
-          const ShardOptions& resolved, size_t cache_capacity)
+          const ShardOptions& resolved,
+          std::shared_ptr<cache::ShardCache> shard_cache)
         : prepared(std::move(prepared_setting)),
           setting_key(key),
           options(resolved),
-          cache(cache_capacity) {}
+          cache(std::move(shard_cache)) {}
 
     PreparedSetting prepared;
     const SettingKey setting_key;
     const ShardOptions options;  ///< resolved (no kInherit markers)
     uint64_t refcount = 1;  // guarded by registry_mu_
 
-    mutable std::mutex mu;  // cache + counters + in_flight
-    LruCache<RequestCacheKey, Decision, RequestCacheKeyHash> cache;
+    mutable std::mutex mu;  // counters + in_flight (NOT the cache: it is
+                            // internally synchronized — peer shards shed
+                            // its entries under shared-budget pressure
+                            // without ever taking a shard mutex)
+    const std::shared_ptr<cache::ShardCache> cache;
     EngineCounters counters;
     std::unordered_map<RequestCacheKey, std::shared_ptr<FlightGroup>,
                        RequestCacheKeyHash>
@@ -452,12 +509,26 @@ class CompletenessService {
 
   const ServiceOptions options_;
 
+  // The shared cache-byte arbiter. Declared BEFORE the shard registry:
+  // members destroy in reverse order, and every shard cache deregisters
+  // from the budget in its destructor, so the budget must outlive the
+  // shards. Null when cache_budget_bytes is 0 (unbounded — shards skip
+  // budget accounting entirely).
+  std::unique_ptr<cache::CacheBudget> cache_budget_;
+
   // Registry: handle id → shard, plus the fingerprint dedup index.
   mutable std::mutex registry_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Shard>> shards_;
   std::unordered_map<SettingKey, uint64_t, SettingKeyHash>
       handle_by_fingerprint_;
   uint64_t next_handle_id_ = 1;
+  // Snapshot entries loaded before their setting registered, keyed by the
+  // setting fingerprint they were computed under; applied (and erased) by
+  // the first matching RegisterSetting. Guarded by registry_mu_.
+  std::unordered_map<SettingKey,
+                     std::vector<std::pair<RequestCacheKey, Decision>>,
+                     SettingKeyHash>
+      pending_warm_;
 
   // The scheduler subsystem: a policy-driven multi-tenant queue (tenant =
   // setting shard) feeding the shared worker pool. Workers drain the queue

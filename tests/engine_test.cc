@@ -274,7 +274,12 @@ TEST(EngineTest, ProblemKindNamesRoundTrip) {
   }
 }
 
-TEST(EngineTest, LruEvictionAtCapacityOneCountsMisses) {
+TEST(EngineTest, AdmissionFilterAtCapacityOneProtectsTheHotEntry) {
+  // The shard cache's frequency-sketch admission changes the legacy pure-LRU
+  // story at capacity 1: a ONE-SHOT candidate no longer flushes a hot
+  // resident entry — it must first be seen as often as the victim it would
+  // displace. (The plain LRU eviction-order contract lives on in the
+  // LruCache template tests in cache_test.cc.)
   AuditFixture fx = MakeAuditFixture();
   auto engine = MakeEngine(fx.setting, /*workers=*/0, /*cache=*/1);
 
@@ -286,23 +291,31 @@ TEST(EngineTest, LruEvictionAtCapacityOneCountsMisses) {
   b.query = fx.all_cities;
 
   EXPECT_FALSE(engine->Decide(a).from_cache);  // miss: cache = {A}
-  EXPECT_TRUE(engine->Decide(a).from_cache);   // hit
+  EXPECT_TRUE(engine->Decide(a).from_cache);   // hit: A is now hot
+  // B computes but is refused admission: it has been seen less often than
+  // the resident A it would evict.
+  EXPECT_FALSE(engine->Decide(b).from_cache);  // miss; not cached
+  EXPECT_TRUE(engine->Decide(a).from_cache);   // A survived the one-shot B
+  // A second B matches A's frequency: admitted, displacing A.
   EXPECT_FALSE(engine->Decide(b).from_cache);  // miss: evicts A, cache = {B}
   EXPECT_TRUE(engine->Decide(b).from_cache);   // hit
-  EXPECT_FALSE(engine->Decide(a).from_cache);  // miss again: A was evicted
+  EXPECT_FALSE(engine->Decide(a).from_cache);  // miss: A was evicted
 
   EngineCounters counters = engine->counters();
-  EXPECT_EQ(counters.requests, 5u);
-  EXPECT_EQ(counters.cache_hits, 2u);
-  EXPECT_EQ(counters.cache_misses, 3u);
+  EXPECT_EQ(counters.requests, 7u);
+  EXPECT_EQ(counters.cache_hits, 3u);
+  EXPECT_EQ(counters.cache_misses, 4u);
+  EXPECT_EQ(counters.admission_rejects, 1u);  // B's refused first insert
+  EXPECT_GE(counters.evictions, 1u);          // A displaced by the hot B
+  EXPECT_GT(counters.cache_bytes, 0u);
 
   // ClearCache drops the memoized results but preserves the counters.
   engine->ClearCache();
   EXPECT_FALSE(engine->Decide(a).from_cache);
   counters = engine->counters();
-  EXPECT_EQ(counters.requests, 6u);
-  EXPECT_EQ(counters.cache_hits, 2u);
-  EXPECT_EQ(counters.cache_misses, 4u);
+  EXPECT_EQ(counters.requests, 8u);
+  EXPECT_EQ(counters.cache_hits, 3u);
+  EXPECT_EQ(counters.cache_misses, 5u);
 }
 
 TEST(EngineTest, CapacityZeroNeverHitsAndStillCountsWork) {

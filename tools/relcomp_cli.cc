@@ -60,6 +60,14 @@ struct CliOptions {
   size_t default_max_queue = 0;  // 0 = unbounded
   std::vector<uint32_t> weights;     // parallel to setting_files
   std::vector<size_t> max_queues;    // parallel to setting_files
+  // Cache lifecycle knobs. --cache-floor binds to the most recent --setting
+  // (or sets the default), like --weight.
+  size_t cache_budget_bytes = 0;  // 0 = unbounded
+  size_t default_cache_floor = 0;
+  std::vector<size_t> cache_floors;  // parallel to setting_files
+  std::string cache_save;  // snapshot path written after the batch
+  std::string cache_load;  // snapshot path loaded before registration
+  bool cache_stats = false;
 };
 
 /// One registered setting and its share of the workload.
@@ -233,6 +241,7 @@ int main(int argc, char** argv) {
       cli.setting_files.push_back(next("--setting"));
       cli.weights.push_back(cli.default_weight);
       cli.max_queues.push_back(cli.default_max_queue);
+      cli.cache_floors.push_back(cli.default_cache_floor);
     } else if (arg == "--weight") {
       const size_t weight = ParseCount("--weight", next("--weight"));
       if (cli.weights.empty()) {
@@ -290,6 +299,22 @@ int main(int argc, char** argv) {
       cli.checkpoint_set = true;
     } else if (arg == "--stream") {
       cli.stream = true;
+    } else if (arg == "--cache-budget-bytes") {
+      cli.cache_budget_bytes =
+          ParseCount("--cache-budget-bytes", next("--cache-budget-bytes"));
+    } else if (arg == "--cache-floor") {
+      const size_t floor = ParseCount("--cache-floor", next("--cache-floor"));
+      if (cli.cache_floors.empty()) {
+        cli.default_cache_floor = floor;
+      } else {
+        cli.cache_floors.back() = floor;
+      }
+    } else if (arg == "--cache-save") {
+      cli.cache_save = next("--cache-save");
+    } else if (arg == "--cache-load") {
+      cli.cache_load = next("--cache-load");
+    } else if (arg == "--cache-stats") {
+      cli.cache_stats = true;
     } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
@@ -351,7 +376,23 @@ int main(int argc, char** argv) {
           "                    search loops (rounded to a power of two;\n"
           "                    0 disables mid-run aborting)\n"
           "  --stream          deliver decisions incrementally as they\n"
-          "                    complete (SubmitStream) instead of one batch\n",
+          "                    complete (SubmitStream) instead of one batch\n"
+          "cache lifecycle:\n"
+          "  --cache-budget-bytes N\n"
+          "                    ONE byte budget shared by every setting's\n"
+          "                    cache (witness-weighted entries; coldest\n"
+          "                    shard evicted first); 0 = unbounded\n"
+          "  --cache-floor N   byte floor of the preceding --setting: peer\n"
+          "                    budget pressure never evicts it below this\n"
+          "                    (before any --setting: default for all)\n"
+          "  --cache-load F    load a cache snapshot before registration;\n"
+          "                    settings with matching fingerprints warm-\n"
+          "                    start and serve prior decisions as hits\n"
+          "  --cache-save F    snapshot every setting's cache to F after\n"
+          "                    the batch (versioned, checksummed, atomic)\n"
+          "  --cache-stats     print per-setting cache stats (entries,\n"
+          "                    bytes, hit ratio, evictions, admission\n"
+          "                    rejects, restored entries)\n",
           kinds.c_str(),
           static_cast<unsigned long long>(SearchOptions::kDefaultMaxSteps));
       return 0;
@@ -368,6 +409,7 @@ int main(int argc, char** argv) {
     cli.setting_files.push_back(cli.files[0]);
     cli.weights.push_back(cli.default_weight);
     cli.max_queues.push_back(cli.default_max_queue);
+    cli.cache_floors.push_back(cli.default_cache_floor);
     query_files.erase(query_files.begin());
   }
   if (cli.repeat == 0) cli.repeat = 1;
@@ -381,18 +423,30 @@ int main(int argc, char** argv) {
   ServiceOptions service_options;
   service_options.num_workers = cli.workers;
   service_options.cache_capacity = cli.cache;
+  service_options.cache_budget_bytes = cli.cache_budget_bytes;
   service_options.memoize = cli.cache > 0;
   service_options.policy = cli.policy;
   service_options.overload = cli.overload;
   service_options.default_max_queue = cli.default_max_queue;
 
   CompletenessService service(service_options);
+  // Warm start BEFORE registration: staged snapshot entries are replayed
+  // into each matching setting's cache as it registers.
+  if (!cli.cache_load.empty()) {
+    Result<size_t> staged = service.LoadCaches(cli.cache_load);
+    if (!staged.ok()) {
+      return Fail(cli.cache_load + ": " + staged.status().ToString());
+    }
+    std::printf("cache snapshot '%s': %zu setting image(s) staged\n",
+                cli.cache_load.c_str(), *staged);
+  }
   auto prep_start = std::chrono::steady_clock::now();
   for (size_t s = 0; s < loads.size(); ++s) {
     SettingWorkload& load = loads[s];
     ShardOptions shard_options;
     shard_options.weight = cli.weights[s];
     shard_options.max_queue = cli.max_queues[s];
+    shard_options.cache_floor_bytes = cli.cache_floors[s];
     Result<SettingHandle> handle =
         service.RegisterSetting(load.setting, shard_options);
     if (!handle.ok()) {
@@ -544,8 +598,44 @@ int main(int argc, char** argv) {
       std::printf("  counters[%s]  %s\n", files.c_str(),
                   counters->ToString().c_str());
     }
+    // The EFFECTIVE per-setting cache configuration (kInherit resolved,
+    // zeroed when memoization is off) — what the shard actually runs with.
+    Result<ShardOptions> resolved = service.shard_options(load.handle);
+    if (resolved.ok()) {
+      std::printf("  cache[%s]  capacity=%zu floor_bytes=%zu",
+                  files.c_str(), resolved->cache_capacity,
+                  resolved->cache_floor_bytes);
+      if (cli.cache_stats) {
+        Result<cache::CacheStats> stats = service.CacheStats(load.handle);
+        if (stats.ok()) {
+          std::printf(
+              " entries=%llu bytes=%llu hit_ratio=%.3f evictions=%llu "
+              "admission_rejects=%llu restored=%llu",
+              static_cast<unsigned long long>(stats->entries),
+              static_cast<unsigned long long>(stats->bytes),
+              stats->hit_ratio(),
+              static_cast<unsigned long long>(stats->evictions),
+              static_cast<unsigned long long>(stats->admission_rejects),
+              static_cast<unsigned long long>(stats->restored));
+        }
+      }
+      std::printf("\n");
+    }
   }
   std::printf("  counters     %s\n", service.TotalCounters().ToString().c_str());
+  if (cli.cache_budget_bytes != 0 || cli.cache_stats) {
+    const EngineCounters total = service.TotalCounters();
+    std::printf("  cache budget %zu bytes shared, %llu resident\n",
+                cli.cache_budget_bytes,
+                static_cast<unsigned long long>(total.cache_bytes));
+  }
+  if (!cli.cache_save.empty()) {
+    Status saved = service.SaveCaches(cli.cache_save);
+    if (!saved.ok()) {
+      return Fail(cli.cache_save + ": " + saved.ToString());
+    }
+    std::printf("  cache snapshot written to '%s'\n", cli.cache_save.c_str());
+  }
 
   if (cli.compare) {
     auto cold_start = std::chrono::steady_clock::now();

@@ -150,7 +150,8 @@ void BM_Engine_MemoizedBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_Engine_MemoizedBatch)->Arg(256)->Arg(2048)->Arg(8192);
 
-void RunServiceBatch(benchmark::State& state, size_t cache_capacity) {
+void RunServiceBatch(benchmark::State& state, size_t cache_capacity,
+                     bool metrics = true) {
   PartiallyClosedSetting setting =
       MakeAuditSetting(static_cast<int>(state.range(0)));
   CInstance audited = MakeAuditedInstance(setting.schema);
@@ -160,6 +161,7 @@ void RunServiceBatch(benchmark::State& state, size_t cache_capacity) {
   options.num_workers = 4;
   options.cache_capacity = cache_capacity;
   options.memoize = cache_capacity > 0;
+  options.metrics = metrics;
   CompletenessService service(options);
   Result<SettingHandle> handle = service.RegisterSetting(setting);
   if (!handle.ok()) {
@@ -183,6 +185,15 @@ void BM_Service_MemoizedBatch(benchmark::State& state) {
   RunServiceBatch(state, /*cache_capacity=*/1024);
 }
 BENCHMARK(BM_Service_MemoizedBatch)->Arg(256)->Arg(2048)->Arg(8192);
+
+/// The A/B baseline for instrumentation overhead: identical to
+/// BM_Service_WarmBatch but with every metric instrument stripped
+/// (ServiceOptions::metrics = false). The warm-batch medians of the two
+/// should stay within ~2% of each other.
+void BM_Service_WarmBatch_NoObs(benchmark::State& state) {
+  RunServiceBatch(state, /*cache_capacity=*/0, /*metrics=*/false);
+}
+BENCHMARK(BM_Service_WarmBatch_NoObs)->Arg(256)->Arg(2048)->Arg(8192);
 
 /// The async front door, memoized: submit the whole workload as futures and
 /// drain them — the per-request promise/queue overhead on top of memo.

@@ -87,6 +87,12 @@ void ShardCache::AttachBudget(CacheBudget* budget,
   budget_id_ = budget->Register(self, floor_bytes);
 }
 
+void ShardCache::AttachEvents(const CacheEventSink& events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = events;
+  PublishGaugesLocked();
+}
+
 bool ShardCache::Get(const RequestCacheKey& key, Decision* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.max_entries == 0) return false;
@@ -94,6 +100,7 @@ bool ShardCache::Get(const RequestCacheKey& key, Decision* out) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    if (events_.misses != nullptr) events_.misses->Inc();
     return false;
   }
   Entry& entry = *it->second;
@@ -104,6 +111,7 @@ bool ShardCache::Get(const RequestCacheKey& key, Decision* out) {
     PromoteLocked(it->second);
   }
   ++hits_;
+  if (events_.hits != nullptr) events_.hits->Inc();
   *out = entry.value;
   PublishColdnessLocked();
   return true;
@@ -133,6 +141,7 @@ bool ShardCache::PutInternal(const RequestCacheKey& key, Decision value,
   if (budget_ != nullptr && !ReserveBudget(entry_bytes)) {
     std::lock_guard<std::mutex> lock(mu_);
     ++admission_rejects_;
+    if (events_.admission_rejects != nullptr) events_.admission_rejects->Inc();
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -151,6 +160,9 @@ bool ShardCache::PutInternal(const RequestCacheKey& key, Decision value,
       if (victim != nullptr &&
           sketch_.Estimate(key_hash) < sketch_.Estimate(KeyHash(victim->key))) {
         ++admission_rejects_;
+        if (events_.admission_rejects != nullptr) {
+          events_.admission_rejects->Inc();
+        }
         if (budget_ != nullptr) budget_->Release(budget_id_, entry_bytes);
         return false;
       }
@@ -168,6 +180,7 @@ bool ShardCache::PutInternal(const RequestCacheKey& key, Decision value,
   if (restore) ++restored_;
   EnforceProtectedCapLocked();  // evictions above may have shrunk bytes_
   PublishColdnessLocked();
+  PublishGaugesLocked();
   return true;
 }
 
@@ -220,6 +233,7 @@ size_t ShardCache::ShedBytes(size_t target_bytes, size_t floor_bytes) {
   // left all-protected (every future insert would be its own next victim).
   EnforceProtectedCapLocked();
   PublishColdnessLocked();
+  PublishGaugesLocked();
   return freed;
 }
 
@@ -232,6 +246,7 @@ void ShardCache::Clear() {
   bytes_ = 0;
   protected_bytes_ = 0;
   PublishColdnessLocked();
+  PublishGaugesLocked();
 }
 
 std::vector<std::pair<RequestCacheKey, Decision>> ShardCache::SnapshotEntries()
@@ -312,6 +327,7 @@ size_t ShardCache::EvictOneLocked() {
   const size_t freed = victim->bytes;
   RemoveLocked(victim);
   ++evictions_;
+  if (events_.evictions != nullptr) events_.evictions->Inc();
   return freed;
 }
 
@@ -338,6 +354,15 @@ void ShardCache::PublishColdnessLocked() {
     coldest = protected_.back().touch;
   }
   budget_->UpdateColdness(budget_id_, coldest);
+}
+
+void ShardCache::PublishGaugesLocked() {
+  if (events_.resident_bytes != nullptr) {
+    events_.resident_bytes->Set(static_cast<int64_t>(bytes_));
+  }
+  if (events_.resident_entries != nullptr) {
+    events_.resident_entries->Set(static_cast<int64_t>(index_.size()));
+  }
 }
 
 }  // namespace cache

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cache/budget.h"
+#include "obs/metrics.h"
 #include "service/decision.h"
 
 namespace relcomp {
@@ -90,6 +91,20 @@ struct CacheStats {
   }
 };
 
+/// Live metric instruments the cache reports events into, alongside its
+/// own cumulative CacheStats. All pointers optional (null = unreported)
+/// and externally owned (a MetricsRegistry's; must outlive the cache).
+/// Counters fire at the event site; gauges are republished after every
+/// mutation, so scrapes see resident bytes/entries without polling stats().
+struct CacheEventSink {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Counter* admission_rejects = nullptr;
+  obs::Gauge* resident_bytes = nullptr;
+  obs::Gauge* resident_entries = nullptr;
+};
+
 struct ShardCacheOptions {
   /// Entry-count capacity (the legacy LruCache bound, still enforced);
   /// 0 disables the cache entirely — Put stores nothing, Get always misses.
@@ -115,6 +130,10 @@ class ShardCache {
   /// cache; the destructor deregisters.
   void AttachBudget(CacheBudget* budget, const std::shared_ptr<ShardCache>& self,
                     size_t floor_bytes);
+
+  /// Points cache events at live metric instruments. Call before the cache
+  /// is shared across threads (typically right after construction).
+  void AttachEvents(const CacheEventSink& events);
 
   /// Copies the cached decision into `*out` and refreshes its recency
   /// (second touch promotes probation → protected). False on miss.
@@ -175,11 +194,14 @@ class ShardCache {
   void RemoveLocked(EntryList::iterator it);
   /// Coldest resident stamp → budget registration (lock-free store).
   void PublishColdnessLocked();
+  /// Resident bytes/entries → the event sink's gauges.
+  void PublishGaugesLocked();
   const Entry* VictimLocked() const;
 
   const ShardCacheOptions options_;
   CacheBudget* budget_ = nullptr;
   uint64_t budget_id_ = 0;
+  CacheEventSink events_;
 
   mutable std::mutex mu_;
   EntryList probation_;

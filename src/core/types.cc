@@ -31,12 +31,18 @@ SearchCheckpoint::SearchCheckpoint(const SearchOptions& options,
       mask_(PollMask(options.checkpoint_interval)),
       poll_(options.checkpoint_interval > 0 &&
             (options.cancel.valid() || options.shared_deadline != nullptr ||
+             options.progress != nullptr ||
              options.deadline !=
                  std::chrono::steady_clock::time_point::max())),
       deadline_(options.deadline),
       shared_deadline_(options.shared_deadline),
       cancel_(options.cancel),
-      what_(what) {}
+      progress_(options.progress),
+      what_(what) {
+  // Announce the loop's start so an observer sees which search phase is
+  // running even before the first poll interval elapses.
+  if (progress_ != nullptr && *progress_) (*progress_)(what_, 0);
+}
 
 Status SearchCheckpoint::Exhausted() const {
   return Status::ResourceExhausted(std::string(what_) +
@@ -44,6 +50,7 @@ Status SearchCheckpoint::Exhausted() const {
 }
 
 Status SearchCheckpoint::Poll() const {
+  if (progress_ != nullptr && *progress_) (*progress_)(what_, steps_);
   if (cancel_.cancelled()) {
     return Status::Cancelled(std::string(what_) +
                              " aborted at a checkpoint: cancelled");

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ctable/cinstance.h"
@@ -63,6 +64,16 @@ struct SearchOptions {
   /// interval bounds worst-case abort latency; 0 disables mid-run polling
   /// entirely (the pre-checkpoint behavior — the step budget still holds).
   uint64_t checkpoint_interval = 4096;
+  /// Observation hook invoked from the checkpoint's cold path: once when a
+  /// search loop starts (steps == 0) and again at every poll, with the
+  /// loop's `what` phrase and the steps charged so far. The service points
+  /// this at a sampled trace to turn checkpoint polls into evaluation-phase
+  /// progress marks. Must be cheap-ish (it runs every checkpoint_interval
+  /// steps) and must outlive the search; nullptr = no observation. Not part
+  /// of the request cache key — observers never change answers.
+  using SearchProgressFn = std::function<void(const char* what,
+                                              uint64_t steps)>;
+  const SearchProgressFn* progress = nullptr;
 };
 
 /// Amortized cooperative checkpoint threaded through every long enumeration
@@ -100,6 +111,7 @@ class SearchCheckpoint {
   std::chrono::steady_clock::time_point deadline_;
   const std::atomic<std::chrono::steady_clock::rep>* shared_deadline_;
   CancelToken cancel_;
+  const SearchOptions::SearchProgressFn* progress_;
   const char* what_;
 };
 

@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace relcomp {
+namespace obs {
+
+namespace {
+
+// Prometheus label values escape backslash, double-quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// JSON string escaping for the small character set metric names/labels use.
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// {a="1",b="2"} — empty string for an empty label set.
+std::string PromLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, but with an extra label appended (Prometheus histogram `le`).
+std::string PromLabelsWith(const LabelSet& labels, const std::string& key,
+                           const std::string& value) {
+  LabelSet extended = labels;
+  extended.emplace_back(key, value);
+  return PromLabels(extended);
+}
+
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + EscapeJson(key) + "\":\"" + EscapeJson(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void MetricsDump::AddCounter(const std::string& name, const LabelSet& labels,
+                             uint64_t value, const std::string& help) {
+  Row row;
+  row.type = RowType::kCounter;
+  row.name = name;
+  row.labels = labels;
+  row.help = help;
+  row.scalar = static_cast<int64_t>(value);
+  rows_.push_back(std::move(row));
+}
+
+void MetricsDump::AddGauge(const std::string& name, const LabelSet& labels,
+                           int64_t value, const std::string& help) {
+  Row row;
+  row.type = RowType::kGauge;
+  row.name = name;
+  row.labels = labels;
+  row.help = help;
+  row.scalar = value;
+  rows_.push_back(std::move(row));
+}
+
+void MetricsDump::AddHistogram(const std::string& name, const LabelSet& labels,
+                               const HistogramData& data,
+                               const std::string& help) {
+  Row row;
+  row.type = RowType::kHistogram;
+  row.name = name;
+  row.labels = labels;
+  row.help = help;
+  row.data = data;
+  rows_.push_back(std::move(row));
+}
+
+std::string MetricsDump::Render(DumpFormat format) const {
+  return format == DumpFormat::kPrometheus ? RenderPrometheus() : RenderJson();
+}
+
+std::string MetricsDump::RenderPrometheus() const {
+  std::ostringstream out;
+  std::string last_family;
+  for (const Row& row : rows_) {
+    if (row.name != last_family) {
+      last_family = row.name;
+      if (!row.help.empty()) {
+        out << "# HELP " << row.name << " " << row.help << "\n";
+      }
+      const char* type = row.type == RowType::kCounter   ? "counter"
+                         : row.type == RowType::kGauge   ? "gauge"
+                                                         : "histogram";
+      out << "# TYPE " << row.name << " " << type << "\n";
+    }
+    switch (row.type) {
+      case RowType::kCounter:
+        out << row.name << PromLabels(row.labels) << " "
+            << static_cast<uint64_t>(row.scalar) << "\n";
+        break;
+      case RowType::kGauge:
+        out << row.name << PromLabels(row.labels) << " " << row.scalar
+            << "\n";
+        break;
+      case RowType::kHistogram: {
+        // Cumulative le-buckets at each power-of-two upper bound; empty
+        // trailing buckets collapse into +Inf.
+        uint64_t cumulative = 0;
+        int highest = -1;
+        for (int i = 0; i < HistogramData::kNumBuckets; ++i) {
+          if (row.data.buckets[i] != 0) highest = i;
+        }
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += row.data.buckets[i];
+          out << row.name << "_bucket"
+              << PromLabelsWith(row.labels, "le",
+                                std::to_string(
+                                    HistogramData::BucketUpperBound(i)))
+              << " " << cumulative << "\n";
+        }
+        out << row.name << "_bucket"
+            << PromLabelsWith(row.labels, "le", "+Inf") << " "
+            << row.data.count << "\n";
+        out << row.name << "_sum" << PromLabels(row.labels) << " "
+            << row.data.sum << "\n";
+        out << row.name << "_count" << PromLabels(row.labels) << " "
+            << row.data.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsDump::RenderJson() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Row& row : rows_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\":\"" << EscapeJson(row.name) << "\",\"labels\":"
+        << JsonLabels(row.labels);
+    switch (row.type) {
+      case RowType::kCounter:
+        out << ",\"type\":\"counter\",\"value\":"
+            << static_cast<uint64_t>(row.scalar);
+        break;
+      case RowType::kGauge:
+        out << ",\"type\":\"gauge\",\"value\":" << row.scalar;
+        break;
+      case RowType::kHistogram:
+        out << ",\"type\":\"histogram\",\"count\":" << row.data.count
+            << ",\"sum\":" << row.data.sum
+            << ",\"p50\":" << static_cast<uint64_t>(row.data.Quantile(0.50))
+            << ",\"p95\":" << static_cast<uint64_t>(row.data.Quantile(0.95))
+            << ",\"p99\":" << static_cast<uint64_t>(row.data.Quantile(0.99))
+            << ",\"max\":" << row.data.max;
+        break;
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
+    const std::string& name, LabelSet labels, const std::string& help,
+    FamilyType type) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [family_it, family_inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (family_inserted) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    return nullptr;  // name already claimed by a different metric type
+  }
+  Instrument& instrument = family.instruments[std::move(labels)];
+  switch (type) {
+    case FamilyType::kCounter:
+      if (!instrument.counter) instrument.counter = std::make_unique<Counter>();
+      break;
+    case FamilyType::kGauge:
+      if (!instrument.gauge) instrument.gauge = std::make_unique<Gauge>();
+      break;
+    case FamilyType::kHistogram:
+      if (!instrument.histogram) {
+        instrument.histogram = std::make_unique<Histogram>();
+      }
+      break;
+  }
+  return &instrument;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, LabelSet labels,
+                                     const std::string& help) {
+  Instrument* instrument =
+      GetInstrument(name, std::move(labels), help, FamilyType::kCounter);
+  return instrument ? instrument->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, LabelSet labels,
+                                 const std::string& help) {
+  Instrument* instrument =
+      GetInstrument(name, std::move(labels), help, FamilyType::kGauge);
+  return instrument ? instrument->gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         LabelSet labels,
+                                         const std::string& help) {
+  Instrument* instrument =
+      GetInstrument(name, std::move(labels), help, FamilyType::kHistogram);
+  return instrument ? instrument->histogram.get() : nullptr;
+}
+
+void MetricsRegistry::DumpInto(MetricsDump* dump) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, instrument] : family.instruments) {
+      switch (family.type) {
+        case FamilyType::kCounter:
+          dump->AddCounter(name, labels, instrument.counter->value(),
+                           family.help);
+          break;
+        case FamilyType::kGauge:
+          dump->AddGauge(name, labels, instrument.gauge->value(), family.help);
+          break;
+        case FamilyType::kHistogram:
+          dump->AddHistogram(name, labels, instrument.histogram->Snapshot(),
+                             family.help);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace relcomp

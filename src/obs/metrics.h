@@ -1,0 +1,137 @@
+// Metrics registry: named, labeled families of counters, gauges, and
+// log-bucketed histograms, plus exposition in Prometheus text format and
+// JSON.
+//
+// Design:
+//  - A *family* is a metric name + help string + type; within a family,
+//    each distinct label set owns one instrument. Instruments are created
+//    on first use and live as long as the registry — GetCounter/GetGauge/
+//    GetHistogram return stable raw pointers, so hot paths hold the
+//    pointer and never touch the registry (or its mutex) again.
+//  - Instruments themselves are lock-free (relaxed atomics); the registry
+//    mutex guards only creation and dump-time iteration.
+//  - Exposition is split in two: the registry (or any other source, e.g.
+//    derived per-tenant counters) writes rows into a MetricsDump, and the
+//    dump renders itself as Prometheus text or JSON. Histogram JSON carries
+//    explicit p50/p95/p99 so dashboards don't need to re-derive quantiles.
+#ifndef RELCOMP_OBS_METRICS_H_
+#define RELCOMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace relcomp {
+namespace obs {
+
+/// Monotonic counter; relaxed atomic increments.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (e.g. in-flight requests, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Sorted (key, value) pairs; the identity of an instrument within a
+/// family. Keep label sets small — they are compared lexicographically on
+/// every registry lookup (but hot paths cache the instrument pointer).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class DumpFormat { kPrometheus, kJson };
+
+/// An exposition staging area: flat rows of (name, labels, value/data)
+/// that render as Prometheus text or JSON. Populated by
+/// MetricsRegistry::DumpInto plus any derived metrics the caller adds.
+class MetricsDump {
+ public:
+  void AddCounter(const std::string& name, const LabelSet& labels,
+                  uint64_t value, const std::string& help = "");
+  void AddGauge(const std::string& name, const LabelSet& labels,
+                int64_t value, const std::string& help = "");
+  void AddHistogram(const std::string& name, const LabelSet& labels,
+                    const HistogramData& data, const std::string& help = "");
+
+  std::string Render(DumpFormat format) const;
+
+ private:
+  enum class RowType { kCounter, kGauge, kHistogram };
+  struct Row {
+    RowType type;
+    std::string name;
+    LabelSet labels;
+    std::string help;
+    int64_t scalar = 0;  // counter (as unsigned) or gauge value
+    HistogramData data;  // histogram rows only
+  };
+
+  std::string RenderPrometheus() const;
+  std::string RenderJson() const;
+
+  std::vector<Row> rows_;
+};
+
+/// The registry. Thread-safe; instrument pointers are valid for the life
+/// of the registry. A name used with one type cannot be reused with
+/// another — mismatched lookups return nullptr (callers treat a null
+/// instrument as "metrics off" rather than crashing a serving path).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, LabelSet labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, LabelSet labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, LabelSet labels = {},
+                          const std::string& help = "");
+
+  /// Writes every registered instrument into `dump`, families in name
+  /// order, instruments in label order.
+  void DumpInto(MetricsDump* dump) const;
+
+ private:
+  enum class FamilyType { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    FamilyType type;
+    std::string help;
+    std::map<LabelSet, Instrument> instruments;
+  };
+
+  Instrument* GetInstrument(const std::string& name, LabelSet labels,
+                            const std::string& help, FamilyType type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace obs
+}  // namespace relcomp
+
+#endif  // RELCOMP_OBS_METRICS_H_

@@ -1,0 +1,48 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+
+namespace relcomp {
+namespace obs {
+
+void SlowDecisionLog::Configure(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+}
+
+void SlowDecisionLog::Offer(std::shared_ptr<const Trace> trace) {
+  if (!trace || !trace->finished()) return;
+  const uint64_t total = trace->total_micros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  if (entries_.size() >= capacity_ &&
+      total <= entries_.back()->total_micros()) {
+    return;  // not slower than the fastest kept entry
+  }
+  auto at = std::upper_bound(
+      entries_.begin(), entries_.end(), total,
+      [](uint64_t t, const std::shared_ptr<const Trace>& e) {
+        return t > e->total_micros();
+      });
+  entries_.insert(at, std::move(trace));
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<std::shared_ptr<const Trace>> SlowDecisionLog::Worst() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+size_t SlowDecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t SlowDecisionLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+}  // namespace obs
+}  // namespace relcomp

@@ -1,0 +1,46 @@
+// Slow-decision log: a bounded record of the N worst (slowest end-to-end)
+// finished traces, queryable through the service API. The point is
+// post-hoc debugging — when a tenant reports tail latency, the slow log
+// already holds the span timelines of the worst offenders without anyone
+// having had to reproduce the problem.
+#ifndef RELCOMP_OBS_SLOWLOG_H_
+#define RELCOMP_OBS_SLOWLOG_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace relcomp {
+namespace obs {
+
+class SlowDecisionLog {
+ public:
+  /// capacity 0 disables the log (Offer becomes a cheap no-op).
+  void Configure(size_t capacity);
+
+  /// Considers a finished trace for the log: kept if the log has room or
+  /// the trace is slower than the current fastest entry. Unfinished
+  /// traces are ignored.
+  void Offer(std::shared_ptr<const Trace> trace);
+
+  /// Entries sorted slowest-first.
+  std::vector<std::shared_ptr<const Trace>> Worst() const;
+
+  size_t size() const;
+  size_t capacity() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  // Kept sorted slowest-first; at most capacity_ entries, so insertion is
+  // O(capacity) — fine for the small N this log is meant for.
+  std::vector<std::shared_ptr<const Trace>> entries_;
+};
+
+}  // namespace obs
+}  // namespace relcomp
+
+#endif  // RELCOMP_OBS_SLOWLOG_H_

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace relcomp {
+namespace obs {
+
+Trace::Trace(uint64_t id, TraceTime start) : id_(id), start_(start) {}
+
+uint64_t Trace::MicrosSinceStart(TraceTime now) const {
+  if (now <= start_) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+          .count());
+}
+
+void Trace::Phase(const std::string& name, TraceTime now) {
+  const uint64_t at = MicrosSinceStart(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (open_phase_) {
+    if (spans_.size() < kMaxSpans) {
+      TraceSpan span;
+      span.name = phase_name_;
+      span.start_micros = phase_start_micros_;
+      span.end_micros = at;
+      span.note = phase_note_;
+      spans_.push_back(std::move(span));
+    } else {
+      ++dropped_;
+    }
+  }
+  open_phase_ = true;
+  phase_name_ = name;
+  phase_note_.clear();
+  phase_start_micros_ = at;
+}
+
+void Trace::Mark(const std::string& name, const std::string& note,
+                 TraceTime now) {
+  const uint64_t at = MicrosSinceStart(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  TraceSpan mark;
+  mark.name = name;
+  mark.start_micros = at;
+  mark.end_micros = at;
+  mark.note = note;
+  spans_.push_back(std::move(mark));
+}
+
+void Trace::AnnotatePhase(const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_ || !open_phase_) return;
+  phase_note_ = note;
+}
+
+void Trace::Finish(const std::string& outcome, TraceTime now) {
+  const uint64_t at = MicrosSinceStart(now);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  if (open_phase_) {
+    if (spans_.size() < kMaxSpans) {
+      TraceSpan span;
+      span.name = phase_name_;
+      span.start_micros = phase_start_micros_;
+      span.end_micros = at;
+      span.note = phase_note_;
+      spans_.push_back(std::move(span));
+    } else {
+      ++dropped_;
+    }
+    open_phase_ = false;
+  }
+  finished_ = true;
+  outcome_ = outcome;
+  total_micros_ = at;
+}
+
+bool Trace::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::string Trace::outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcome_;
+}
+
+uint64_t Trace::total_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_micros_;
+}
+
+std::vector<TraceSpan> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Trace::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string Trace::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "trace#" << id_;
+  if (finished_) {
+    out << " outcome=" << outcome_ << " total=" << total_micros_ << "us";
+  } else {
+    out << " (running)";
+  }
+  for (const TraceSpan& span : spans_) {
+    out << "\n  [" << span.start_micros << ".." << span.end_micros << "us] "
+        << span.name;
+    if (!span.note.empty()) out << " (" << span.note << ")";
+  }
+  if (open_phase_) {
+    out << "\n  [" << phase_start_micros_ << "..us] " << phase_name_
+        << " (open)";
+  }
+  if (dropped_ > 0) out << "\n  (+" << dropped_ << " spans dropped)";
+  return out.str();
+}
+
+std::shared_ptr<Trace> Tracer::MaybeTrace(TraceTime now) {
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return nullptr;
+  const uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed);
+  if (n % every != 0) return nullptr;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<Trace>(
+      next_id_.fetch_add(1, std::memory_order_relaxed), now);
+}
+
+}  // namespace obs
+}  // namespace relcomp

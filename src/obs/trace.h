@@ -1,0 +1,135 @@
+// Request tracing: a sampled per-request timeline of named spans.
+//
+// A Trace is a *phase machine*: the request is always in exactly one phase,
+// and Phase("next") both closes the current span and opens the next one at
+// the same instant. Because consecutive spans share their boundary
+// timestamp, span durations sum to exactly the trace's end-to-end total —
+// no gaps, no overlaps — which is what lets tests (and operators) check a
+// timeline against the recorded latency instead of eyeballing it.
+//
+// Marks are zero-width events inside the current phase (e.g. evaluation
+// progress checkpoints); they record a timestamp and note without touching
+// phase accounting.
+//
+// Traces are shared objects: a coalesced flight group's owner publishes its
+// run trace, and every waiter's own trace records the id of the run it
+// joined. All mutators take a mutex — traces are *sampled* (1-in-N), so
+// this is off the un-sampled hot path entirely.
+//
+// Every time-taking method accepts an optional explicit TimePoint so tests
+// can drive deterministic timelines; production callers omit it.
+#ifndef RELCOMP_OBS_TRACE_H_
+#define RELCOMP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace relcomp {
+namespace obs {
+
+using TraceClock = std::chrono::steady_clock;
+using TraceTime = TraceClock::time_point;
+
+/// One closed span: [start_micros, end_micros) relative to the trace start.
+/// Marks are spans with start == end.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_micros = 0;
+  uint64_t end_micros = 0;
+  std::string note;
+
+  uint64_t duration_micros() const { return end_micros - start_micros; }
+};
+
+class Trace {
+ public:
+  /// Spans beyond this cap are counted in dropped_spans() instead of
+  /// stored, bounding memory for pathological phase churn.
+  static constexpr size_t kMaxSpans = 96;
+
+  Trace(uint64_t id, TraceTime start);
+
+  uint64_t id() const { return id_; }
+
+  /// Closes the current phase (if any) and opens `name` at `now`. The
+  /// shared boundary is what makes span durations sum to the total.
+  void Phase(const std::string& name, TraceTime now = TraceClock::now());
+
+  /// Zero-width event inside the current phase.
+  void Mark(const std::string& name, const std::string& note = "",
+            TraceTime now = TraceClock::now());
+
+  /// Attaches/overwrites the note on the currently open phase.
+  void AnnotatePhase(const std::string& note);
+
+  /// Closes the final phase and seals the trace. Idempotent: the first
+  /// Finish wins (a coalesced decision can reach two delivery paths).
+  void Finish(const std::string& outcome, TraceTime now = TraceClock::now());
+
+  bool finished() const;
+  std::string outcome() const;
+  /// Total end-to-end duration; 0 until finished.
+  uint64_t total_micros() const;
+  /// Snapshot of the recorded spans (marks included, in order).
+  std::vector<TraceSpan> spans() const;
+  size_t dropped_spans() const;
+
+  /// Human timeline, one line per span:
+  ///   trace#7 outcome=ok total=1234us
+  ///     [0..12us] admit
+  ///     [12..90us] queue
+  ///     ...
+  std::string ToString() const;
+
+ private:
+  uint64_t MicrosSinceStart(TraceTime now) const;
+
+  const uint64_t id_;
+  const TraceTime start_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  size_t dropped_ = 0;
+  bool open_phase_ = false;       // spans_.back() is the running phase
+  uint64_t phase_start_micros_ = 0;
+  std::string phase_name_;
+  std::string phase_note_;
+  bool finished_ = false;
+  std::string outcome_;
+  uint64_t total_micros_ = 0;
+};
+
+/// Sampling gate: hands out a fresh Trace for 1 in every `sample_every`
+/// requests (0 = tracing off). Cheap when off — one relaxed load.
+class Tracer {
+ public:
+  void Configure(uint64_t sample_every) {
+    sample_every_.store(sample_every, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// nullptr when this request is not sampled.
+  std::shared_ptr<Trace> MaybeTrace(TraceTime now = TraceClock::now());
+
+  uint64_t sampled() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> sample_every_{0};
+  std::atomic<uint64_t> seen_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace obs
+}  // namespace relcomp
+
+#endif  // RELCOMP_OBS_TRACE_H_

@@ -83,6 +83,8 @@ std::chrono::nanoseconds FairQueue::TakeToken(Tenant& tenant, TimePoint now) {
 
 bool FairQueue::Push(Task&& task) {
   std::unique_lock<std::mutex> lock(mu_);
+  TimePoint blocked_since{};
+  bool blocked = false;
   for (;;) {
     if (shutdown_) return false;
     Tenant& tenant = TenantFor(task.tenant);
@@ -92,6 +94,12 @@ bool FairQueue::Push(Task&& task) {
       if (token_wait.count() == 0) {
         // Admitted.
         task.enqueued = Clock::now();
+        if (blocked && token_wait_hist_ != nullptr) {
+          token_wait_hist_->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  task.enqueued - blocked_since)
+                  .count()));
+        }
         const size_t lane = static_cast<size_t>(task.priority);
         const bool was_idle = tenant.queued == 0;
         ++tenant.queued;
@@ -114,10 +122,18 @@ bool FairQueue::Push(Task&& task) {
       if (overload_ == OverloadPolicy::kReject) return false;
       // kBlock: rate-limited — sleep until the bucket refills (or space
       // frees up, which also re-checks the bucket).
+      if (!blocked) {
+        blocked = true;
+        blocked_since = Clock::now();
+      }
       space_cv_.wait_for(lock, token_wait);
       continue;
     }
     if (overload_ == OverloadPolicy::kReject) return false;
+    if (!blocked) {
+      blocked = true;
+      blocked_since = Clock::now();
+    }
     space_cv_.wait(lock, [&] {
       if (shutdown_) return true;
       const Tenant& t = TenantFor(task.tenant);
@@ -174,8 +190,18 @@ bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
   const TimePoint now = Clock::now();
   task->wait = std::chrono::duration_cast<std::chrono::microseconds>(
       now - task->enqueued);
+  if (queue_wait_hist_ != nullptr) {
+    queue_wait_hist_->Record(static_cast<uint64_t>(task->wait.count()));
+  }
   *outcome = task->deadline < now ? TaskOutcome::kExpired : TaskOutcome::kRun;
   return true;
+}
+
+void FairQueue::AttachMetrics(obs::Histogram* queue_wait,
+                              obs::Histogram* token_wait) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_wait_hist_ = queue_wait;
+  token_wait_hist_ = token_wait;
 }
 
 void FairQueue::GcTenant(uint64_t id) {

@@ -32,6 +32,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/histogram.h"
 #include "sched/policy.h"
 
 namespace relcomp {
@@ -100,6 +101,14 @@ class FairQueue {
   size_t depth() const;
   size_t TenantDepth(uint64_t tenant) const;
 
+  /// Points the queue at externally owned histograms (microsecond values):
+  /// `queue_wait` records every popped task's in-queue residency;
+  /// `token_wait` records the time a kBlock producer actually spent blocked
+  /// on the rate limiter/quota before admission (recorded only when
+  /// nonzero, so an uncontended queue stays silent). Either may be null.
+  /// The histograms must outlive the queue; call before workers start.
+  void AttachMetrics(obs::Histogram* queue_wait, obs::Histogram* token_wait);
+
  private:
   /// Stride scheduling granularity. Pass advances by kStrideScale/weight
   /// per dispatched task; a power of two keeps the division exact for
@@ -147,6 +156,8 @@ class FairQueue {
   uint64_t global_pass_ = 0;  ///< pass of the last dispatched tenant
   size_t depth_ = 0;
   bool shutdown_ = false;
+  obs::Histogram* queue_wait_hist_ = nullptr;  ///< not owned
+  obs::Histogram* token_wait_hist_ = nullptr;  ///< not owned
 };
 
 }  // namespace sched

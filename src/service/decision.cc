@@ -54,6 +54,9 @@ Result<ProblemKind> ParseProblemKind(const std::string& name) {
 }
 
 std::string Decision::ToString() const {
+  // latency_micros stays out on purpose: ToString is compared across
+  // submission modes (batch vs stream vs async) in tests and tooling, and
+  // latency legitimately differs per delivery. The CLI prints it separately.
   if (!status.ok()) return "error[" + status.ToString() + "]";
   std::string out = answer ? "YES" : "no";
   if (from_cache) out += " (cached)";
@@ -82,7 +85,28 @@ EngineCounters& EngineCounters::operator+=(const EngineCounters& other) {
   return *this;
 }
 
-std::string EngineCounters::ToString() const {
+std::string EngineCounters::ToString(bool verbose) const {
+  if (verbose) {
+    // Every raw field, declaration order, zeros included: two verbose dumps
+    // diff line-for-line no matter which buckets moved between them.
+    return "requests=" + std::to_string(requests) +
+           " cache_hits=" + std::to_string(cache_hits) +
+           " cache_misses=" + std::to_string(cache_misses) +
+           " coalesced=" + std::to_string(coalesced) +
+           " errors=" + std::to_string(errors) +
+           " rejected=" + std::to_string(rejected) +
+           " expired=" + std::to_string(expired) +
+           " cancelled=" + std::to_string(cancelled) +
+           " shed_running=" + std::to_string(shed_running) +
+           " aborted_steps=" + std::to_string(aborted_steps) +
+           " waited=" + std::to_string(waited) +
+           " wait_micros=" + std::to_string(wait_micros) +
+           " max_wait_micros=" + std::to_string(max_wait_micros) +
+           " evictions=" + std::to_string(evictions) +
+           " admission_rejects=" + std::to_string(admission_rejects) +
+           " cache_bytes=" + std::to_string(cache_bytes) + " | " +
+           search.ToString();
+  }
   std::string out = "requests=" + std::to_string(requests) +
                     " cache_hits=" + std::to_string(cache_hits) +
                     " cache_misses=" + std::to_string(cache_misses) +

@@ -69,6 +69,12 @@ struct Decision {
   /// Counterexample / witness, when `want_witness` was set and the decider
   /// produced one. Shared so cached and coalesced copies stay cheap.
   std::shared_ptr<const CompletenessWitness> witness;
+  /// End-to-end latency, submit → delivery, stamped by the service at every
+  /// delivery: a cache hit or coalesced waiter reports ITS OWN wait, not
+  /// the original evaluation's (and a restored snapshot entry is re-stamped
+  /// at serve time — the field is never persisted). 0 when the decision
+  /// never went through the service (DecideCold, hand-built decisions).
+  uint64_t latency_micros = 0;
 
   std::string ToString() const;
 };
@@ -120,7 +126,10 @@ struct EngineCounters {
   SearchStats search;  ///< per-request stats merged via SearchStats::Merge
 
   EngineCounters& operator+=(const EngineCounters& other);
-  std::string ToString() const;
+  /// Compact mode (default) omits zero-valued optional fields and prints
+  /// derived wait figures; verbose mode prints EVERY raw field, zeros
+  /// included, so before/after counter diffs align column-for-column.
+  std::string ToString(bool verbose = false) const;
 };
 
 /// THE kind→decider dispatch table: decides one request against a prepared

@@ -131,13 +131,41 @@ void CountDuplicateLocked(EngineCounters& counters, const Decision& primary) {
   }
 }
 
-/// Queue-wait accounting for one scheduled task. Requires the shard mutex.
-void CountWaitLocked(EngineCounters& counters, std::chrono::microseconds wait) {
+/// Queue-wait accounting for one scheduled task: the shard counters plus
+/// the tenant's queue-wait histogram (null = metrics off). Requires the
+/// shard mutex.
+void CountWaitLocked(EngineCounters& counters, std::chrono::microseconds wait,
+                     obs::Histogram* histogram) {
   if (wait.count() < 0) return;  // never queued (inline or rejected)
   ++counters.waited;
   const uint64_t micros = static_cast<uint64_t>(wait.count());
   counters.wait_micros += micros;
   counters.max_wait_micros = std::max(counters.max_wait_micros, micros);
+  if (histogram != nullptr) histogram->Record(micros);
+}
+
+/// RAII +1/-1 on a (possibly null) gauge — the in-flight request count
+/// survives every early return of the decide paths.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(obs::Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) gauge_->Add(1);
+  }
+  ~GaugeGuard() {
+    if (gauge_ != nullptr) gauge_->Add(-1);
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
+};
+
+/// The trace outcome tag of a finished decision: the verdict for served
+/// answers, the status code for everything else.
+std::string TraceOutcome(const Decision& decision) {
+  if (decision.status.ok()) return decision.answer ? "YES" : "no";
+  return StatusCodeName(decision.status.code());
 }
 
 sched::TaskOutcome InlineOutcome(const sched::Task& task) {
@@ -156,6 +184,21 @@ CompletenessService::CompletenessService(ServiceOptions options)
       queue_(options.policy, options.overload,
              sched::TenantOptions{/*weight=*/1, options.default_max_queue,
                                   /*rate_per_sec=*/0.0, /*burst=*/0.0}) {
+  tracer_.Configure(options_.trace_sample);
+  slow_log_.Configure(options_.slow_log);
+  if (options_.metrics) {
+    inflight_gauge_ = metrics_registry_.GetGauge(
+        "relcomp_inflight_requests", {},
+        "requests currently executing inside the service");
+    sched_queue_wait_ = metrics_registry_.GetHistogram(
+        "relcomp_sched_queue_wait_micros", {},
+        "in-queue residency of every popped task, microseconds");
+    sched_token_wait_ = metrics_registry_.GetHistogram(
+        "relcomp_sched_token_wait_micros", {},
+        "time producers spent blocked on admission (quota / rate limit) "
+        "before a task was admitted, microseconds");
+    queue_.AttachMetrics(sched_queue_wait_, sched_token_wait_);
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -239,9 +282,10 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
     }
   }
   const uint64_t id = next_handle_id_++;
-  shards_.emplace(id, std::make_shared<Shard>(std::move(prepared).value(), key,
-                                              resolved,
-                                              std::move(shard_cache)));
+  auto shard = std::make_shared<Shard>(std::move(prepared).value(), key,
+                                       resolved, std::move(shard_cache));
+  InitShardMetrics(*shard, id);
+  shards_.emplace(id, std::move(shard));
   handle_by_fingerprint_.emplace(key, id);
   queue_.RegisterTenant(id, sched::TenantOptions{resolved.weight,
                                                  resolved.max_queue,
@@ -283,6 +327,88 @@ Decision CompletenessService::UnknownHandleDecision(SettingHandle handle) {
       Status::NotFound("setting handle " + std::to_string(handle.id) +
                        " is not registered (or already fully released)");
   return decision;
+}
+
+void CompletenessService::InitShardMetrics(Shard& shard, uint64_t handle_id) {
+  if (!options_.metrics) return;
+  const obs::LabelSet tenant{{"tenant", std::to_string(handle_id)}};
+  shard.metrics.e2e_latency = metrics_registry_.GetHistogram(
+      "relcomp_request_latency_micros", tenant,
+      "end-to-end latency, submission to delivery, microseconds");
+  shard.metrics.queue_wait = metrics_registry_.GetHistogram(
+      "relcomp_queue_wait_micros", tenant,
+      "scheduler queue residency of this tenant's tasks, microseconds");
+  const std::vector<ProblemKind>& kinds = AllProblemKinds();
+  shard.metrics.by_kind.assign(kinds.size(), nullptr);
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    obs::LabelSet labels = tenant;
+    labels.emplace_back("kind", ProblemKindName(kinds[i]));
+    shard.metrics.by_kind[i] = metrics_registry_.GetCounter(
+        "relcomp_requests_total", labels,
+        "requests submitted, by problem kind");
+  }
+  static constexpr const char* kPriorityNames[sched::kNumPriorities] = {
+      "high", "normal", "low"};
+  for (size_t i = 0; i < sched::kNumPriorities; ++i) {
+    obs::LabelSet labels = tenant;
+    labels.emplace_back("priority", kPriorityNames[i]);
+    shard.metrics.by_priority[i] = metrics_registry_.GetCounter(
+        "relcomp_priority_requests_total", labels,
+        "requests submitted, by scheduling priority class");
+  }
+  cache::CacheEventSink sink;
+  sink.hits = metrics_registry_.GetCounter(
+      "relcomp_cache_hits_total", tenant, "shard cache lookup hits");
+  sink.misses = metrics_registry_.GetCounter(
+      "relcomp_cache_misses_total", tenant, "shard cache lookup misses");
+  sink.evictions = metrics_registry_.GetCounter(
+      "relcomp_cache_evictions_total", tenant,
+      "cache entries evicted under capacity or shared-budget pressure");
+  sink.admission_rejects = metrics_registry_.GetCounter(
+      "relcomp_cache_admission_rejects_total", tenant,
+      "computed decisions the cache refused to admit");
+  sink.resident_bytes = metrics_registry_.GetGauge(
+      "relcomp_cache_resident_bytes", tenant, "resident cache bytes");
+  sink.resident_entries = metrics_registry_.GetGauge(
+      "relcomp_cache_resident_entries", tenant, "resident cache entries");
+  shard.cache->AttachEvents(sink);
+}
+
+void CompletenessService::CountAdmission(const Shard& shard,
+                                         const DecisionRequest& request,
+                                         const sched::SchedParams* sched) {
+  const size_t kind = static_cast<size_t>(request.kind);
+  if (kind < shard.metrics.by_kind.size() &&
+      shard.metrics.by_kind[kind] != nullptr) {
+    shard.metrics.by_kind[kind]->Inc();
+  }
+  const size_t priority = static_cast<size_t>(
+      sched != nullptr ? sched->priority : sched::Priority::kNormal);
+  if (priority < shard.metrics.by_priority.size() &&
+      shard.metrics.by_priority[priority] != nullptr) {
+    shard.metrics.by_priority[priority]->Inc();
+  }
+}
+
+void CompletenessService::FinishRequest(Shard* shard,
+                                        const std::shared_ptr<obs::Trace>& trace,
+                                        sched::TimePoint submit,
+                                        Decision* decision) {
+  const sched::TimePoint now = sched::Clock::now();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - submit);
+  const uint64_t micros =
+      elapsed.count() > 0 ? static_cast<uint64_t>(elapsed.count()) : 0;
+  decision->latency_micros = micros;
+  if (shard != nullptr && shard->metrics.e2e_latency != nullptr) {
+    shard->metrics.e2e_latency->Record(micros);
+  }
+  if (trace != nullptr) {
+    // The SAME instant closes the trace and stamps the latency: the span
+    // durations sum to latency_micros exactly, not merely approximately.
+    trace->Finish(TraceOutcome(*decision), now);
+    slow_log_.Offer(trace);
+  }
 }
 
 void CompletenessService::ResolveMember(FlightGroup::Member& member,
@@ -333,21 +459,29 @@ SearchOptions CompletenessService::EffectiveOptions(
   return effective;
 }
 
-Decision CompletenessService::DecideOnShard(Shard& shard,
-                                            const DecisionRequest& request,
-                                            const RequestCacheKey* precomputed,
-                                            const sched::SchedParams* sched,
-                                            bool count_request) {
+Decision CompletenessService::DecideOnShard(
+    Shard& shard, const DecisionRequest& request,
+    const RequestCacheKey* precomputed, const sched::SchedParams* sched,
+    bool count_request, const std::shared_ptr<obs::Trace>& trace) {
+  GaugeGuard in_flight(inflight_gauge_);
   // Cooperative shed points for synchronous evaluation: a request already
   // cancelled or past its deadline never reaches the decider.
   if (sched != nullptr) {
     if (sched->cancel.cancelled()) {
+      if (trace != nullptr) {
+        trace->Phase("shed");
+        trace->AnnotatePhase("cancelled before evaluation");
+      }
       std::lock_guard<std::mutex> lock(shard.mu);
       if (count_request) ++shard.counters.requests;
       ++shard.counters.cancelled;
       return CancelledDecision();
     }
     if (sched->deadline < sched::Clock::now()) {
+      if (trace != nullptr) {
+        trace->Phase("shed");
+        trace->AnnotatePhase("deadline passed while queued");
+      }
       std::lock_guard<std::mutex> lock(shard.mu);
       if (count_request) ++shard.counters.requests;
       ++shard.counters.expired;
@@ -361,8 +495,11 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     key = precomputed != nullptr ? *precomputed
                                  : RequestKeyFor(shard.prepared, request);
   }
+  if (trace != nullptr && (memoize || coalesce)) trace->Phase("cache-lookup");
   std::shared_ptr<FlightGroup> joined;
   std::shared_ptr<FlightGroup> owned;
+  uint64_t joined_run_id = 0;
+  bool joined_run_traced = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (count_request) ++shard.counters.requests;
@@ -371,6 +508,7 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
       if (shard.cache->Get(key, &hit)) {
         ++shard.counters.cache_hits;
         hit.from_cache = true;
+        if (trace != nullptr) trace->AnnotatePhase("hit");
         return hit;
       }
     }
@@ -391,6 +529,10 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
         joined = it->second;
         joined->interest.Add(participant);
         ExtendRunDeadline(*joined, participant_deadline);
+        if (joined->run_trace != nullptr) {
+          joined_run_traced = true;
+          joined_run_id = joined->run_trace->id();
+        }
       } else if (it != shard.in_flight.end()) {
         // The group is parked — its owner task is still in the queue. A
         // synchronous caller must never block on parked work (with every
@@ -400,6 +542,7 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
         owned->started = true;
         owned->interest.Add(participant);
         ExtendRunDeadline(*owned, participant_deadline);
+        if (trace != nullptr) owned->run_trace = trace;
         ++shard.counters.cache_misses;
       } else {
         owned = std::make_shared<FlightGroup>();
@@ -408,6 +551,7 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
         ExtendRunDeadline(*owned, participant_deadline);
         owned->future = std::make_shared<std::shared_future<Decision>>(
             owned->sync_promise.get_future().share());
+        if (trace != nullptr) owned->run_trace = trace;
         shard.in_flight.emplace(key, owned);
         ++shard.counters.cache_misses;
       }
@@ -416,6 +560,13 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
     }
   }
   if (joined != nullptr) {
+    if (trace != nullptr) {
+      trace->Phase("coalesce-join");
+      trace->AnnotatePhase(joined_run_traced
+                               ? "joined run trace#" +
+                                     std::to_string(joined_run_id)
+                               : "joined in-flight run");
+    }
     // The computation is live on the claiming thread (never parked on the
     // queue), so this wait always makes progress.
     Decision decision = joined->future->get();
@@ -435,15 +586,30 @@ Decision CompletenessService::DecideOnShard(Shard& shard,
   if (owned == nullptr) {
     // Coalescing off: plain cache-through evaluation under the merged
     // budget / deadline / token.
-    const SearchOptions effective = EffectiveOptions(shard, request, sched);
+    SearchOptions effective = EffectiveOptions(shard, request, sched);
+    SearchOptions::SearchProgressFn progress_fn;
+    if (trace != nullptr) {
+      trace->Phase("evaluate");
+      progress_fn = [&trace](const char* what, uint64_t steps) {
+        trace->Mark(std::string("eval:") + what,
+                    "steps=" + std::to_string(steps));
+      };
+      effective.progress = &progress_fn;
+    }
     Decision decision = EvaluateRequest(request, shard.prepared, &effective);
     const bool aborted = IsAbortStatus(decision.status);
+    if (trace != nullptr) trace->Phase("cache-store");
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.search += decision.stats;
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
     if (memoize && IsCacheableDecision(decision)) {
-      shard.cache->Put(key, decision);
+      const bool admitted = shard.cache->Put(key, decision);
+      if (trace != nullptr) {
+        trace->AnnotatePhase(admitted ? "admitted" : "admission rejected");
+      }
+    } else if (trace != nullptr) {
+      trace->AnnotatePhase(memoize ? "not cacheable" : "memoization off");
     }
     return decision;
   }
@@ -464,6 +630,10 @@ Decision CompletenessService::EvaluateForGroup(
     Shard& shard, const DecisionRequest& request, const RequestCacheKey& key,
     const std::shared_ptr<FlightGroup>& group, size_t billed_member) {
   const bool memoize = options_.memoize && shard.cache->capacity() > 0;
+  // The run's trace (the claiming caller's, or an async member's chosen at
+  // claim time). Written under the shard mutex by the thread that set
+  // `started`, which is this thread — reading it here is race-free.
+  const std::shared_ptr<obs::Trace>& trace = group->run_trace;
   SearchOptions effective = EffectiveOptions(shard, request, nullptr);
   // The joint interest token and the extendable run deadline: checkpoints
   // abort this run only once EVERY participant — including ones that join
@@ -474,8 +644,18 @@ Decision CompletenessService::EvaluateForGroup(
   // it stays valid for the whole search.
   effective.cancel = group->interest.token();
   effective.shared_deadline = &group->run_deadline;
+  SearchOptions::SearchProgressFn progress_fn;
+  if (trace != nullptr) {
+    trace->Phase("evaluate");
+    progress_fn = [&trace](const char* what, uint64_t steps) {
+      trace->Mark(std::string("eval:") + what,
+                  "steps=" + std::to_string(steps));
+    };
+    effective.progress = &progress_fn;
+  }
   Decision decision = EvaluateRequest(request, shard.prepared, &effective);
   const bool aborted = IsAbortStatus(decision.status);
+  if (trace != nullptr) trace->Phase("cache-store");
 
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
@@ -485,7 +665,12 @@ Decision CompletenessService::EvaluateForGroup(
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
     if (memoize && IsCacheableDecision(decision)) {
-      shard.cache->Put(key, decision);
+      const bool admitted = shard.cache->Put(key, decision);
+      if (trace != nullptr) {
+        trace->AnnotatePhase(admitted ? "admitted" : "admission rejected");
+      }
+    } else if (trace != nullptr) {
+      trace->AnnotatePhase(memoize ? "not cacheable" : "memoization off");
     }
     shard.in_flight.erase(key);
     members = std::move(group->members);
@@ -526,6 +711,8 @@ Decision CompletenessService::EvaluateForGroup(
         AppendNote(&member_decision, "coalesced with identical in-flight request");
       }
     }
+    FinishRequest(&shard, members[i].trace, members[i].submit,
+                  &member_decision);
     ResolveMember(members[i], std::move(member_decision));
   }
   return decision;
@@ -555,22 +742,39 @@ void CompletenessService::ShedGroup(Shard& shard, const RequestCacheKey& key,
   }
   group->sync_promise.set_value(shed);  // parked ⇒ no sync waiters listen
   for (size_t i = 0; i < members.size(); ++i) {
-    ResolveMember(members[i],
-                  member_cancelled[i] ? CancelledDecision() : shed);
+    Decision decision = member_cancelled[i] ? CancelledDecision() : shed;
+    if (members[i].trace != nullptr) members[i].trace->Phase("shed");
+    FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
+    ResolveMember(members[i], std::move(decision));
   }
 }
 
 Decision CompletenessService::Decide(const ServiceRequest& request) {
+  const sched::TimePoint submit = sched::Clock::now();
   std::shared_ptr<Shard> shard = FindShard(request.setting);
   if (shard == nullptr) return UnknownHandleDecision(request.setting);
-  return DecideOnShard(*shard, request.request, nullptr, &request.sched);
+  CountAdmission(*shard, request.request, &request.sched);
+  std::shared_ptr<obs::Trace> trace = tracer_.MaybeTrace(submit);
+  if (trace != nullptr) trace->Phase("admit", submit);
+  Decision decision =
+      DecideOnShard(*shard, request.request, nullptr, &request.sched,
+                    /*count_request=*/true, trace);
+  FinishRequest(shard.get(), trace, submit, &decision);
+  return decision;
 }
 
 Decision CompletenessService::Decide(SettingHandle handle,
                                      const DecisionRequest& request) {
+  const sched::TimePoint submit = sched::Clock::now();
   std::shared_ptr<Shard> shard = FindShard(handle);
   if (shard == nullptr) return UnknownHandleDecision(handle);
-  return DecideOnShard(*shard, request);
+  CountAdmission(*shard, request, nullptr);
+  std::shared_ptr<obs::Trace> trace = tracer_.MaybeTrace(submit);
+  if (trace != nullptr) trace->Phase("admit", submit);
+  Decision decision = DecideOnShard(*shard, request, nullptr, nullptr,
+                                    /*count_request=*/true, trace);
+  FinishRequest(shard.get(), trace, submit, &decision);
+  return decision;
 }
 
 std::vector<CompletenessService::RoutedRequest> CompletenessService::RouteBatch(
@@ -595,6 +799,7 @@ std::vector<CompletenessService::RoutedRequest> CompletenessService::RouteBatch(
 void CompletenessService::SubmitRouted(
     const std::vector<RoutedRequest>& routed, DecisionStream* stream,
     std::shared_ptr<const void> keep_alive) {
+  const sched::TimePoint submit = sched::Clock::now();
   const bool plan = options_.coalesce;
   const bool inline_mode = workers_.empty() || tls_on_worker_thread;
 
@@ -659,9 +864,12 @@ void CompletenessService::SubmitRouted(
   primaries.reserve(routed.size());
   for (size_t i = 0; i < routed.size(); ++i) {
     if (routed[i].shard == nullptr) {
-      publish(i, UnknownHandleDecision(routed[i].handle));
+      Decision unknown = UnknownHandleDecision(routed[i].handle);
+      FinishRequest(nullptr, nullptr, submit, &unknown);
+      publish(i, std::move(unknown));
       continue;
     }
+    CountAdmission(*routed[i].shard, *routed[i].request, routed[i].sched);
     if (plan) {
       auto [it, inserted] =
           first_of.emplace(PlanKey{routed[i].shard.get(), keys[i]}, i);
@@ -716,6 +924,14 @@ void CompletenessService::SubmitRouted(
     // in DecideOnShard and the decider's mid-run checkpoints then abort
     // exactly when every member of the dedup group has cancelled.
     effective.cancel = slot_interest.token();
+    // One sampled trace per dedup group, carried by the primary slot: the
+    // admit span covers routing + planning, the queue span everything from
+    // enqueue to the worker claiming the task.
+    std::shared_ptr<obs::Trace> trace = tracer_.MaybeTrace(submit);
+    if (trace != nullptr) {
+      trace->Phase("admit", submit);
+      trace->Phase("queue");
+    }
     sched::Task task;
     task.tenant = r.handle.id;
     task.priority = effective.priority;
@@ -723,12 +939,12 @@ void CompletenessService::SubmitRouted(
     task.fn = [this, shard = r.shard, request = r.request,
                has_key = plan, key = plan ? keys[i] : RequestCacheKey{},
                slots = std::move(slots), tokens = std::move(tokens),
-               effective, remaining, stream, publish, keep_alive](
-                  sched::TaskOutcome outcome,
-                  std::chrono::microseconds wait) {
+               effective, remaining, stream, publish, keep_alive, submit,
+               trace](sched::TaskOutcome outcome,
+                      std::chrono::microseconds wait) {
       {
         std::lock_guard<std::mutex> lock(shard->mu);
-        CountWaitLocked(shard->counters, wait);
+        CountWaitLocked(shard->counters, wait, shard->metrics.queue_wait);
       }
       // Cancellation snapshot at evaluation start: members cancelling
       // later are too late (they receive the result), matching the
@@ -746,13 +962,16 @@ void CompletenessService::SubmitRouted(
         // so the evaluation itself aborts at a checkpoint if the whole
         // group cancels (or the merged deadline passes) mid-run.
         decision = DecideOnShard(*shard, *request, has_key ? &key : nullptr,
-                                 &effective);
+                                 &effective, /*count_request=*/true, trace);
         evaluated = true;  // DecideOnShard counted one request's outcome
       } else if (outcome == sched::TaskOutcome::kExpired) {
+        if (trace != nullptr) trace->Phase("shed");
         decision = ExpiredDecision();
       } else if (outcome == sched::TaskOutcome::kRejected) {
+        if (trace != nullptr) trace->Phase("shed");
         decision = RejectedDecision();
       } else {
+        if (trace != nullptr) trace->Phase("shed");
         decision = CancelledDecision();  // every member cancelled
       }
       // The first live member inherits the evaluation's accounting (done
@@ -789,6 +1008,10 @@ void CompletenessService::SubmitRouted(
           std::lock_guard<std::mutex> lock(shard->mu);
           CountDuplicateLocked(shard->counters, decision);
         }
+        // The trace rides the primary slot only — one Finish, one slow-log
+        // offer per sampled submission.
+        FinishRequest(shard.get(), j == 0 ? trace : nullptr, submit,
+                      &member_decision);
         publish(slots[j], std::move(member_decision));
       }
       if (remaining->fetch_sub(1) == 1) stream->Finish();
@@ -868,13 +1091,23 @@ void CompletenessService::SubmitAsyncImpl(
   };
   // Route at submission time: releasing the setting after admission does
   // not fail requests already in the system.
+  const sched::TimePoint submit = sched::Clock::now();
   std::shared_ptr<Shard> shard = FindShard(request.setting);
   if (shard == nullptr) {
-    deliver(UnknownHandleDecision(request.setting));
+    Decision unknown = UnknownHandleDecision(request.setting);
+    FinishRequest(nullptr, nullptr, submit, &unknown);
+    deliver(std::move(unknown));
     return;
   }
+  CountAdmission(*shard, request.request, &request.sched);
+  std::shared_ptr<obs::Trace> trace = tracer_.MaybeTrace(submit);
+  if (trace != nullptr) trace->Phase("admit", submit);
   if (workers_.empty() || tls_on_worker_thread) {
-    deliver(DecideOnShard(*shard, request.request, nullptr, &request.sched));
+    Decision decision =
+        DecideOnShard(*shard, request.request, nullptr, &request.sched,
+                      /*count_request=*/true, trace);
+    FinishRequest(shard.get(), trace, submit, &decision);
+    deliver(std::move(decision));
     return;
   }
   const sched::SchedParams& sp = request.sched;
@@ -890,7 +1123,14 @@ void CompletenessService::SubmitAsyncImpl(
         ++shard->counters.expired;
       }
     }
-    deliver(cancelled ? CancelledDecision() : ExpiredDecision());
+    if (trace != nullptr) {
+      trace->Phase("shed");
+      trace->AnnotatePhase(cancelled ? "cancelled at admission"
+                                     : "deadline passed at admission");
+    }
+    Decision decision = cancelled ? CancelledDecision() : ExpiredDecision();
+    FinishRequest(shard.get(), trace, submit, &decision);
+    deliver(std::move(decision));
     return;
   }
 
@@ -899,37 +1139,41 @@ void CompletenessService::SubmitAsyncImpl(
       std::lock_guard<std::mutex> lock(shard->mu);
       ++shard->counters.requests;
     }
+    if (trace != nullptr) trace->Phase("queue");
     sched::Task task;
     task.tenant = request.setting.id;
     task.priority = sp.priority;
     task.deadline = sp.deadline;
     task.fn = [this, shard, request = std::move(request.request),
-               sched = sp, promise, on_complete = std::move(on_complete)](
-                  sched::TaskOutcome outcome,
-                  std::chrono::microseconds wait) {
+               sched = sp, promise, on_complete = std::move(on_complete),
+               submit, trace](sched::TaskOutcome outcome,
+                              std::chrono::microseconds wait) {
       {
         std::lock_guard<std::mutex> lock(shard->mu);
-        CountWaitLocked(shard->counters, wait);
+        CountWaitLocked(shard->counters, wait, shard->metrics.queue_wait);
       }
       Decision decision;
       switch (outcome) {
         case sched::TaskOutcome::kRun:
           decision = DecideOnShard(*shard, request, nullptr, &sched,
-                                   /*count_request=*/false);
+                                   /*count_request=*/false, trace);
           break;
         case sched::TaskOutcome::kExpired: {
+          if (trace != nullptr) trace->Phase("shed");
           std::lock_guard<std::mutex> lock(shard->mu);
           ++shard->counters.expired;
           decision = ExpiredDecision();
           break;
         }
         case sched::TaskOutcome::kRejected: {
+          if (trace != nullptr) trace->Phase("shed");
           std::lock_guard<std::mutex> lock(shard->mu);
           ++shard->counters.rejected;
           decision = RejectedDecision();
           break;
         }
       }
+      FinishRequest(shard.get(), trace, submit, &decision);
       FlightGroup::Member member;
       member.promise = promise;
       member.callback = on_complete;  // const capture: copy, not move
@@ -945,9 +1189,13 @@ void CompletenessService::SubmitAsyncImpl(
   // touching the queue; only a fresh computation becomes a task.
   const RequestCacheKey key = RequestKeyFor(shard->prepared, request.request);
   const bool memoize = options_.memoize && shard->cache->capacity() > 0;
+  if (trace != nullptr) trace->Phase("cache-lookup");
   std::shared_ptr<FlightGroup> group;
   Decision hit;
   bool have_hit = false;
+  bool joined = false;
+  uint64_t joined_run_id = 0;
+  bool joined_run_traced = false;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     ++shard->counters.requests;
@@ -956,6 +1204,7 @@ void CompletenessService::SubmitAsyncImpl(
         ++shard->counters.cache_hits;
         hit.from_cache = true;
         have_hit = true;
+        if (trace != nullptr) trace->AnnotatePhase("hit");
       }
     }
     if (!have_hit) {
@@ -969,24 +1218,46 @@ void CompletenessService::SubmitAsyncImpl(
         // is live.
         it->second->interest.Add(sp.cancel);
         ExtendRunDeadline(*it->second, sp.deadline);
+        joined = true;
+        if (it->second->run_trace != nullptr) {
+          joined_run_traced = true;
+          joined_run_id = it->second->run_trace->id();
+        }
         it->second->members.push_back(FlightGroup::Member{
-            sp.cancel, sp.deadline, promise, std::move(on_complete)});
-        return;
+            sp.cancel, sp.deadline, promise, std::move(on_complete), submit,
+            trace});
+      } else {
+        group = std::make_shared<FlightGroup>();
+        group->interest.Add(sp.cancel);
+        ExtendRunDeadline(*group, sp.deadline);
+        group->future = std::make_shared<std::shared_future<Decision>>(
+            group->sync_promise.get_future().share());
+        group->members.push_back(FlightGroup::Member{
+            sp.cancel, sp.deadline, promise, std::move(on_complete), submit,
+            trace});
+        shard->in_flight.emplace(key, group);
       }
-      group = std::make_shared<FlightGroup>();
-      group->interest.Add(sp.cancel);
-      ExtendRunDeadline(*group, sp.deadline);
-      group->future = std::make_shared<std::shared_future<Decision>>(
-          group->sync_promise.get_future().share());
-      group->members.push_back(FlightGroup::Member{
-          sp.cancel, sp.deadline, promise, std::move(on_complete)});
-      shard->in_flight.emplace(key, group);
     }
   }
   if (have_hit) {
+    FinishRequest(shard.get(), trace, submit, &hit);
     deliver(std::move(hit));
     return;
   }
+  if (joined) {
+    // The member's own trace shows the join; the run it joined is closed by
+    // whichever thread publishes the group (EvaluateForGroup / ShedGroup /
+    // RunOwnerTask), which also finishes this member's trace.
+    if (trace != nullptr) {
+      trace->Phase("coalesce-join");
+      trace->AnnotatePhase(joined_run_traced
+                               ? "joined run trace#" +
+                                     std::to_string(joined_run_id)
+                               : "joined in-flight run");
+    }
+    return;
+  }
+  if (trace != nullptr) trace->Phase("queue");
   sched::Task task;
   task.tenant = request.setting.id;
   task.priority = sp.priority;
@@ -1006,6 +1277,7 @@ void CompletenessService::RunOwnerTask(
     const std::shared_ptr<FlightGroup>& group, const DecisionRequest& request,
     std::chrono::microseconds wait) {
   Shard& shard = *shard_ptr;
+  GaugeGuard in_flight(inflight_gauge_);
   const bool memoize = options_.memoize && shard.cache->capacity() > 0;
   enum class Action { kStolen, kShed, kHit, kEvaluate };
   Action action = Action::kEvaluate;
@@ -1015,7 +1287,7 @@ void CompletenessService::RunOwnerTask(
   std::vector<bool> member_cancelled;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    CountWaitLocked(shard.counters, wait);
+    CountWaitLocked(shard.counters, wait, shard.metrics.queue_wait);
     if (group->started) {
       // A synchronous caller stole the parked group; it owns publication.
       action = Action::kStolen;
@@ -1069,6 +1341,12 @@ void CompletenessService::RunOwnerTask(
       } else {
         action = Action::kEvaluate;
         group->started = true;
+        // The billed member's trace becomes the run's trace: its timeline
+        // gains the evaluate / cache-store phases, and later joiners see
+        // which sampled run they piggy-backed on.
+        if (billed < group->members.size()) {
+          group->run_trace = group->members[billed].trace;
+        }
         ++shard.counters.cache_misses;  // charged to the billed member
       }
     }
@@ -1079,8 +1357,11 @@ void CompletenessService::RunOwnerTask(
     case Action::kShed: {
       group->sync_promise.set_value(ExpiredDecision());
       for (size_t i = 0; i < members.size(); ++i) {
-        ResolveMember(members[i], member_cancelled[i] ? CancelledDecision()
-                                                      : ExpiredDecision());
+        Decision decision = member_cancelled[i] ? CancelledDecision()
+                                                : ExpiredDecision();
+        if (members[i].trace != nullptr) members[i].trace->Phase("shed");
+        FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
+        ResolveMember(members[i], std::move(decision));
       }
       return;
     }
@@ -1096,6 +1377,10 @@ void CompletenessService::RunOwnerTask(
             AppendNote(&decision, "coalesced with identical in-flight request");
           }
         }
+        if (members[i].trace != nullptr) {
+          members[i].trace->AnnotatePhase("served from cache at claim time");
+        }
+        FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
         ResolveMember(members[i], std::move(decision));
       }
       return;
@@ -1157,6 +1442,71 @@ EngineCounters CompletenessService::TotalCounters() const {
     total += WithCacheStats(shard->counters, cache_stats);
   }
   return total;
+}
+
+std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
+  obs::MetricsDump dump;
+  metrics_registry_.DumpInto(&dump);
+
+  // Derived per-tenant outcome counters, computed from the shard
+  // EngineCounters at dump time: the counters are the request-partition
+  // source of truth (requests == hits + misses + rejected + expired +
+  // cancelled), so deriving rather than double-counting on the hot path
+  // keeps the exposition consistent with counters()/TotalCounters() by
+  // construction. Sorted by handle id for deterministic output.
+  std::vector<std::pair<uint64_t, std::shared_ptr<Shard>>> shards;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) shards.emplace_back(id, shard);
+  }
+  std::vector<std::pair<uint64_t, EngineCounters>> snapshots;
+  snapshots.reserve(shards.size());
+  for (const auto& [id, shard] : shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    snapshots.emplace_back(id, shard->counters);
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  struct Outcome {
+    const char* name;
+    uint64_t EngineCounters::* field;
+  };
+  static constexpr Outcome kOutcomes[] = {
+      {"hit", &EngineCounters::cache_hits},
+      {"miss", &EngineCounters::cache_misses},
+      {"rejected", &EngineCounters::rejected},
+      {"expired", &EngineCounters::expired},
+      {"cancelled", &EngineCounters::cancelled},
+  };
+  // Outcome-major order keeps each hand-added family's rows contiguous, so
+  // the Prometheus renderer emits one HELP/TYPE header per family.
+  for (const Outcome& outcome : kOutcomes) {
+    for (const auto& [id, counters] : snapshots) {
+      dump.AddCounter(
+          "relcomp_decisions_total",
+          {{"outcome", outcome.name}, {"tenant", std::to_string(id)}},
+          counters.*outcome.field,
+          "request outcomes; the five outcomes partition requests exactly");
+    }
+  }
+  for (const auto& [id, counters] : snapshots) {
+    dump.AddCounter("relcomp_errors_total",
+                    {{"tenant", std::to_string(id)}}, counters.errors,
+                    "decider errors (not part of the outcome partition: an "
+                    "errored evaluation still counts as a miss)");
+  }
+  dump.AddCounter("relcomp_traces_sampled_total", {}, tracer_.sampled(),
+                  "requests sampled into a span-timeline trace");
+  dump.AddGauge("relcomp_slow_log_entries", {},
+                static_cast<int64_t>(slow_log_.size()),
+                "finished traces currently held by the slow-decision log");
+  return dump.Render(format);
+}
+
+std::vector<std::shared_ptr<const obs::Trace>>
+CompletenessService::SlowDecisions() const {
+  return slow_log_.Worst();
 }
 
 Result<cache::CacheStats> CompletenessService::CacheStats(

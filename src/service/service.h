@@ -65,6 +65,7 @@
 #ifndef RELCOMP_SERVICE_SERVICE_H_
 #define RELCOMP_SERVICE_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -78,6 +79,9 @@
 #include "cache/budget.h"
 #include "cache/shard_cache.h"
 #include "core/prepared_setting.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "sched/cancel.h"
 #include "sched/policy.h"
 #include "sched/queue.h"
@@ -174,6 +178,17 @@ struct ServiceOptions {
   sched::OverloadPolicy overload = sched::OverloadPolicy::kBlock;
   /// Default per-tenant in-queue quota; 0 = unbounded.
   size_t default_max_queue = 0;
+  /// Observability. `metrics` resolves per-tenant latency/queue histograms,
+  /// outcome counters, and cache event instruments at registration; false
+  /// strips every instrument from the hot path (the A/B baseline for
+  /// overhead measurements — DumpMetrics then reports only derived
+  /// counters). `trace_sample` samples every Nth submission into a
+  /// per-request span timeline (0 = tracing off). `slow_log` keeps the N
+  /// worst end-to-end traces for SlowDecisions() (0 = off; needs
+  /// trace_sample to ever receive a trace).
+  bool metrics = true;
+  uint64_t trace_sample = 0;
+  size_t slow_log = 0;
 };
 
 /// One decision of a streamed batch: `index` positions it in the submitted
@@ -328,6 +343,21 @@ class CompletenessService {
   /// Drops the shard's memoized results (counters are preserved).
   Status ClearCache(SettingHandle handle);
 
+  /// Renders every live metric — per-tenant end-to-end latency and
+  /// queue-wait histograms (Prometheus le-buckets; JSON carries explicit
+  /// p50/p95/p99), per-kind and per-priority request counters, cache event
+  /// counters and resident gauges, scheduler-level wait histograms, the
+  /// in-flight gauge — plus per-tenant outcome counters derived from the
+  /// shard EngineCounters (`relcomp_decisions_total{tenant,outcome=...}`,
+  /// the request-partition source of truth). Safe to call while serving.
+  std::string DumpMetrics(
+      obs::DumpFormat format = obs::DumpFormat::kPrometheus) const;
+
+  /// The slow-decision log's current contents: the N worst end-to-end
+  /// traces, slowest first. Empty unless ServiceOptions::slow_log and
+  /// trace_sample are both set.
+  std::vector<std::shared_ptr<const obs::Trace>> SlowDecisions() const;
+
  private:
   /// Dual-digest registry identity of a setting — the RequestCacheKey
   /// collision policy applied to registration: a single 64-bit fingerprint
@@ -348,6 +378,11 @@ class CompletenessService {
       sched::TimePoint deadline = sched::kNoDeadline;
       std::shared_ptr<std::promise<Decision>> promise;  // future flavor
       std::function<void(Decision)> callback;           // callback flavor
+      /// Submission time and (when sampled) this member's own trace: each
+      /// waiter's decision is stamped with ITS latency at delivery, and a
+      /// coalesced waiter's trace records the run it joined.
+      sched::TimePoint submit{};
+      std::shared_ptr<obs::Trace> trace;
     };
     std::vector<Member> members;  ///< async joiners; an async owner is [0]
     /// Joint cancellation interest of every participant — async members,
@@ -377,6 +412,22 @@ class CompletenessService {
     bool started = false;
     std::promise<Decision> sync_promise;
     std::shared_ptr<std::shared_future<Decision>> future;
+    /// The trace of whichever participant claimed the evaluation (null for
+    /// an unsampled run). Written under the shard mutex where `started` is
+    /// set; joiners read it there to note which run they piggy-backed on.
+    std::shared_ptr<obs::Trace> run_trace;
+  };
+
+  /// Per-shard metric instruments, resolved once at registration from the
+  /// service's registry (all null when ServiceOptions::metrics is false —
+  /// every use site null-checks, so the uninstrumented hot path costs one
+  /// branch). The instruments outlive the shard: they live in the registry,
+  /// and Prometheus counters are cumulative across a tenant's lifetime.
+  struct ShardMetrics {
+    obs::Histogram* e2e_latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    std::vector<obs::Counter*> by_kind;  ///< indexed by ProblemKind
+    std::array<obs::Counter*, sched::kNumPriorities> by_priority{};
   };
 
   /// One registered setting: prepared artifacts + cache + counters + the
@@ -394,6 +445,7 @@ class CompletenessService {
     PreparedSetting prepared;
     const SettingKey setting_key;
     const ShardOptions options;  ///< resolved (no kInherit markers)
+    ShardMetrics metrics;   // set once at registration, then read-only
     uint64_t refcount = 1;  // guarded by registry_mu_
 
     mutable std::mutex mu;  // counters + in_flight (NOT the cache: it is
@@ -427,11 +479,34 @@ class CompletenessService {
   /// honoring `sched` (cancellation/deadline at entry) when given.
   /// `precomputed` lets the batch planner hand over the cache key it
   /// already derived; `count_request` is false when the caller already
-  /// charged the request at admission (async paths).
+  /// charged the request at admission (async paths). `trace`, when
+  /// sampled, receives the cache-lookup / coalesce-join / evaluate /
+  /// cache-store phases (the caller owns admit/queue/finish).
   Decision DecideOnShard(Shard& shard, const DecisionRequest& request,
                          const RequestCacheKey* precomputed = nullptr,
                          const sched::SchedParams* sched = nullptr,
-                         bool count_request = true);
+                         bool count_request = true,
+                         const std::shared_ptr<obs::Trace>& trace = nullptr);
+
+  /// Resolves one new shard's metric instruments (and wires the cache's
+  /// event sink) under the tenant label `handle_id`. No-op when
+  /// ServiceOptions::metrics is false.
+  void InitShardMetrics(Shard& shard, uint64_t handle_id);
+
+  /// Charges the per-kind / per-priority admission counters. Called once
+  /// per submitted request (duplicates included) at each entry point.
+  static void CountAdmission(const Shard& shard, const DecisionRequest& request,
+                             const sched::SchedParams* sched);
+
+  /// The one delivery choke point: stamps Decision::latency_micros
+  /// (submit → now), records it in the shard's end-to-end histogram, and —
+  /// when the request carried a trace — finishes the trace (closing any
+  /// open phase at the SAME instant the latency is measured, so span
+  /// durations sum exactly to the stamped latency) and offers it to the
+  /// slow-decision log. `shard` may be null (unknown-handle deliveries).
+  /// Call at most once per (trace, decision) pair.
+  void FinishRequest(Shard* shard, const std::shared_ptr<obs::Trace>& trace,
+                     sched::TimePoint submit, Decision* decision);
 
   /// The evaluation-time SearchOptions for one request on `shard`: the
   /// shard's default step budget (for requests that left max_steps at the
@@ -529,6 +604,18 @@ class CompletenessService {
                      std::vector<std::pair<RequestCacheKey, Decision>>,
                      SettingKeyHash>
       pending_warm_;
+
+  // Observability: the service-owned metrics registry (per-service, so two
+  // services in one process never collide on tenant labels — handle ids
+  // restart at 1 per service), the sampling tracer, and the slow-decision
+  // log. Declared before the queue/workers so instruments outlive anything
+  // recording into them during shutdown.
+  obs::MetricsRegistry metrics_registry_;
+  obs::Tracer tracer_;
+  obs::SlowDecisionLog slow_log_;
+  obs::Gauge* inflight_gauge_ = nullptr;          ///< null when metrics off
+  obs::Histogram* sched_queue_wait_ = nullptr;    ///< queue-level, all tenants
+  obs::Histogram* sched_token_wait_ = nullptr;    ///< admission-block time
 
   // The scheduler subsystem: a policy-driven multi-tenant queue (tenant =
   // setting shard) feeding the shared worker pool. Workers drain the queue

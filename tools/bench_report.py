@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Runs the BM_* benchmark binaries and records a medians snapshot.
+
+Each run appends one snapshot object to BENCH_trajectory.json (a JSON
+array), so successive CI runs grow a perf trajectory that can be diffed
+across commits:
+
+    {
+      "git": "<short rev or 'unknown'>",
+      "timestamp": "<UTC ISO-8601>",
+      "benchmarks": { "<name>": {"real_time_ns": <median>, "runs": N}, ... }
+    }
+
+Usage:
+    tools/bench_report.py --build-dir build [--out BENCH_trajectory.json]
+        [--filter REGEX] [--repetitions N] [--bench NAME ...]
+
+By default every bench_* executable found in the build directory runs with
+--benchmark_repetitions=N (default 3) and the per-benchmark median of
+real_time is kept. Only the standard library is used; the script exits
+nonzero if any benchmark binary fails.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+
+def find_benches(build_dir, names):
+    if names:
+        paths = [os.path.join(build_dir, n) for n in names]
+        missing = [p for p in paths if not os.path.isfile(p)]
+        if missing:
+            sys.exit("bench_report: missing benchmark binaries: %s"
+                     % ", ".join(missing))
+        return paths
+    found = sorted(
+        os.path.join(build_dir, f)
+        for f in os.listdir(build_dir)
+        if f.startswith("bench_") and
+        os.access(os.path.join(build_dir, f), os.X_OK) and
+        os.path.isfile(os.path.join(build_dir, f)))
+    if not found:
+        sys.exit("bench_report: no bench_* executables in %r" % build_dir)
+    return found
+
+
+def run_bench(path, bench_filter, repetitions):
+    cmd = [
+        path,
+        "--benchmark_format=json",
+        "--benchmark_repetitions=%d" % repetitions,
+        "--benchmark_report_aggregates_only=false",
+    ]
+    if bench_filter:
+        cmd.append("--benchmark_filter=%s" % bench_filter)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=False)
+    if proc.returncode != 0:
+        sys.exit("bench_report: %s exited with %d" % (path, proc.returncode))
+    return json.loads(proc.stdout.decode("utf-8"))
+
+
+def git_rev():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                             check=False)
+        rev = out.stdout.decode("utf-8").strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_trajectory.json")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed to every binary")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--bench", action="append", default=[],
+                        help="benchmark binary name (repeatable; default: "
+                             "every bench_* in the build dir)")
+    args = parser.parse_args()
+
+    # Median over repetitions, keyed by benchmark name with the
+    # "/repeats:N" suffix stripped (aggregate rows are skipped — we compute
+    # our own median so --repetitions=1 still works).
+    samples = {}
+    for path in find_benches(args.build_dir, args.bench):
+        print("bench_report: running %s" % path, flush=True)
+        report = run_bench(path, args.filter, args.repetitions)
+        for row in report.get("benchmarks", []):
+            if row.get("run_type") == "aggregate":
+                continue
+            name = row["name"].split("/repeats:")[0]
+            samples.setdefault(name, []).append(float(row["real_time"]))
+
+    snapshot = {
+        "git": git_rev(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                     .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "benchmarks": {
+            name: {"real_time_ns": statistics.median(times),
+                   "runs": len(times)}
+            for name, times in sorted(samples.items())
+        },
+    }
+
+    trajectory = []
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            trajectory = json.load(f)
+        if not isinstance(trajectory, list):
+            sys.exit("bench_report: %r is not a JSON array" % args.out)
+    trajectory.append(snapshot)
+    with open(args.out, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print("bench_report: %d benchmark(s) -> %s (snapshot #%d)"
+          % (len(snapshot["benchmarks"]), args.out, len(trajectory)))
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,10 @@ struct CliOptions {
   std::string cache_save;  // snapshot path written after the batch
   std::string cache_load;  // snapshot path loaded before registration
   bool cache_stats = false;
+  // Observability knobs.
+  std::string metrics_dump;   // "" = off, else "prom" | "json"
+  uint64_t trace_sample = 0;  // sample every Nth submission (0 = off)
+  size_t slow_log = 0;        // keep the N worst traces (0 = off)
 };
 
 /// One registered setting and its share of the workload.
@@ -156,6 +160,16 @@ size_t ParseCount(const char* flag, const std::string& text) {
 double Seconds(std::chrono::steady_clock::time_point from,
                std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// Decision text plus its end-to-end latency (the service stamps every
+/// delivery; 0 = never went through the service).
+std::string WithLatency(const Decision& decision) {
+  std::string out = decision.ToString();
+  if (decision.latency_micros != 0) {
+    out += "  " + std::to_string(decision.latency_micros) + "us";
+  }
+  return out;
 }
 
 /// Parses one setting file (plus the shared query streams) into a workload.
@@ -315,6 +329,16 @@ int main(int argc, char** argv) {
       cli.cache_load = next("--cache-load");
     } else if (arg == "--cache-stats") {
       cli.cache_stats = true;
+    } else if (arg == "--metrics-dump") {
+      cli.metrics_dump = next("--metrics-dump");
+      if (cli.metrics_dump != "prom" && cli.metrics_dump != "json") {
+        return Fail("--metrics-dump expects 'prom' or 'json', got '" +
+                    cli.metrics_dump + "'");
+      }
+    } else if (arg == "--trace-sample") {
+      cli.trace_sample = ParseCount("--trace-sample", next("--trace-sample"));
+    } else if (arg == "--slow-log") {
+      cli.slow_log = ParseCount("--slow-log", next("--slow-log"));
     } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
@@ -392,7 +416,15 @@ int main(int argc, char** argv) {
           "                    the batch (versioned, checksummed, atomic)\n"
           "  --cache-stats     print per-setting cache stats (entries,\n"
           "                    bytes, hit ratio, evictions, admission\n"
-          "                    rejects, restored entries)\n",
+          "                    rejects, restored entries)\n"
+          "observability:\n"
+          "  --metrics-dump F  print every metric after the batch: 'prom'\n"
+          "                    (Prometheus text format) or 'json'\n"
+          "  --trace-sample N  sample every Nth submission into a span\n"
+          "                    timeline (admit, queue, evaluate, cache\n"
+          "                    outcome); 0 = off\n"
+          "  --slow-log N      keep and print the N slowest sampled\n"
+          "                    request timelines (needs --trace-sample)\n",
           kinds.c_str(),
           static_cast<unsigned long long>(SearchOptions::kDefaultMaxSteps));
       return 0;
@@ -428,6 +460,8 @@ int main(int argc, char** argv) {
   service_options.policy = cli.policy;
   service_options.overload = cli.overload;
   service_options.default_max_queue = cli.default_max_queue;
+  service_options.trace_sample = cli.trace_sample;
+  service_options.slow_log = cli.slow_log;
 
   CompletenessService service(service_options);
   // Warm start BEFORE registration: staged snapshot entries are replayed
@@ -502,7 +536,7 @@ int main(int argc, char** argv) {
           std::printf("stream [%zu/%zu] %s: %-40s %s\n", ++arrived,
                       batch.size(), loads[s].file.c_str(),
                       loads[s].labels[k].c_str(),
-                      item.decision.ToString().c_str());
+                      WithLatency(item.decision).c_str());
           decisions[item.index] = std::move(item.decision);
         }
       }
@@ -533,7 +567,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(load.handle.id));
     for (size_t i = 0; i < load.labels.size(); ++i) {
       std::printf("  %-40s %s\n", load.labels[i].c_str(),
-                  per_load[s][i].ToString().c_str());
+                  WithLatency(per_load[s][i]).c_str());
       if (cli.witness && per_load[s][i].witness != nullptr) {
         std::printf("    witness: %s\n",
                     per_load[s][i].witness->note.c_str());
@@ -637,6 +671,18 @@ int main(int argc, char** argv) {
     std::printf("  cache snapshot written to '%s'\n", cli.cache_save.c_str());
   }
 
+  if (cli.slow_log > 0) {
+    const auto worst = service.SlowDecisions();
+    std::printf("\n=== slow decisions (%zu of %zu kept, slowest first) ===\n",
+                worst.size(), cli.slow_log);
+    if (cli.trace_sample == 0) {
+      std::printf("  (empty: --slow-log needs --trace-sample to feed it)\n");
+    }
+    for (const auto& trace : worst) {
+      std::printf("%s\n", trace->ToString().c_str());
+    }
+  }
+
   if (cli.compare) {
     auto cold_start = std::chrono::steady_clock::now();
     size_t mismatches = 0;
@@ -661,6 +707,16 @@ int main(int argc, char** argv) {
                 mismatches == 0 ? "  (answers agree)"
                                 : "  (ANSWER MISMATCH!)");
     if (mismatches != 0) return 2;
+  }
+
+  // Metrics last: the dump reflects everything above, including --compare.
+  if (!cli.metrics_dump.empty()) {
+    std::printf("\n=== metrics (%s) ===\n%s", cli.metrics_dump.c_str(),
+                service
+                    .DumpMetrics(cli.metrics_dump == "json"
+                                     ? obs::DumpFormat::kJson
+                                     : obs::DumpFormat::kPrometheus)
+                    .c_str());
   }
   return 0;
 }

@@ -13,7 +13,7 @@ uint64_t NextTick() {
 
 uint64_t CacheBudget::Register(std::weak_ptr<ShardCache> cache,
                                size_t floor_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = next_id_++;
   auto registration = std::make_unique<Registration>();
   registration->cache = std::move(cache);
@@ -24,7 +24,7 @@ uint64_t CacheBudget::Register(std::weak_ptr<ShardCache> cache,
 }
 
 void CacheBudget::Deregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = registrations_.find(id);
   if (it == registrations_.end()) return;
   used_bytes_.fetch_sub(it->second->bytes.load(std::memory_order_relaxed),
@@ -33,7 +33,7 @@ void CacheBudget::Deregister(uint64_t id) {
 }
 
 bool CacheBudget::TryCharge(uint64_t id, size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (budget_bytes_ != 0 &&
       used_bytes_.load(std::memory_order_relaxed) + bytes > budget_bytes_) {
     return false;
@@ -46,7 +46,7 @@ bool CacheBudget::TryCharge(uint64_t id, size_t bytes) {
 }
 
 void CacheBudget::Release(uint64_t id, size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = registrations_.find(id);
   if (it == registrations_.end()) return;
   it->second->bytes.fetch_sub(bytes, std::memory_order_relaxed);
@@ -54,7 +54,7 @@ void CacheBudget::Release(uint64_t id, size_t bytes) {
 }
 
 void CacheBudget::UpdateColdness(uint64_t id, uint64_t tick) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = registrations_.find(id);
   if (it == registrations_.end()) return;
   it->second->coldest.store(tick, std::memory_order_relaxed);
@@ -66,7 +66,7 @@ bool CacheBudget::PickVictim(uint64_t requester_id, size_t needed,
   if (budget_bytes_ == 0 || used + needed <= budget_bytes_) return false;
   const size_t excess = used + needed - budget_bytes_;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Coldest shard with evictable bytes above its floor — including the
   // requester, whose own cold tail is fair game like anyone else's.
   Registration* coldest = nullptr;

@@ -13,7 +13,9 @@
 // (ShardCache::Put, holding no cache mutex of its own at that point) then
 // sheds the planned victims one cache at a time. Cache mutexes are therefore
 // never nested with each other, and the only lock order is
-//   shard.mu → cache.mu → budget.mu.
+//   shard.mu → pressure_mu → cache.mu → budget.mu
+// — now machine-checked: see the LockRank table in util/mutex.h
+// (kShard < kCachePressure < kCache < kCacheBudget).
 #ifndef RELCOMP_CACHE_BUDGET_H_
 #define RELCOMP_CACHE_BUDGET_H_
 
@@ -21,8 +23,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace cache {
@@ -54,22 +57,23 @@ class CacheBudget {
 
   /// Registers a shard cache with its starvation floor; the weak_ptr keeps
   /// victim plans safe against concurrent shard release.
-  uint64_t Register(std::weak_ptr<ShardCache> cache, size_t floor_bytes);
+  uint64_t Register(std::weak_ptr<ShardCache> cache, size_t floor_bytes)
+      EXCLUDES(mu_);
   /// Drops a registration, releasing whatever bytes it still has charged.
-  void Deregister(uint64_t id);
+  void Deregister(uint64_t id) EXCLUDES(mu_);
 
   /// Charges `bytes` to shard `id` ONLY IF the total stays within budget —
   /// so used_bytes() can never exceed budget_bytes(), and the resident
   /// total (always ≤ the charged total, since every entry is charged
   /// before it becomes resident) cannot either. On false the accounting is
   /// untouched; the caller sheds victims and retries.
-  bool TryCharge(uint64_t id, size_t bytes);
+  bool TryCharge(uint64_t id, size_t bytes) EXCLUDES(mu_);
   /// Releases `bytes` from shard `id` (entry evicted, cleared, or a failed
   /// reservation rolled back).
-  void Release(uint64_t id, size_t bytes);
+  void Release(uint64_t id, size_t bytes) EXCLUDES(mu_);
 
   /// Records shard `id`'s coldest resident entry stamp (lock-free).
-  void UpdateColdness(uint64_t id, uint64_t tick);
+  void UpdateColdness(uint64_t id, uint64_t tick) EXCLUDES(mu_);
 
   /// One step of the pressure plan for an insert of `needed` bytes: the
   /// coldest shard holding more than its floor, and how many bytes it
@@ -83,14 +87,15 @@ class CacheBudget {
     size_t bytes = 0;        ///< shed target
     size_t floor_bytes = 0;  ///< floor the shed must respect (0 = waived)
   };
-  bool PickVictim(uint64_t requester_id, size_t needed, Victim* victim);
+  bool PickVictim(uint64_t requester_id, size_t needed, Victim* victim)
+      EXCLUDES(mu_);
 
   /// Serializes over-budget negotiations (TryCharge failed → shed →
   /// retry): concurrent evictors would otherwise race each other's
   /// charged-but-not-yet-resident bytes and spuriously refuse inserts
   /// that fit serially. Held around the whole shed-retry loop; never held
   /// by the budget itself while calling into a cache.
-  std::mutex& pressure_mu() { return pressure_mu_; }
+  Mutex& pressure_mu() RETURN_CAPABILITY(pressure_mu_) { return pressure_mu_; }
 
   size_t budget_bytes() const { return budget_bytes_; }
   size_t used_bytes() const {
@@ -101,10 +106,12 @@ class CacheBudget {
   const size_t budget_bytes_;
   std::atomic<size_t> used_bytes_{0};
 
-  std::mutex pressure_mu_;
-  mutable std::mutex mu_;  // guards the registry map only
-  std::unordered_map<uint64_t, std::unique_ptr<Registration>> registrations_;
-  uint64_t next_id_ = 1;
+  Mutex pressure_mu_{LockRank::kCachePressure, "CacheBudget::pressure_mu_"};
+  /// Guards the registry map only; per-registration atomics are lock-free.
+  mutable Mutex mu_{LockRank::kCacheBudget, "CacheBudget::mu_"};
+  std::unordered_map<uint64_t, std::unique_ptr<Registration>> registrations_
+      GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace cache

@@ -88,13 +88,13 @@ void ShardCache::AttachBudget(CacheBudget* budget,
 }
 
 void ShardCache::AttachEvents(const CacheEventSink& events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_ = events;
   PublishGaugesLocked();
 }
 
 bool ShardCache::Get(const RequestCacheKey& key, Decision* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.max_entries == 0) return false;
   sketch_.Increment(KeyHash(key));
   auto it = index_.find(key);
@@ -139,12 +139,12 @@ bool ShardCache::PutInternal(const RequestCacheKey& key, Decision value,
   // refusal at any point leaves it serving; the transient old+new double
   // charge errs toward over-reservation, never under.
   if (budget_ != nullptr && !ReserveBudget(entry_bytes)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++admission_rejects_;
     if (events_.admission_rejects != nullptr) events_.admission_rejects->Inc();
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!restore) sketch_.Increment(key_hash);
   const bool overwrite = index_.find(key) != index_.end();
   if (!overwrite) {
@@ -193,7 +193,7 @@ bool ShardCache::ReserveBudget(size_t bytes) {
   // inserts that fit one after the other. TryCharge admits only within
   // budget, so resident bytes can never exceed it — the loop just frees
   // room, it never "overdrafts".
-  std::lock_guard<std::mutex> pressure(budget_->pressure_mu());
+  MutexLock pressure(budget_->pressure_mu());
   int empty_rounds = 0;
   for (int spins = 0; spins < 1024; ++spins) {
     if (budget_->TryCharge(budget_id_, bytes)) return true;
@@ -219,7 +219,7 @@ bool ShardCache::ReserveBudget(size_t bytes) {
 }
 
 size_t ShardCache::ShedBytes(size_t target_bytes, size_t floor_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t freed = 0;
   while (freed < target_bytes) {
     const Entry* victim = VictimLocked();
@@ -238,7 +238,7 @@ size_t ShardCache::ShedBytes(size_t target_bytes, size_t floor_bytes) {
 }
 
 void ShardCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (budget_ != nullptr && bytes_ > 0) budget_->Release(budget_id_, bytes_);
   probation_.clear();
   protected_.clear();
@@ -251,7 +251,7 @@ void ShardCache::Clear() {
 
 std::vector<std::pair<RequestCacheKey, Decision>> ShardCache::SnapshotEntries()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<RequestCacheKey, Decision>> entries;
   entries.reserve(index_.size());
   for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
@@ -264,17 +264,17 @@ std::vector<std::pair<RequestCacheKey, Decision>> ShardCache::SnapshotEntries()
 }
 
 size_t ShardCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.size();
 }
 
 size_t ShardCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 CacheStats ShardCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CacheStats stats;
   stats.entries = index_.size();
   stats.bytes = bytes_;

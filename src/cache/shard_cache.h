@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -44,6 +43,7 @@
 #include "cache/budget.h"
 #include "obs/metrics.h"
 #include "service/decision.h"
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace cache {
@@ -129,46 +129,47 @@ class ShardCache {
   /// hands it to peer shards as a victim). `budget` must outlive this
   /// cache; the destructor deregisters.
   void AttachBudget(CacheBudget* budget, const std::shared_ptr<ShardCache>& self,
-                    size_t floor_bytes);
+                    size_t floor_bytes) EXCLUDES(mu_);
 
   /// Points cache events at live metric instruments. Call before the cache
   /// is shared across threads (typically right after construction).
-  void AttachEvents(const CacheEventSink& events);
+  void AttachEvents(const CacheEventSink& events) EXCLUDES(mu_);
 
   /// Copies the cached decision into `*out` and refreshes its recency
   /// (second touch promotes probation → protected). False on miss.
-  bool Get(const RequestCacheKey& key, Decision* out);
+  bool Get(const RequestCacheKey& key, Decision* out) EXCLUDES(mu_);
 
   /// Inserts (or overwrites) a decision. Returns false when the entry was
   /// NOT admitted: the cache is disabled, the sketch refused a cold
   /// candidate under pressure, or the shared budget could not make room
   /// even after shedding. A refused insert leaves the cache unchanged
   /// except for the admission_rejects counter.
-  bool Put(const RequestCacheKey& key, Decision value);
+  bool Put(const RequestCacheKey& key, Decision value) EXCLUDES(mu_);
 
   /// Put without the admission filter, counted as `restored` — the
   /// snapshot warm-start path (entries earned their place in a previous
   /// process; refusing them on a cold sketch would defeat persistence).
-  bool Restore(const RequestCacheKey& key, Decision value);
+  bool Restore(const RequestCacheKey& key, Decision value) EXCLUDES(mu_);
 
   /// Evicts coldest-first (probation tail, then protected tail) until
   /// `target_bytes` have been freed or evicting further would drop the
   /// resident total below `floor_bytes`. Returns bytes actually freed.
   /// Called by PEER shards under budget pressure; thread-safe.
-  size_t ShedBytes(size_t target_bytes, size_t floor_bytes);
+  size_t ShedBytes(size_t target_bytes, size_t floor_bytes) EXCLUDES(mu_);
 
   /// Drops every entry (budget released, cumulative stats preserved).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Resident entries, coldest first (probation tail → head, then
   /// protected tail → head), so replaying the snapshot through Restore in
   /// order reproduces the recency order. Decisions are deep-copied.
-  std::vector<std::pair<RequestCacheKey, Decision>> SnapshotEntries() const;
+  std::vector<std::pair<RequestCacheKey, Decision>> SnapshotEntries() const
+      EXCLUDES(mu_);
 
   size_t capacity() const { return options_.max_entries; }
-  size_t size() const;
-  size_t bytes() const;
-  CacheStats stats() const;
+  size_t size() const EXCLUDES(mu_);
+  size_t bytes() const EXCLUDES(mu_);
+  CacheStats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -180,42 +181,45 @@ class ShardCache {
   };
   using EntryList = std::list<Entry>;
 
-  bool PutInternal(const RequestCacheKey& key, Decision value, bool restore);
+  bool PutInternal(const RequestCacheKey& key, Decision value, bool restore)
+      EXCLUDES(mu_);
   /// Makes `bytes` admissible against the shared budget: charge, then shed
   /// the arbiter's victims until under budget. False = infeasible (charge
-  /// rolled back). Must be called WITHOUT holding mu_.
-  bool ReserveBudget(size_t bytes);
+  /// rolled back).
+  bool ReserveBudget(size_t bytes) EXCLUDES(mu_);
 
-  void TouchLocked(Entry& entry);
-  void PromoteLocked(EntryList::iterator it);
-  void EnforceProtectedCapLocked();
+  void PromoteLocked(EntryList::iterator it) REQUIRES(mu_);
+  void EnforceProtectedCapLocked() REQUIRES(mu_);
   /// Evicts one entry, coldest-first; returns its bytes (0 when empty).
-  size_t EvictOneLocked();
-  void RemoveLocked(EntryList::iterator it);
+  size_t EvictOneLocked() REQUIRES(mu_);
+  void RemoveLocked(EntryList::iterator it) REQUIRES(mu_);
   /// Coldest resident stamp → budget registration (lock-free store).
-  void PublishColdnessLocked();
+  void PublishColdnessLocked() REQUIRES(mu_);
   /// Resident bytes/entries → the event sink's gauges.
-  void PublishGaugesLocked();
-  const Entry* VictimLocked() const;
+  void PublishGaugesLocked() REQUIRES(mu_);
+  const Entry* VictimLocked() const REQUIRES(mu_);
 
   const ShardCacheOptions options_;
+  // Written once by AttachBudget before the cache is shared across threads,
+  // then read without the lock (ReserveBudget and the destructor must call
+  // the budget with mu_ released) — init-once, not mu_-guarded.
   CacheBudget* budget_ = nullptr;
   uint64_t budget_id_ = 0;
-  CacheEventSink events_;
 
-  mutable std::mutex mu_;
-  EntryList probation_;
-  EntryList protected_;
+  mutable Mutex mu_{LockRank::kCache, "ShardCache::mu_"};
+  CacheEventSink events_ GUARDED_BY(mu_);
+  EntryList probation_ GUARDED_BY(mu_);
+  EntryList protected_ GUARDED_BY(mu_);
   std::unordered_map<RequestCacheKey, EntryList::iterator, RequestCacheKeyHash>
-      index_;
-  FrequencySketch sketch_;
-  size_t bytes_ = 0;
-  size_t protected_bytes_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t admission_rejects_ = 0;
-  uint64_t restored_ = 0;
+      index_ GUARDED_BY(mu_);
+  FrequencySketch sketch_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  size_t protected_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t admission_rejects_ GUARDED_BY(mu_) = 0;
+  uint64_t restored_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cache

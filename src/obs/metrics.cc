@@ -211,7 +211,7 @@ MetricsRegistry::Instrument* MetricsRegistry::GetInstrument(
     const std::string& name, LabelSet labels, const std::string& help,
     FamilyType type) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [family_it, family_inserted] = families_.try_emplace(name);
   Family& family = family_it->second;
   if (family_inserted) {
@@ -260,7 +260,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::DumpInto(MetricsDump* dump) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, family] : families_) {
     for (const auto& [labels, instrument] : family.instruments) {
       switch (family.type) {

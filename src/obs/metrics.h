@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/histogram.h"
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace obs {
@@ -127,8 +127,8 @@ class MetricsRegistry {
   Instrument* GetInstrument(const std::string& name, LabelSet labels,
                             const std::string& help, FamilyType type);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mu_{LockRank::kObsMetrics, "MetricsRegistry::mu_"};
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

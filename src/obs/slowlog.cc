@@ -6,7 +6,7 @@ namespace relcomp {
 namespace obs {
 
 void SlowDecisionLog::Configure(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity;
   if (entries_.size() > capacity_) entries_.resize(capacity_);
 }
@@ -14,7 +14,7 @@ void SlowDecisionLog::Configure(size_t capacity) {
 void SlowDecisionLog::Offer(std::shared_ptr<const Trace> trace) {
   if (!trace || !trace->finished()) return;
   const uint64_t total = trace->total_micros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity_ == 0) return;
   if (entries_.size() >= capacity_ &&
       total <= entries_.back()->total_micros()) {
@@ -30,17 +30,17 @@ void SlowDecisionLog::Offer(std::shared_ptr<const Trace> trace) {
 }
 
 std::vector<std::shared_ptr<const Trace>> SlowDecisionLog::Worst() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
 size_t SlowDecisionLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 size_t SlowDecisionLog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 

@@ -8,10 +8,10 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace obs {
@@ -33,11 +33,13 @@ class SlowDecisionLog {
   size_t capacity() const;
 
  private:
-  mutable std::mutex mu_;
-  size_t capacity_ = 0;
+  // Ranked BELOW Trace::mu_: Offer compares Trace::total_micros() (which
+  // takes the trace mutex) while holding this lock.
+  mutable Mutex mu_{LockRank::kObsSlowLog, "SlowDecisionLog::mu_"};
+  size_t capacity_ GUARDED_BY(mu_) = 0;
   // Kept sorted slowest-first; at most capacity_ entries, so insertion is
   // O(capacity) — fine for the small N this log is meant for.
-  std::vector<std::shared_ptr<const Trace>> entries_;
+  std::vector<std::shared_ptr<const Trace>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -16,7 +16,7 @@ uint64_t Trace::MicrosSinceStart(TraceTime now) const {
 
 void Trace::Phase(const std::string& name, TraceTime now) {
   const uint64_t at = MicrosSinceStart(now);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   if (open_phase_) {
     if (spans_.size() < kMaxSpans) {
@@ -39,7 +39,7 @@ void Trace::Phase(const std::string& name, TraceTime now) {
 void Trace::Mark(const std::string& name, const std::string& note,
                  TraceTime now) {
   const uint64_t at = MicrosSinceStart(now);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   if (spans_.size() >= kMaxSpans) {
     ++dropped_;
@@ -54,14 +54,14 @@ void Trace::Mark(const std::string& name, const std::string& note,
 }
 
 void Trace::AnnotatePhase(const std::string& note) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_ || !open_phase_) return;
   phase_note_ = note;
 }
 
 void Trace::Finish(const std::string& outcome, TraceTime now) {
   const uint64_t at = MicrosSinceStart(now);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (finished_) return;
   if (open_phase_) {
     if (spans_.size() < kMaxSpans) {
@@ -82,32 +82,32 @@ void Trace::Finish(const std::string& outcome, TraceTime now) {
 }
 
 bool Trace::finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return finished_;
 }
 
 std::string Trace::outcome() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return outcome_;
 }
 
 uint64_t Trace::total_micros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_micros_;
 }
 
 std::vector<TraceSpan> Trace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 size_t Trace::dropped_spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::string Trace::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "trace#" << id_;
   if (finished_) {

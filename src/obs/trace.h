@@ -25,9 +25,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace obs {
@@ -92,16 +93,17 @@ class Trace {
   const uint64_t id_;
   const TraceTime start_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  size_t dropped_ = 0;
-  bool open_phase_ = false;       // spans_.back() is the running phase
-  uint64_t phase_start_micros_ = 0;
-  std::string phase_name_;
-  std::string phase_note_;
-  bool finished_ = false;
-  std::string outcome_;
-  uint64_t total_micros_ = 0;
+  mutable Mutex mu_{LockRank::kObsTrace, "Trace::mu_"};
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  size_t dropped_ GUARDED_BY(mu_) = 0;
+  /// spans_.back() is the running phase.
+  bool open_phase_ GUARDED_BY(mu_) = false;
+  uint64_t phase_start_micros_ GUARDED_BY(mu_) = 0;
+  std::string phase_name_ GUARDED_BY(mu_);
+  std::string phase_note_ GUARDED_BY(mu_);
+  bool finished_ GUARDED_BY(mu_) = false;
+  std::string outcome_ GUARDED_BY(mu_);
+  uint64_t total_micros_ GUARDED_BY(mu_) = 0;
 };
 
 /// Sampling gate: hands out a fresh Trace for 1 in every `sample_every`

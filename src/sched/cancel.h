@@ -17,9 +17,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace sched {
@@ -110,7 +111,7 @@ class CancelGroup {
 
   /// Registers one participant. Thread-safe against token() polls.
   void Add(CancelToken member) {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->pinned) return;
     if (!member.valid()) {
       state_->pinned = true;
@@ -129,14 +130,24 @@ class CancelGroup {
 
  private:
   struct GroupState : CancelToken::State {
-    mutable std::mutex mu;
-    bool pinned = false;  ///< an uncancellable participant joined
-    std::vector<CancelToken> members;
+    mutable Mutex mu{LockRank::kCancelGroup, "CancelGroup::mu"};
+    bool pinned GUARDED_BY(mu) = false;  ///< an uncancellable participant joined
+    std::vector<CancelToken> members GUARDED_BY(mu);
 
     bool cancelled() const override {
-      std::lock_guard<std::mutex> lock(mu);
-      if (pinned || members.empty()) return false;
-      for (const CancelToken& member : members) {
+      // Poll OUTSIDE the lock, over a snapshot: a member may itself be
+      // another group's token (batch slot groups join flight groups), and
+      // polling it under this group's mutex would nest two same-rank
+      // mutexes. A participant Add racing the poll lands as if it joined
+      // just after the snapshot — indistinguishable, under the old
+      // hold-the-lock polling, from joining a moment later.
+      std::vector<CancelToken> snapshot;
+      {
+        MutexLock lock(mu);
+        if (pinned || members.empty()) return false;
+        snapshot = members;
+      }
+      for (const CancelToken& member : snapshot) {
         if (!member.cancelled()) return false;
       }
       return true;

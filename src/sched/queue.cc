@@ -13,7 +13,7 @@ FairQueue::FairQueue(SchedPolicy policy, OverloadPolicy overload,
       default_tenant_(default_tenant) {}
 
 void FairQueue::RegisterTenant(uint64_t tenant, TenantOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = tenants_.try_emplace(tenant);
   if (!inserted) {
     // First registration wins; a re-registration only revives a tenant
@@ -26,7 +26,7 @@ void FairQueue::RegisterTenant(uint64_t tenant, TenantOptions options) {
 }
 
 void FairQueue::ReleaseTenant(uint64_t tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   it->second.released = true;
@@ -82,7 +82,7 @@ std::chrono::nanoseconds FairQueue::TakeToken(Tenant& tenant, TimePoint now) {
 }
 
 bool FairQueue::Push(Task&& task) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TimePoint blocked_since{};
   bool blocked = false;
   for (;;) {
@@ -116,7 +116,7 @@ bool FairQueue::Push(Task&& task) {
           }
           tenant.by_priority[lane].push_back(std::move(task));
         }
-        work_cv_.notify_one();
+        work_cv_.NotifyOne();
         return true;
       }
       if (overload_ == OverloadPolicy::kReject) return false;
@@ -126,7 +126,7 @@ bool FairQueue::Push(Task&& task) {
         blocked = true;
         blocked_since = Clock::now();
       }
-      space_cv_.wait_for(lock, token_wait);
+      space_cv_.WaitFor(mu_, token_wait);
       continue;
     }
     if (overload_ == OverloadPolicy::kReject) return false;
@@ -134,17 +134,21 @@ bool FairQueue::Push(Task&& task) {
       blocked = true;
       blocked_since = Clock::now();
     }
-    space_cv_.wait(lock, [&] {
-      if (shutdown_) return true;
+    // Quota wait, as an explicit loop (the static analysis does not see
+    // into predicate lambdas). Re-fetch the tenant each round: blocking
+    // can outlive a released tenant's tenants_ entry.
+    for (;;) {
+      if (shutdown_) break;
       const Tenant& t = TenantFor(task.tenant);
-      return t.options.max_queue == 0 || t.queued < t.options.max_queue;
-    });
+      if (t.options.max_queue == 0 || t.queued < t.options.max_queue) break;
+      space_cv_.Wait(mu_);
+    }
   }
 }
 
 bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] { return shutdown_ || depth_ > 0; });
+  MutexLock lock(mu_);
+  while (!shutdown_ && depth_ == 0) work_cv_.Wait(mu_);
   if (depth_ == 0) return false;  // shutdown with a drained queue
 
   if (policy_ == SchedPolicy::kFifo) {
@@ -181,11 +185,11 @@ bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
     }
   }
   --depth_;
-  // notify_all, not notify_one: space_cv_ waiters have heterogeneous
+  // NotifyAll, not NotifyOne: space_cv_ waiters have heterogeneous
   // predicates (per-tenant quota vs. token refill), so a single wakeup
   // could land on a producer whose own condition is still false while an
   // admissible one keeps sleeping.
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
 
   const TimePoint now = Clock::now();
   task->wait = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -199,7 +203,7 @@ bool FairQueue::Pop(Task* task, TaskOutcome* outcome) {
 
 void FairQueue::AttachMetrics(obs::Histogram* queue_wait,
                               obs::Histogram* token_wait) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_wait_hist_ = queue_wait;
   token_wait_hist_ = token_wait;
 }
@@ -213,20 +217,20 @@ void FairQueue::GcTenant(uint64_t id) {
 
 void FairQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
+  work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
 }
 
 size_t FairQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return depth_;
 }
 
 size_t FairQueue::TenantDepth(uint64_t tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.queued;
 }

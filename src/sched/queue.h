@@ -22,18 +22,17 @@
 #define RELCOMP_SCHED_QUEUE_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <utility>
 
 #include "obs/histogram.h"
 #include "sched/policy.h"
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace sched {
@@ -75,31 +74,31 @@ class FairQueue {
   /// registration's options win (matching the service's setting dedup,
   /// where the first registration defines the shard). Pushing to an
   /// undeclared tenant implicitly registers it with the default options.
-  void RegisterTenant(uint64_t tenant, TenantOptions options);
+  void RegisterTenant(uint64_t tenant, TenantOptions options) EXCLUDES(mu_);
 
   /// Marks a tenant released; its state is garbage-collected once its
   /// queue drains. Queued tasks still run (they hold their own resources).
-  void ReleaseTenant(uint64_t tenant);
+  void ReleaseTenant(uint64_t tenant) EXCLUDES(mu_);
 
   /// Admits a task. Returns false when the task was NOT admitted: the
   /// tenant is over quota / rate under OverloadPolicy::kReject, or the
   /// queue shut down (including while blocked under kBlock). The task is
   /// moved-from only on success, so on failure the caller still owns it
   /// and must complete it (typically task.fn(kRejected, kNotQueued)).
-  bool Push(Task&& task);
+  bool Push(Task&& task) EXCLUDES(mu_);
 
   /// Blocks for the next task per policy. Returns false only on shutdown
   /// with an empty queue — every admitted task is handed out exactly once
   /// before workers are told to exit, preserving drain-before-shutdown.
   /// `*outcome` is kRun, or kExpired when the task's deadline has passed.
-  bool Pop(Task* task, TaskOutcome* outcome);
+  bool Pop(Task* task, TaskOutcome* outcome) EXCLUDES(mu_);
 
   /// Wakes blocked producers and consumers; Pop drains remaining tasks
   /// then returns false; Push refuses new work.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  size_t depth() const;
-  size_t TenantDepth(uint64_t tenant) const;
+  size_t depth() const EXCLUDES(mu_);
+  size_t TenantDepth(uint64_t tenant) const EXCLUDES(mu_);
 
   /// Points the queue at externally owned histograms (microsecond values):
   /// `queue_wait` records every popped task's in-queue residency;
@@ -107,7 +106,8 @@ class FairQueue {
   /// on the rate limiter/quota before admission (recorded only when
   /// nonzero, so an uncontended queue stays silent). Either may be null.
   /// The histograms must outlive the queue; call before workers start.
-  void AttachMetrics(obs::Histogram* queue_wait, obs::Histogram* token_wait);
+  void AttachMetrics(obs::Histogram* queue_wait, obs::Histogram* token_wait)
+      EXCLUDES(mu_);
 
  private:
   /// Stride scheduling granularity. Pass advances by kStrideScale/weight
@@ -127,37 +127,40 @@ class FairQueue {
     TimePoint refilled{};
   };
 
-  void InitTenant(Tenant& tenant, TenantOptions options);  // requires mu_
-  Tenant& TenantFor(uint64_t id);  // requires mu_
+  void InitTenant(Tenant& tenant, TenantOptions options) REQUIRES(mu_);
+  Tenant& TenantFor(uint64_t id) REQUIRES(mu_);
   /// Refills and tries to take one token; returns the wait until a token
-  /// is available (zero when taken). Requires mu_.
-  std::chrono::nanoseconds TakeToken(Tenant& tenant, TimePoint now);
-  /// Whether `tenant` can admit one more task right now. Requires mu_.
-  bool HasRoom(const Tenant& tenant) const;
-  void GcTenant(uint64_t id);  // requires mu_
+  /// is available (zero when taken).
+  std::chrono::nanoseconds TakeToken(Tenant& tenant, TimePoint now)
+      REQUIRES(mu_);
+  /// Whether `tenant` can admit one more task right now.
+  bool HasRoom(const Tenant& tenant) const REQUIRES(mu_);
+  void GcTenant(uint64_t id) REQUIRES(mu_);
 
   const SchedPolicy policy_;
   const OverloadPolicy overload_;
   const TenantOptions default_tenant_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< waits in Pop
-  std::condition_variable space_cv_;  ///< waits in Push (kBlock overload)
-  std::map<uint64_t, Tenant> tenants_;  ///< ordered: deterministic tie-break
+  mutable Mutex mu_{LockRank::kSchedQueue, "FairQueue::mu_"};
+  CondVar work_cv_;   ///< waits in Pop
+  CondVar space_cv_;  ///< waits in Push (kBlock overload)
+  /// Ordered: deterministic tie-break.
+  std::map<uint64_t, Tenant> tenants_ GUARDED_BY(mu_);
   /// kFairShare dispatch index: the backlogged tenants ordered by
   /// (pass, id). The head is the stride scheduler's pick in O(log n) —
   /// entries move only when a tenant's pass advances (one erase + insert
   /// per dispatch) or its backlog empties, so thousands of tenants cost a
   /// tree walk instead of the old linear min-pass scan. The id in the key
   /// keeps ties deterministic (lowest tenant id wins, as before).
-  std::set<std::pair<uint64_t, uint64_t>> ready_;
+  std::set<std::pair<uint64_t, uint64_t>> ready_ GUARDED_BY(mu_);
   /// kFifo dispatch order across all tenants, one lane per priority class.
-  std::array<std::deque<Task>, kNumPriorities> fifo_;
-  uint64_t global_pass_ = 0;  ///< pass of the last dispatched tenant
-  size_t depth_ = 0;
-  bool shutdown_ = false;
-  obs::Histogram* queue_wait_hist_ = nullptr;  ///< not owned
-  obs::Histogram* token_wait_hist_ = nullptr;  ///< not owned
+  std::array<std::deque<Task>, kNumPriorities> fifo_ GUARDED_BY(mu_);
+  /// Pass of the last dispatched tenant.
+  uint64_t global_pass_ GUARDED_BY(mu_) = 0;
+  size_t depth_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  obs::Histogram* queue_wait_hist_ GUARDED_BY(mu_) = nullptr;  ///< not owned
+  obs::Histogram* token_wait_hist_ GUARDED_BY(mu_) = nullptr;  ///< not owned
 };
 
 }  // namespace sched

@@ -10,11 +10,11 @@
 #ifndef RELCOMP_SCHED_STREAM_H_
 #define RELCOMP_SCHED_STREAM_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace sched {
@@ -37,35 +37,31 @@ class Stream {
     // Notifications stay under the lock: a consumer that saw the final
     // item may destroy the stream the moment it can reacquire the mutex,
     // so the cv must not be touched after the unlock.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!ignore_bound && capacity_ > 0) {
-      space_cv_.wait(lock, [this] {
-        return closed_ || items_.size() < capacity_;
-      });
+      while (!closed_ && items_.size() >= capacity_) space_cv_.Wait(mu_);
     }
     if (closed_) return;
     items_.push_back(std::move(item));
-    items_cv_.notify_one();
+    items_cv_.NotifyOne();
   }
 
   /// Producer side: no more items will be published. Idempotent.
   void Finish() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     finished_ = true;
-    items_cv_.notify_all();
+    items_cv_.NotifyAll();
   }
 
   /// Consumer side: blocks for the next item. Returns false once the
   /// stream is finished and drained (or closed).
   bool Next(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    items_cv_.wait(lock, [this] {
-      return closed_ || finished_ || !items_.empty();
-    });
+    MutexLock lock(mu_);
+    while (!closed_ && !finished_ && items_.empty()) items_cv_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    space_cv_.notify_one();
+    space_cv_.NotifyOne();
     return true;
   }
 
@@ -80,11 +76,11 @@ class Stream {
   /// Consumer side: abandon the stream; pending and future publishes are
   /// discarded and producers unblock.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     items_.clear();
-    items_cv_.notify_all();
-    space_cv_.notify_all();
+    items_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
   /// Consumer side: blocks until the producer side has called Finish() —
@@ -95,20 +91,20 @@ class Stream {
   /// producer is gone — e.g. the owning service was already destroyed,
   /// draining its queue.
   void WaitProducersFinished() {
-    std::unique_lock<std::mutex> lock(mu_);
-    items_cv_.wait(lock, [this] { return finished_; });
+    MutexLock lock(mu_);
+    while (!finished_) items_cv_.Wait(mu_);
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable items_cv_;
-  std::condition_variable space_cv_;
-  std::deque<T> items_;
-  bool finished_ = false;
-  bool closed_ = false;
+  Mutex mu_{LockRank::kSchedStream, "Stream::mu_"};
+  CondVar items_cv_;
+  CondVar space_cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool finished_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sched

@@ -226,7 +226,7 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
                        FingerprintSettingSeeded(setting,
                                                 /*seed=*/0x5e771465eed2ULL)};
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     auto it = handle_by_fingerprint_.find(key);
     if (it != handle_by_fingerprint_.end()) {
       ++shards_.at(it->second)->refcount;
@@ -261,7 +261,7 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
                               resolved.cache_floor_bytes);
   }
 
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = handle_by_fingerprint_.find(key);
   if (it != handle_by_fingerprint_.end()) {
     // Another thread registered the same setting while we prepared.
@@ -295,7 +295,7 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
 }
 
 Status CompletenessService::ReleaseSetting(SettingHandle handle) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = shards_.find(handle.id);
   if (it == shards_.end()) {
     return Status::NotFound("setting handle " + std::to_string(handle.id) +
@@ -310,13 +310,13 @@ Status CompletenessService::ReleaseSetting(SettingHandle handle) {
 }
 
 size_t CompletenessService::num_settings() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   return shards_.size();
 }
 
 std::shared_ptr<CompletenessService::Shard> CompletenessService::FindShard(
     SettingHandle handle) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = shards_.find(handle.id);
   return it == shards_.end() ? nullptr : it->second;
 }
@@ -472,7 +472,7 @@ Decision CompletenessService::DecideOnShard(
         trace->Phase("shed");
         trace->AnnotatePhase("cancelled before evaluation");
       }
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (count_request) ++shard.counters.requests;
       ++shard.counters.cancelled;
       return CancelledDecision();
@@ -482,7 +482,7 @@ Decision CompletenessService::DecideOnShard(
         trace->Phase("shed");
         trace->AnnotatePhase("deadline passed while queued");
       }
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (count_request) ++shard.counters.requests;
       ++shard.counters.expired;
       return ExpiredDecision();
@@ -501,7 +501,7 @@ Decision CompletenessService::DecideOnShard(
   uint64_t joined_run_id = 0;
   bool joined_run_traced = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (count_request) ++shard.counters.requests;
     if (memoize) {
       Decision hit;
@@ -573,7 +573,7 @@ Decision CompletenessService::DecideOnShard(
     if (IsAbortStatus(decision.status)) {
       // The run this caller piggy-backed on was aborted mid-evaluation:
       // re-file the join-time hit under the abort's bucket instead.
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       --shard.counters.cache_hits;
       --shard.counters.coalesced;
       CountAbortBucketLocked(shard.counters, decision.status);
@@ -599,7 +599,7 @@ Decision CompletenessService::DecideOnShard(
     Decision decision = EvaluateRequest(request, shard.prepared, &effective);
     const bool aborted = IsAbortStatus(decision.status);
     if (trace != nullptr) trace->Phase("cache-store");
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.counters.search += decision.stats;
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
@@ -660,7 +660,7 @@ Decision CompletenessService::EvaluateForGroup(
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.counters.search += decision.stats;
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
     if (aborted) ReclassifyAbortLocked(shard.counters, decision);
@@ -724,7 +724,7 @@ void CompletenessService::ShedGroup(Shard& shard, const RequestCacheKey& key,
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (group->started) return;  // a sync caller stole it; it will publish
     shard.in_flight.erase(key);
     members = std::move(group->members);
@@ -943,7 +943,7 @@ void CompletenessService::SubmitRouted(
                trace](sched::TaskOutcome outcome,
                       std::chrono::microseconds wait) {
       {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        MutexLock lock(shard->mu);
         CountWaitLocked(shard->counters, wait, shard->metrics.queue_wait);
       }
       // Cancellation snapshot at evaluation start: members cancelling
@@ -993,19 +993,19 @@ void CompletenessService::SubmitRouted(
           member_decision = decision;
         } else if (cancelled[j]) {
           member_decision = CancelledDecision();
-          std::lock_guard<std::mutex> lock(shard->mu);
+          MutexLock lock(shard->mu);
           ++shard->counters.requests;
           ++shard->counters.cancelled;
         } else if (!evaluated) {
           member_decision = decision;
-          std::lock_guard<std::mutex> lock(shard->mu);
+          MutexLock lock(shard->mu);
           CountDuplicateLocked(shard->counters, decision);
         } else {
           member_decision = decision;
           member_decision.from_cache = !IsShedDecision(decision);
           AppendNote(&member_decision,
                      "coalesced with identical request in batch");
-          std::lock_guard<std::mutex> lock(shard->mu);
+          MutexLock lock(shard->mu);
           CountDuplicateLocked(shard->counters, decision);
         }
         // The trace rides the primary slot only — one Finish, one slow-log
@@ -1115,7 +1115,7 @@ void CompletenessService::SubmitAsyncImpl(
   if (sp.cancel.cancelled() || sp.deadline < sched::Clock::now()) {
     const bool cancelled = sp.cancel.cancelled();
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       ++shard->counters.requests;
       if (cancelled) {
         ++shard->counters.cancelled;
@@ -1136,7 +1136,7 @@ void CompletenessService::SubmitAsyncImpl(
 
   if (!options_.coalesce) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       ++shard->counters.requests;
     }
     if (trace != nullptr) trace->Phase("queue");
@@ -1149,7 +1149,7 @@ void CompletenessService::SubmitAsyncImpl(
                submit, trace](sched::TaskOutcome outcome,
                               std::chrono::microseconds wait) {
       {
-        std::lock_guard<std::mutex> lock(shard->mu);
+        MutexLock lock(shard->mu);
         CountWaitLocked(shard->counters, wait, shard->metrics.queue_wait);
       }
       Decision decision;
@@ -1160,14 +1160,14 @@ void CompletenessService::SubmitAsyncImpl(
           break;
         case sched::TaskOutcome::kExpired: {
           if (trace != nullptr) trace->Phase("shed");
-          std::lock_guard<std::mutex> lock(shard->mu);
+          MutexLock lock(shard->mu);
           ++shard->counters.expired;
           decision = ExpiredDecision();
           break;
         }
         case sched::TaskOutcome::kRejected: {
           if (trace != nullptr) trace->Phase("shed");
-          std::lock_guard<std::mutex> lock(shard->mu);
+          MutexLock lock(shard->mu);
           ++shard->counters.rejected;
           decision = RejectedDecision();
           break;
@@ -1197,7 +1197,7 @@ void CompletenessService::SubmitAsyncImpl(
   uint64_t joined_run_id = 0;
   bool joined_run_traced = false;
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     ++shard->counters.requests;
     if (memoize) {
       if (shard->cache->Get(key, &hit)) {
@@ -1286,7 +1286,7 @@ void CompletenessService::RunOwnerTask(
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     CountWaitLocked(shard.counters, wait, shard.metrics.queue_wait);
     if (group->started) {
       // A synchronous caller stole the parked group; it owns publication.
@@ -1424,21 +1424,21 @@ Result<EngineCounters> CompletenessService::counters(
   std::shared_ptr<Shard> shard = FindShard(handle);
   if (shard == nullptr) return UnknownHandleDecision(handle).status;
   const cache::CacheStats cache_stats = shard->cache->stats();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   return WithCacheStats(shard->counters, cache_stats);
 }
 
 EngineCounters CompletenessService::TotalCounters() const {
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     shards.reserve(shards_.size());
     for (const auto& [id, shard] : shards_) shards.push_back(shard);
   }
   EngineCounters total;
   for (const std::shared_ptr<Shard>& shard : shards) {
     const cache::CacheStats cache_stats = shard->cache->stats();
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += WithCacheStats(shard->counters, cache_stats);
   }
   return total;
@@ -1456,14 +1456,14 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
   // construction. Sorted by handle id for deterministic output.
   std::vector<std::pair<uint64_t, std::shared_ptr<Shard>>> shards;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     shards.reserve(shards_.size());
     for (const auto& [id, shard] : shards_) shards.emplace_back(id, shard);
   }
   std::vector<std::pair<uint64_t, EngineCounters>> snapshots;
   snapshots.reserve(shards.size());
   for (const auto& [id, shard] : shards) {
-    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    MutexLock shard_lock(shard->mu);
     snapshots.emplace_back(id, shard->counters);
   }
   std::sort(snapshots.begin(), snapshots.end(),
@@ -1519,7 +1519,7 @@ Result<cache::CacheStats> CompletenessService::CacheStats(
 Status CompletenessService::SaveCaches(const std::string& path) const {
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     shards.reserve(shards_.size());
     for (const auto& [id, shard] : shards_) shards.push_back(shard);
   }
@@ -1542,7 +1542,7 @@ Result<size_t> CompletenessService::LoadCaches(const std::string& path) {
   for (cache::SnapshotShard& image : snapshot->shards) {
     std::shared_ptr<Shard> live;
     {
-      std::lock_guard<std::mutex> lock(registry_mu_);
+      MutexLock lock(registry_mu_);
       auto it = handle_by_fingerprint_.find(image.setting_key);
       if (it == handle_by_fingerprint_.end()) {
         // Stage for a future RegisterSetting with this fingerprint; a

@@ -71,7 +71,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -87,6 +86,7 @@
 #include "sched/queue.h"
 #include "sched/stream.h"
 #include "service/decision.h"
+#include "util/mutex.h"
 
 namespace relcomp {
 
@@ -112,7 +112,10 @@ struct SettingHandle {
 struct ServiceRequest {
   SettingHandle setting;
   DecisionRequest request;
-  sched::SchedParams sched;
+  // The default initializer matters beyond defaulting: it keeps
+  // `ServiceRequest{handle, request}` aggregate initialization (the
+  // dominant spelling in callers) clean under -Wmissing-field-initializers.
+  sched::SchedParams sched = {};
 };
 
 /// Per-setting overrides, fixed at registration. When a setting
@@ -446,17 +449,19 @@ class CompletenessService {
     const SettingKey setting_key;
     const ShardOptions options;  ///< resolved (no kInherit markers)
     ShardMetrics metrics;   // set once at registration, then read-only
-    uint64_t refcount = 1;  // guarded by registry_mu_
+    uint64_t refcount = 1;  // guarded by registry_mu_ (not expressible as
+                            // GUARDED_BY: the outer service's mutex is not
+                            // nameable from a nested struct)
 
-    mutable std::mutex mu;  // counters + in_flight (NOT the cache: it is
-                            // internally synchronized — peer shards shed
-                            // its entries under shared-budget pressure
-                            // without ever taking a shard mutex)
+    // Guards counters + in_flight (NOT the cache: it is internally
+    // synchronized — peer shards shed its entries under shared-budget
+    // pressure without ever taking a shard mutex).
+    mutable Mutex mu{LockRank::kShard, "Shard::mu"};
     const std::shared_ptr<cache::ShardCache> cache;
-    EngineCounters counters;
+    EngineCounters counters GUARDED_BY(mu);
     std::unordered_map<RequestCacheKey, std::shared_ptr<FlightGroup>,
                        RequestCacheKeyHash>
-        in_flight;
+        in_flight GUARDED_BY(mu);
   };
 
   /// A request resolved to its shard (null when the handle is unknown).
@@ -467,7 +472,8 @@ class CompletenessService {
     const sched::SchedParams* sched = nullptr;  ///< null = defaults
   };
 
-  std::shared_ptr<Shard> FindShard(SettingHandle handle) const;
+  std::shared_ptr<Shard> FindShard(SettingHandle handle) const
+      EXCLUDES(registry_mu_);
   static Decision UnknownHandleDecision(SettingHandle handle);
 
   /// Delivers one async member's decision through whichever channel it
@@ -486,7 +492,8 @@ class CompletenessService {
                          const RequestCacheKey* precomputed = nullptr,
                          const sched::SchedParams* sched = nullptr,
                          bool count_request = true,
-                         const std::shared_ptr<obs::Trace>& trace = nullptr);
+                         const std::shared_ptr<obs::Trace>& trace = nullptr)
+      EXCLUDES(shard.mu);
 
   /// Resolves one new shard's metric instruments (and wires the cache's
   /// event sink) under the tenant label `handle_id`. No-op when
@@ -537,13 +544,14 @@ class CompletenessService {
   Decision EvaluateForGroup(Shard& shard, const DecisionRequest& request,
                             const RequestCacheKey& key,
                             const std::shared_ptr<FlightGroup>& group,
-                            size_t billed_member);
+                            size_t billed_member) EXCLUDES(shard.mu);
 
   /// Sheds a not-yet-started group refused by admission control: members
   /// report kUnavailable unless individually cancelled. No-op if
-  /// evaluation already started. Requires shard.mu NOT held.
+  /// evaluation already started.
   void ShedGroup(Shard& shard, const RequestCacheKey& key,
-                 const std::shared_ptr<FlightGroup>& group);
+                 const std::shared_ptr<FlightGroup>& group)
+      EXCLUDES(shard.mu);
 
   /// The queued owner task of an admission-time flight group: records the
   /// queue wait, then evaluates, serves the group from a cache entry that
@@ -591,19 +599,24 @@ class CompletenessService {
   // budget accounting entirely).
   std::unique_ptr<cache::CacheBudget> cache_budget_;
 
-  // Registry: handle id → shard, plus the fingerprint dedup index.
-  mutable std::mutex registry_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Shard>> shards_;
+  // Registry: handle id → shard, plus the fingerprint dedup index. The
+  // OUTERMOST lock in the system (kServiceRegistry): registration holds it
+  // while reaching into the queue, the cache (warm restore), and the
+  // metrics registry.
+  mutable Mutex registry_mu_{LockRank::kServiceRegistry,
+                             "CompletenessService::registry_mu_"};
+  std::unordered_map<uint64_t, std::shared_ptr<Shard>> shards_
+      GUARDED_BY(registry_mu_);
   std::unordered_map<SettingKey, uint64_t, SettingKeyHash>
-      handle_by_fingerprint_;
-  uint64_t next_handle_id_ = 1;
+      handle_by_fingerprint_ GUARDED_BY(registry_mu_);
+  uint64_t next_handle_id_ GUARDED_BY(registry_mu_) = 1;
   // Snapshot entries loaded before their setting registered, keyed by the
   // setting fingerprint they were computed under; applied (and erased) by
-  // the first matching RegisterSetting. Guarded by registry_mu_.
+  // the first matching RegisterSetting.
   std::unordered_map<SettingKey,
                      std::vector<std::pair<RequestCacheKey, Decision>>,
                      SettingKeyHash>
-      pending_warm_;
+      pending_warm_ GUARDED_BY(registry_mu_);
 
   // Observability: the service-owned metrics registry (per-service, so two
   // services in one process never collide on tenant labels — handle ids

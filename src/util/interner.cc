@@ -2,17 +2,18 @@
 
 #include <cassert>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace relcomp {
 namespace {
 
 // A single process-wide table. Deque gives pointer stability for names.
 struct InternTable {
-  std::mutex mu;
-  std::unordered_map<std::string_view, SymbolId> index;
-  std::deque<std::string> names;
+  Mutex mu{LockRank::kInterner, "InternTable::mu"};
+  std::unordered_map<std::string_view, SymbolId> index GUARDED_BY(mu);
+  std::deque<std::string> names GUARDED_BY(mu);
 };
 
 InternTable& Table() {
@@ -24,7 +25,7 @@ InternTable& Table() {
 
 SymbolId InternSymbol(std::string_view name) {
   InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   auto it = t.index.find(name);
   if (it != t.index.end()) return it->second;
   t.names.emplace_back(name);
@@ -35,14 +36,21 @@ SymbolId InternSymbol(std::string_view name) {
 
 const std::string& SymbolName(SymbolId id) {
   InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
-  assert(id < t.names.size());
-  return t.names[id];
+  // Resolve under the lock, return outside it: deque elements are
+  // pointer-stable and immutable once interned, so the reference stays
+  // valid forever — only the container itself needs the mutex.
+  const std::string* name;
+  {
+    MutexLock lock(t.mu);
+    assert(id < t.names.size());
+    name = &t.names[id];
+  }
+  return *name;
 }
 
 size_t InternedSymbolCount() {
   InternTable& t = Table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   return t.names.size();
 }
 

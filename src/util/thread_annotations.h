@@ -1,0 +1,83 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These attach the locking contract to the code itself so that
+// `clang++ -Wthread-safety -Werror` can PROVE, at compile time, that every
+// access to a guarded member happens with the right mutex held — instead of
+// the contract living in comments and being re-checked by whichever
+// interleaving a TSan run happens to hit. The vocabulary follows the Clang
+// thread-safety analysis documentation (and abseil's macro set):
+//
+//   CAPABILITY          — the class is a lockable resource (relcomp::Mutex)
+//   SCOPED_CAPABILITY   — RAII object that acquires/releases a capability
+//   GUARDED_BY(mu)      — the member may only be touched while mu is held
+//   PT_GUARDED_BY(mu)   — same, for the pointee of a pointer member
+//   REQUIRES(mu)        — the function must be called with mu already held
+//   EXCLUDES(mu)        — the function must be called with mu NOT held
+//   ACQUIRE / RELEASE   — the function takes / drops the capability
+//   TRY_ACQUIRE(b, mu)  — conditional acquire, returning `b` on success
+//   RETURN_CAPABILITY   — the function returns a reference to a capability
+//   NO_THREAD_SAFETY_ANALYSIS — opt a function out (deliberate violations,
+//                               e.g. the lock-rank checker's death tests)
+//
+// GCC compiles the attributes away entirely, so the annotated build and the
+// unannotated build are the same code; only the clang CI job enforces them.
+#ifndef RELCOMP_UTIL_THREAD_ANNOTATIONS_H_
+#define RELCOMP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RELCOMP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RELCOMP_THREAD_ANNOTATION
+#define RELCOMP_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) RELCOMP_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY RELCOMP_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) RELCOMP_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) RELCOMP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  RELCOMP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  RELCOMP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  RELCOMP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  RELCOMP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  RELCOMP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  RELCOMP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  RELCOMP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  RELCOMP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  RELCOMP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  RELCOMP_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) RELCOMP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) RELCOMP_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) RELCOMP_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RELCOMP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // RELCOMP_UTIL_THREAD_ANNOTATIONS_H_

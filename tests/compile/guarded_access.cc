@@ -1,0 +1,33 @@
+// Compile-check (positive control): the properly guarded version of
+// unguarded_access.cc must compile cleanly under the same
+// -Werror=thread-safety-analysis flags. Together the pair proves the
+// annotations both accept correct code and reject incorrect code.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    relcomp::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    relcomp::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable relcomp::Mutex mu_{relcomp::LockRank::kShard, "Account::mu_"};
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+// Compile-check (negative): an unguarded access to a GUARDED_BY member must
+// be REJECTED by clang's thread-safety analysis. CMake registers this TU as
+// a WILL_FAIL ctest entry compiled with -Werror=thread-safety-analysis; if
+// it ever starts compiling, the annotation macros have gone inert (e.g. a
+// broken __has_attribute gate) and the whole static story is void.
+// See guarded_access.cc for the positive control.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mu_ not held — the analysis must flag this
+  }
+
+ private:
+  relcomp::Mutex mu_{relcomp::LockRank::kShard, "Account::mu_"};
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

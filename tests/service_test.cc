@@ -670,7 +670,9 @@ TEST(ServiceTest, EngineAdapterMatchesService) {
   EXPECT_EQ(engine->service().num_settings(), 1u);
   Decision async = engine->SubmitAsync(workload[0]).get();
   EXPECT_EQ(async.status.code(), via_engine[0].status.code());
-  if (async.status.ok()) EXPECT_EQ(async.answer, via_engine[0].answer);
+  if (async.status.ok()) {
+    EXPECT_EQ(async.answer, via_engine[0].answer);
+  }
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 // multi-setting CompletenessService, and reports per-query decisions plus
 // throughput and cache statistics.
 //
-//   relcomp_cli setting.rcp [more_queries.rcp ...] \
+//   relcomp_cli setting.rcp [more_queries.rcp ...]
 //       [--problem rcdp-strong,rcdp-weak] [--workers N] [--cache N]
 //       [--repeat K] [--instance NAME] [--minstance NAME]
 //       [--compare] [--witness]

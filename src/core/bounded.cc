@@ -16,7 +16,7 @@ class ExtensionSearcher {
         max_added_(max_added),
         options_(options),
         stats_(stats),
-        checkpoint_(options_, "bounded incompleteness search") {
+        checkpoint_(options_, "bounded incompleteness search", "bounded-dfs") {
     for (const RelationSchema& rel : setting.schema.relations()) {
       std::vector<Tuple> tuples;
       TupleEnumerator it(rel, adom);

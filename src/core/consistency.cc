@@ -26,7 +26,7 @@ Result<bool> IsExtensible(const PreparedSetting& prepared,
                           const SearchOptions& options, SearchStats* stats,
                           ExtensionWitness* witness) {
   AdomContext adom = prepared.BuildAdomForGround(instance, nullptr);
-  SearchCheckpoint checkpoint(options, "extensibility search");
+  SearchCheckpoint checkpoint(options, "extensibility search", "consistency");
   for (const RelationSchema& rel : prepared.schema().relations()) {
     const Relation& existing = instance.at(rel.name());
     TupleEnumerator tuples(rel, adom);

@@ -327,7 +327,7 @@ ModEnumerator::ModEnumerator(const CInstance& cinstance,
       options_(options),
       stats_(stats),
       valuations_(CInstanceVarCandidates(cinstance, adom)),
-      checkpoint_(options_, "Mod(T, Dm, V) enumeration") {}
+      checkpoint_(options_, "Mod(T, Dm, V) enumeration", "mod-enum") {}
 
 ModEnumerator::ModEnumerator(const CInstance& cinstance,
                              const PartiallyClosedSetting& setting,

@@ -42,7 +42,7 @@ Result<bool> IsCompleteGround(const Query& q, const Instance& instance,
   Result<std::vector<ConjunctiveQuery>> disjuncts = q.Disjuncts();
   if (!disjuncts.ok()) return disjuncts.status();
 
-  SearchCheckpoint checkpoint(options, "ground completeness search");
+  SearchCheckpoint checkpoint(options, "ground completeness search", "ground");
   for (const ConjunctiveQuery& disjunct : *disjuncts) {
     // Fresh constants are interchangeable in this existential search, so a
     // symmetry-broken enumeration suffices (values of I stay pinned).

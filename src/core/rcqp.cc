@@ -31,7 +31,7 @@ class RcqpSearcher {
         max_tuples_(max_tuples),
         options_(options),
         stats_(stats),
-        checkpoint_(options_, "RCQP search") {
+        checkpoint_(options_, "RCQP search", "rcqp-dfs") {
     // Materialize candidate tuples per relation.
     for (const RelationSchema& rel : prepared.schema().relations()) {
       std::vector<Tuple> tuples;
@@ -186,7 +186,7 @@ Result<bool> RcqpStrongInd(const Query& q,
   CInstance empty(prepared.schema());
   AdomContext adom = prepared.BuildAdom(empty, &q);
 
-  SearchCheckpoint checkpoint(options, "IND RCQP valuation search");
+  SearchCheckpoint checkpoint(options, "IND RCQP valuation search", "rcqp-ind");
   for (const ConjunctiveQuery& disjunct : *disjuncts) {
     if (IsBoundedDisjunct(disjunct, prepared.schema(), prepared.ccs())) {
       continue;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "ctable/cinstance.h"
 #include "data/instance.h"
@@ -28,6 +29,106 @@ struct PartiallyClosedSetting {
 
   /// Validates Dm against the master schema and every CC against both.
   Status Validate() const;
+};
+
+/// Per-evaluation search attribution: which core search loops ran, for how
+/// long, and how many steps each charged. A SearchProfile is a single-
+/// threaded phase machine fed by the SearchCheckpoint RAII (construction
+/// enters a loop, destruction exits it); nested loops pause the enclosing
+/// loop's slice and reopen a fresh one on return, so the recorded slices
+/// are non-overlapping and tile the time spent inside instrumented loops
+/// exactly — the property that lets exported traces render per-loop
+/// sub-slices whose durations sum to the evaluate span (gaps between
+/// slices are evaluation work outside any instrumented loop).
+///
+/// NOT thread-safe by design: one evaluation runs on one thread, and the
+/// profile becomes read-only (shared_ptr<const>) once the evaluation
+/// finishes. Every time-taking method accepts an explicit time point so
+/// tests can drive deterministic timelines.
+class SearchProfile {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Slices beyond this cap are counted in dropped_slices() instead of
+  /// stored; per-loop totals keep accumulating regardless.
+  static constexpr size_t kMaxSlices = 96;
+
+  /// One closed sub-slice: [start, end) microseconds relative to Start(),
+  /// tagged with the loop's short stable name ("ground", "mod-enum", ...).
+  /// `steps` is the search work observed during this slice (exact for a
+  /// loop's final slice; a lower bound for slices paused by a nested loop,
+  /// where steps are observed only at checkpoint polls).
+  struct Slice {
+    const char* loop = nullptr;
+    uint64_t start_micros = 0;
+    uint64_t end_micros = 0;
+    uint64_t steps = 0;
+
+    uint64_t duration_micros() const { return end_micros - start_micros; }
+  };
+
+  /// Per-loop rollup across every slice (and the dropped ones).
+  struct LoopTotal {
+    const char* loop = nullptr;
+    uint64_t micros = 0;   ///< total time inside the loop
+    uint64_t steps = 0;    ///< total steps the loop charged
+    uint64_t entries = 0;  ///< times the loop was entered
+  };
+
+  /// Anchors the profile's epoch. The service passes the SAME instant it
+  /// opens the trace's "evaluate" phase with, so slice offsets and the
+  /// evaluate span share a coordinate system. Implicit on first EnterLoop
+  /// when never called.
+  void Start(Clock::time_point now = Clock::now());
+
+  /// Opens a slice for `loop` (a string literal that must outlive the
+  /// profile), pausing the enclosing loop's slice if one is open.
+  void EnterLoop(const char* loop, Clock::time_point now = Clock::now());
+
+  /// Updates the running loop's observed step count (checkpoint polls).
+  void Heartbeat(uint64_t steps);
+
+  /// Closes `loop`'s slice with its final step count and resumes the
+  /// enclosing loop (a fresh slice at the same instant). Robust against
+  /// mismatched nesting: intervening frames are closed too.
+  void ExitLoop(const char* loop, uint64_t steps,
+                Clock::time_point now = Clock::now());
+
+  /// Seals the profile (closing any loops still open) and records the
+  /// total evaluation time. Idempotent; the first Finish wins.
+  void Finish(Clock::time_point now = Clock::now());
+
+  bool finished() const { return finished_; }
+  uint64_t total_micros() const { return total_micros_; }
+  size_t dropped_slices() const { return dropped_; }
+  const std::vector<Slice>& slices() const { return slices_; }
+  /// Per-loop rollups, in first-entered order.
+  const std::vector<LoopTotal>& totals() const { return totals_; }
+
+  /// "total=1234us ground: 2 slices 900us 8192 steps; ..." — the compact
+  /// attribution line embedded in slow-log entries and reports.
+  std::string ToString() const;
+
+ private:
+  struct Frame {
+    const char* loop = nullptr;
+    uint64_t slice_start_micros = 0;
+    uint64_t steps_observed = 0;       ///< latest heartbeat / exit count
+    uint64_t steps_at_slice_open = 0;  ///< observed count when slice opened
+  };
+
+  uint64_t MicrosSinceStart(Clock::time_point now) const;
+  void CloseTopSlice(uint64_t at);
+  LoopTotal& TotalFor(const char* loop);
+
+  Clock::time_point start_{};
+  bool started_ = false;
+  bool finished_ = false;
+  uint64_t total_micros_ = 0;
+  size_t dropped_ = 0;
+  std::vector<Frame> stack_;
+  std::vector<Slice> slices_;
+  std::vector<LoopTotal> totals_;
 };
 
 /// Budget and cooperative-abort controls for the (inherently exponential)
@@ -74,6 +175,14 @@ struct SearchOptions {
   using SearchProgressFn = std::function<void(const char* what,
                                               uint64_t steps)>;
   const SearchProgressFn* progress = nullptr;
+  /// Per-evaluation search attribution sink. When set, every
+  /// SearchCheckpoint scopes its loop into the profile (EnterLoop on
+  /// construction, Heartbeat at polls, ExitLoop on destruction), yielding
+  /// per-loop time/step slices for the whole evaluation. The profile is
+  /// single-threaded (same thread as the search) and must outlive every
+  /// checkpoint built from these options; nullptr = no attribution. Like
+  /// `progress`, not part of the request cache key.
+  SearchProfile* profile = nullptr;
 };
 
 /// Amortized cooperative checkpoint threaded through every long enumeration
@@ -85,9 +194,17 @@ struct SearchOptions {
 /// tagged with the loop's `what` phrase, or OK to keep searching.
 class SearchCheckpoint {
  public:
-  /// `what` names the enclosing search in abort messages; it must outlive
-  /// the checkpoint (string literals in practice).
-  SearchCheckpoint(const SearchOptions& options, const char* what);
+  /// `what` names the enclosing search in abort messages; `loop` is the
+  /// short stable tag ("ground", "mod-enum", ...) used for profile slices
+  /// and progress callbacks, defaulting to `what`. Both must outlive the
+  /// checkpoint (string literals in practice). Construction enters the
+  /// loop in the options' SearchProfile (if any); destruction exits it —
+  /// the checkpoint IS the loop's profiling scope, so it is not copyable.
+  SearchCheckpoint(const SearchOptions& options, const char* what,
+                   const char* loop = nullptr);
+  ~SearchCheckpoint();
+  SearchCheckpoint(const SearchCheckpoint&) = delete;
+  SearchCheckpoint& operator=(const SearchCheckpoint&) = delete;
 
   /// Charges one enumeration step.
   Status Tick() {
@@ -112,7 +229,9 @@ class SearchCheckpoint {
   const std::atomic<std::chrono::steady_clock::rep>* shared_deadline_;
   CancelToken cancel_;
   const SearchOptions::SearchProgressFn* progress_;
+  SearchProfile* profile_;
   const char* what_;
+  const char* loop_;
 };
 
 /// Counters reported by the deciders; benchmarks use them to show the

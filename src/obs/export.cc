@@ -1,0 +1,247 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/types.h"
+
+namespace relcomp {
+namespace obs {
+
+void TraceSink::Configure(size_t capacity) {
+  MutexLock lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity);
+  next_ = 0;
+  dropped_ = 0;
+}
+
+void TraceSink::Offer(TraceRecord record) {
+  if (!record.trace) return;
+  MutexLock lock(mu_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceRecord> TraceSink::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t TraceSink::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+size_t TraceSink::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
+}
+
+uint64_t TraceSink::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Emits one trace_event object. `args_json` is a pre-rendered JSON object
+// body ("{...}") or empty for no args.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostringstream& out) : out_(out) {}
+
+  void Metadata(const std::string& name, int pid, uint64_t tid,
+                const std::string& value) {
+    Begin();
+    out_ << "{\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << EscapeJson(value) << "\"}}";
+  }
+
+  void Complete(const std::string& name, int pid, uint64_t tid, uint64_t ts,
+                uint64_t dur, const std::string& args_json = "") {
+    Begin();
+    out_ << "{\"name\":\"" << EscapeJson(name) << "\",\"ph\":\"X\",\"ts\":"
+         << ts << ",\"dur\":" << dur << ",\"pid\":" << pid << ",\"tid\":"
+         << tid;
+    if (!args_json.empty()) out_ << ",\"args\":" << args_json;
+    out_ << "}";
+  }
+
+  void Instant(const std::string& name, int pid, uint64_t tid, uint64_t ts,
+               const std::string& args_json = "") {
+    Begin();
+    out_ << "{\"name\":\"" << EscapeJson(name)
+         << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts << ",\"pid\":" << pid
+         << ",\"tid\":" << tid;
+    if (!args_json.empty()) out_ << ",\"args\":" << args_json;
+    out_ << "}";
+  }
+
+ private:
+  void Begin() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << "  ";
+  }
+
+  std::ostringstream& out_;
+  bool first_ = true;
+};
+
+constexpr int kRequestsPid = 1;
+constexpr int kWorkersPid = 2;
+
+// Worker rows: tid 0 is the submitter (inline evaluations), worker i of
+// the pool is tid i+1.
+uint64_t WorkerTid(int worker) {
+  return worker == Trace::kInlineTrack ? 0
+                                       : static_cast<uint64_t>(worker) + 1;
+}
+
+uint64_t MicrosOnClock(TraceTime at) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          at.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter events(out);
+
+  events.Metadata("process_name", kRequestsPid, 0, "relcomp requests");
+  events.Metadata("process_name", kWorkersPid, 0, "relcomp workers");
+
+  std::vector<uint64_t> named_worker_tids;
+  for (const TraceRecord& record : records) {
+    if (!record.trace) continue;
+    const Trace& trace = *record.trace;
+    const uint64_t base_ts = MicrosOnClock(trace.start_time());
+    const uint64_t request_tid = trace.id();
+
+    std::string row_name = "req#" + std::to_string(trace.id());
+    if (!record.tenant.empty()) row_name += " tenant=" + record.tenant;
+    if (!record.kind.empty()) row_name += " kind=" + record.kind;
+    events.Metadata("thread_name", kRequestsPid, request_tid, row_name);
+
+    // The request row: the trace's own phase machine, marks as instants.
+    uint64_t eval_start = 0;
+    uint64_t eval_dur = 0;
+    bool have_eval = false;
+    for (const TraceSpan& span : trace.spans()) {
+      std::string args;
+      if (!span.note.empty()) {
+        args = "{\"note\":\"" + EscapeJson(span.note) + "\"}";
+      }
+      if (span.start_micros == span.end_micros) {
+        events.Instant(span.name, kRequestsPid, request_tid,
+                       base_ts + span.start_micros, args);
+        continue;
+      }
+      events.Complete(span.name, kRequestsPid, request_tid,
+                      base_ts + span.start_micros, span.duration_micros(),
+                      args);
+      if (span.name == "evaluate") {
+        have_eval = true;
+        eval_start = span.start_micros;
+        eval_dur = span.duration_micros();
+      }
+    }
+
+    if (!have_eval) continue;  // hits/sheds never ran on a worker
+
+    // The worker row: this request's evaluate span, with the profile's
+    // per-loop sub-slices nested inside and un-attributed time gap-filled
+    // as "other" so the sub-slices tile the span exactly.
+    const uint64_t worker_tid = WorkerTid(record.worker);
+    if (std::find(named_worker_tids.begin(), named_worker_tids.end(),
+                  worker_tid) == named_worker_tids.end()) {
+      named_worker_tids.push_back(worker_tid);
+      events.Metadata("thread_name", kWorkersPid, worker_tid,
+                      worker_tid == 0
+                          ? "submitter (inline)"
+                          : "worker " + std::to_string(worker_tid - 1));
+    }
+    std::string eval_args = "{\"trace_id\":" + std::to_string(trace.id());
+    if (!record.tenant.empty()) {
+      eval_args += ",\"tenant\":\"" + EscapeJson(record.tenant) + "\"";
+    }
+    if (!record.kind.empty()) {
+      eval_args += ",\"kind\":\"" + EscapeJson(record.kind) + "\"";
+    }
+    eval_args += "}";
+    events.Complete("evaluate req#" + std::to_string(trace.id()), kWorkersPid,
+                    worker_tid, base_ts + eval_start, eval_dur, eval_args);
+
+    if (!record.profile) continue;
+    // The service anchors SearchProfile::Start at the same instant it
+    // opens the trace's "evaluate" phase, so slice offsets are offsets
+    // into the evaluate span.
+    const uint64_t span_ts = base_ts + eval_start;
+    uint64_t cursor = 0;
+    auto emit_other = [&](uint64_t from, uint64_t to) {
+      if (to > from) {
+        events.Complete("other", kWorkersPid, worker_tid, span_ts + from,
+                        to - from);
+      }
+    };
+    for (const SearchProfile::Slice& slice : record.profile->slices()) {
+      const uint64_t start = std::min<uint64_t>(slice.start_micros, eval_dur);
+      const uint64_t end = std::min<uint64_t>(slice.end_micros, eval_dur);
+      emit_other(cursor, start);
+      events.Complete(slice.loop, kWorkersPid, worker_tid, span_ts + start,
+                      end - start,
+                      "{\"steps\":" + std::to_string(slice.steps) + "}");
+      cursor = end;
+    }
+    emit_other(cursor, eval_dur);
+  }
+
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace relcomp

@@ -1,0 +1,81 @@
+// Trace export: a bounded ring of finished traces plus a renderer to the
+// Chrome trace_event JSON format, so a `--trace-dump` file opens directly
+// in ui.perfetto.dev (or chrome://tracing) with a real timeline viewer.
+//
+// Layout: two process rows.
+//   pid 1 "relcomp requests" — one thread row per request (tid = trace
+//     id), showing the request's own phase machine: admit, queue, cache
+//     lookup, evaluate, deliver. Marks render as instant events.
+//   pid 2 "relcomp workers"  — one thread row per worker-pool thread
+//     (tid = worker index; row 0 is the submitter for inline requests),
+//     showing what each worker executed over time: the evaluate span of
+//     every request it ran, with the SearchProfile's per-loop sub-slices
+//     nested inside. Time the evaluation spent outside any instrumented
+//     loop is gap-filled as "other", so the sub-slices tile the evaluate
+//     span exactly — visible at a glance as a full second-level row.
+//
+// All timestamps are microseconds on the steady clock's epoch, the same
+// clock every Trace and SearchProfile records on, so rows from different
+// requests line up on one shared timeline.
+#ifndef RELCOMP_OBS_EXPORT_H_
+#define RELCOMP_OBS_EXPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/mutex.h"
+
+namespace relcomp {
+
+class SearchProfile;
+
+namespace obs {
+
+/// One exported trace plus the request identity and search attribution
+/// that the Trace itself does not carry.
+struct TraceRecord {
+  std::shared_ptr<const Trace> trace;
+  std::string tenant;
+  std::string kind;  ///< ProblemKindName
+  std::shared_ptr<const SearchProfile> profile;  ///< null on hits/sheds
+  int worker = Trace::kInlineTrack;  ///< evaluating worker; kInlineTrack =
+                                     ///< submitter thread
+};
+
+/// Bounded ring of the most recent finished traces. Offer() overwrites the
+/// oldest record once full; `dropped()` counts the overwritten ones so a
+/// dump can say how much history it is missing.
+class TraceSink {
+ public:
+  /// capacity 0 disables the sink (Offer becomes a cheap no-op).
+  void Configure(size_t capacity);
+
+  void Offer(TraceRecord record);
+
+  /// The retained records, oldest first.
+  std::vector<TraceRecord> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const;
+  uint64_t dropped() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kObsTraceSink, "TraceSink::mu_"};
+  size_t capacity_ GUARDED_BY(mu_) = 0;
+  size_t next_ GUARDED_BY(mu_) = 0;  ///< ring write cursor
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::vector<TraceRecord> ring_ GUARDED_BY(mu_);
+};
+
+/// Renders records as a Chrome trace_event JSON document (the
+/// `{"traceEvents":[...]}` object form). Deterministic given the records.
+std::string RenderChromeTrace(const std::vector<TraceRecord>& records);
+
+}  // namespace obs
+}  // namespace relcomp
+
+#endif  // RELCOMP_OBS_EXPORT_H_

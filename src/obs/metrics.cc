@@ -118,6 +118,17 @@ void MetricsDump::AddHistogram(const std::string& name, const LabelSet& labels,
   rows_.push_back(std::move(row));
 }
 
+void MetricsDump::AddRate(const std::string& name, const LabelSet& labels,
+                          double value, const std::string& help) {
+  Row row;
+  row.type = RowType::kRate;
+  row.name = name;
+  row.labels = labels;
+  row.help = help;
+  row.rate = value;
+  rows_.push_back(std::move(row));
+}
+
 std::string MetricsDump::Render(DumpFormat format) const {
   return format == DumpFormat::kPrometheus ? RenderPrometheus() : RenderJson();
 }
@@ -131,9 +142,9 @@ std::string MetricsDump::RenderPrometheus() const {
       if (!row.help.empty()) {
         out << "# HELP " << row.name << " " << row.help << "\n";
       }
-      const char* type = row.type == RowType::kCounter   ? "counter"
-                         : row.type == RowType::kGauge   ? "gauge"
-                                                         : "histogram";
+      const char* type = row.type == RowType::kCounter     ? "counter"
+                         : row.type == RowType::kHistogram ? "histogram"
+                                                           : "gauge";
       out << "# TYPE " << row.name << " " << type << "\n";
     }
     switch (row.type) {
@@ -145,6 +156,12 @@ std::string MetricsDump::RenderPrometheus() const {
         out << row.name << PromLabels(row.labels) << " " << row.scalar
             << "\n";
         break;
+      case RowType::kRate: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", row.rate);
+        out << row.name << PromLabels(row.labels) << " " << buf << "\n";
+        break;
+      }
       case RowType::kHistogram: {
         // Cumulative le-buckets at each power-of-two upper bound; empty
         // trailing buckets collapse into +Inf.
@@ -192,6 +209,12 @@ std::string MetricsDump::RenderJson() const {
       case RowType::kGauge:
         out << ",\"type\":\"gauge\",\"value\":" << row.scalar;
         break;
+      case RowType::kRate: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", row.rate);
+        out << ",\"type\":\"rate\",\"value\":" << buf;
+        break;
+      }
       case RowType::kHistogram:
         out << ",\"type\":\"histogram\",\"count\":" << row.data.count
             << ",\"sum\":" << row.data.sum

@@ -70,17 +70,23 @@ class MetricsDump {
                 int64_t value, const std::string& help = "");
   void AddHistogram(const std::string& name, const LabelSet& labels,
                     const HistogramData& data, const std::string& help = "");
+  /// A derived floating-point reading (requests/sec over a sliding window,
+  /// ratios). Rendered as a Prometheus gauge — rates are instantaneous
+  /// observations, not monotonic series — and as a JSON double.
+  void AddRate(const std::string& name, const LabelSet& labels, double value,
+               const std::string& help = "");
 
   std::string Render(DumpFormat format) const;
 
  private:
-  enum class RowType { kCounter, kGauge, kHistogram };
+  enum class RowType { kCounter, kGauge, kHistogram, kRate };
   struct Row {
     RowType type;
     std::string name;
     LabelSet labels;
     std::string help;
     int64_t scalar = 0;  // counter (as unsigned) or gauge value
+    double rate = 0.0;   // rate rows only
     HistogramData data;  // histogram rows only
   };
 

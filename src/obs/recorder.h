@@ -1,0 +1,178 @@
+// Flight recorder + stall watchdog support: the forensics layer that can
+// answer "what was the system doing just before X" and "which evaluation
+// is stuck right now".
+//
+// Three pieces:
+//   ActiveEvaluations — a registry of currently-running evaluations. Each
+//     evaluation registers an atomic heartbeat record (loop tag + step
+//     count + last-heartbeat time) for its lifetime; the evaluating thread
+//     updates it with relaxed stores from the checkpoint progress hook
+//     (lock-free hot path), and the watchdog thread scans a snapshot to
+//     flag records whose heartbeat has not moved past a threshold.
+//   FlightRecorder — a bounded ring of periodic samples (in-flight count,
+//     recent rates, queue depth, active/stalled evaluation counts) plus
+//     out-of-band annotations ("watchdog: stall flagged..."), written by
+//     the service's sampler thread and dumped by ObsReport().
+//   PublishAbortReport / DumpPublishedAbortReport — a pre-rendered report
+//     string swapped in atomically by the sampler thread and written to
+//     stderr from the lock-rank abort hook. The abort path must not lock
+//     or allocate, so the report is rendered *ahead of time*, every tick;
+//     the hook just fwrites whatever snapshot was current when the process
+//     began dying.
+#ifndef RELCOMP_OBS_RECORDER_H_
+#define RELCOMP_OBS_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace relcomp {
+namespace obs {
+
+/// The registry of running evaluations. Registration/deregistration lock
+/// a leaf mutex; heartbeats are relaxed atomic stores on the record.
+class ActiveEvaluations {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One running evaluation's heartbeat surface. The const identity
+  /// fields are written once at registration; the atomics are updated by
+  /// the evaluating thread and read by the watchdog without locks.
+  struct Record {
+    Record(uint64_t id, std::string tenant_in, std::string kind_in,
+           uint64_t trace_id_in, Clock::time_point start_in)
+        : id(id),
+          tenant(std::move(tenant_in)),
+          kind(std::move(kind_in)),
+          trace_id(trace_id_in),
+          start(start_in),
+          last_heartbeat(start_in.time_since_epoch().count()) {}
+
+    const uint64_t id;
+    const std::string tenant;
+    const std::string kind;
+    const uint64_t trace_id;  ///< 0 when unsampled
+    const Clock::time_point start;
+
+    std::atomic<uint64_t> steps{0};
+    /// The loop tag last heartbeat'd (string literal from the checkpoint).
+    std::atomic<const char*> loop{nullptr};
+    /// steady-clock duration-since-epoch count of the last heartbeat.
+    std::atomic<Clock::rep> last_heartbeat;
+    /// Set (once) by the watchdog when the record trips the stall
+    /// threshold, so one stall is flagged exactly once.
+    std::atomic<bool> flagged{false};
+
+    void Heartbeat(const char* loop_tag, uint64_t step_count,
+                   Clock::time_point now = Clock::now()) {
+      loop.store(loop_tag, std::memory_order_relaxed);
+      steps.store(step_count, std::memory_order_relaxed);
+      last_heartbeat.store(now.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+    }
+  };
+
+  /// RAII registration: the record stays in the registry until the handle
+  /// dies (i.e. for exactly the evaluation's duration).
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(ActiveEvaluations* registry, std::shared_ptr<Record> record)
+        : registry_(registry), record_(std::move(record)) {}
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      Reset();
+      registry_ = other.registry_;
+      record_ = std::move(other.record_);
+      other.registry_ = nullptr;
+      return *this;
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { Reset(); }
+
+    Record* record() const { return record_.get(); }
+
+   private:
+    void Reset();
+
+    ActiveEvaluations* registry_ = nullptr;
+    std::shared_ptr<Record> record_;
+  };
+
+  Registration Register(std::string tenant, std::string kind,
+                        uint64_t trace_id,
+                        Clock::time_point now = Clock::now());
+
+  /// Copies of the live records (the records themselves, not snapshots —
+  /// callers read the atomics after the registry lock is released).
+  std::vector<std::shared_ptr<Record>> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  void Unregister(const Record* record);
+
+  mutable Mutex mu_{LockRank::kObsActive, "ActiveEvaluations::mu_"};
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  std::vector<std::shared_ptr<Record>> records_ GUARDED_BY(mu_);
+};
+
+/// One periodic sample of the system's vitals, or an annotation.
+struct RecorderSample {
+  std::chrono::steady_clock::time_point at{};
+  int64_t inflight = 0;
+  double rate_1s = 0.0;    ///< requests/sec over the last second
+  double rate_10s = 0.0;   ///< requests/sec over the last 10 seconds
+  uint64_t p95_10s = 0;    ///< recent latency p95 (µs, 10 s window)
+  size_t queue_depth = 0;
+  size_t active = 0;       ///< running evaluations
+  uint64_t stalled = 0;    ///< watchdog stall flags so far (cumulative)
+  std::string annotation;  ///< non-empty for out-of-band events
+};
+
+/// Bounded ring of recent samples, oldest overwritten first.
+class FlightRecorder {
+ public:
+  /// capacity 0 disables the recorder.
+  void Configure(size_t capacity);
+
+  void Add(RecorderSample sample);
+  /// Appends an annotation-only sample (stamped `now`).
+  void Annotate(std::string annotation,
+                std::chrono::steady_clock::time_point now =
+                    std::chrono::steady_clock::now());
+
+  /// Retained samples, oldest first.
+  std::vector<RecorderSample> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kObsRecorder, "FlightRecorder::mu_"};
+  size_t capacity_ GUARDED_BY(mu_) = 0;
+  size_t next_ GUARDED_BY(mu_) = 0;
+  std::vector<RecorderSample> ring_ GUARDED_BY(mu_);
+};
+
+/// Swaps in the pre-rendered last-gasp report the lock-rank abort hook
+/// writes to stderr. Call InstallAbortReportHook() once (idempotent) to
+/// register the dump with util/mutex's abort path; then publish a fresh
+/// report every sampler tick.
+void PublishAbortReport(std::string report);
+/// Writes the current published report to stderr. Lock-free: one atomic
+/// shared_ptr load + fwrite. Safe to call from the abort path.
+void DumpPublishedAbortReport();
+void InstallAbortReportHook();
+
+}  // namespace obs
+}  // namespace relcomp
+
+#endif  // RELCOMP_OBS_RECORDER_H_

@@ -11,25 +11,21 @@ void SlowDecisionLog::Configure(size_t capacity) {
   if (entries_.size() > capacity_) entries_.resize(capacity_);
 }
 
-void SlowDecisionLog::Offer(std::shared_ptr<const Trace> trace) {
-  if (!trace || !trace->finished()) return;
-  const uint64_t total = trace->total_micros();
+void SlowDecisionLog::Offer(SlowEntry entry) {
   MutexLock lock(mu_);
   if (capacity_ == 0) return;
-  if (entries_.size() >= capacity_ &&
-      total <= entries_.back()->total_micros()) {
+  if (entries_.size() >= capacity_ && entry.micros <= entries_.back().micros) {
     return;  // not slower than the fastest kept entry
   }
-  auto at = std::upper_bound(
-      entries_.begin(), entries_.end(), total,
-      [](uint64_t t, const std::shared_ptr<const Trace>& e) {
-        return t > e->total_micros();
-      });
-  entries_.insert(at, std::move(trace));
+  auto at = std::upper_bound(entries_.begin(), entries_.end(), entry.micros,
+                             [](uint64_t t, const SlowEntry& e) {
+                               return t > e.micros;
+                             });
+  entries_.insert(at, std::move(entry));
   if (entries_.size() > capacity_) entries_.pop_back();
 }
 
-std::vector<std::shared_ptr<const Trace>> SlowDecisionLog::Worst() const {
+std::vector<SlowEntry> SlowDecisionLog::Worst() const {
   MutexLock lock(mu_);
   return entries_;
 }

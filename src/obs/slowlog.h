@@ -1,45 +1,71 @@
 // Slow-decision log: a bounded record of the N worst (slowest end-to-end)
-// finished traces, queryable through the service API. The point is
-// post-hoc debugging — when a tenant reports tail latency, the slow log
-// already holds the span timelines of the worst offenders without anyone
-// having had to reproduce the problem.
+// decisions, queryable through the service API. The point is post-hoc
+// debugging — when a tenant reports tail latency, the slow log already
+// holds the worst offenders' span timelines, their per-loop search
+// attribution, and the identity (trace id / tenant / problem kind) needed
+// to cross-link them to exported traces, without anyone having had to
+// reproduce the problem.
 #ifndef RELCOMP_OBS_SLOWLOG_H_
 #define RELCOMP_OBS_SLOWLOG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/trace.h"
 #include "util/mutex.h"
 
 namespace relcomp {
+
+class SearchProfile;
+
 namespace obs {
+
+/// One slow decision, self-explaining: how slow, whose request it was,
+/// which problem kind, the sampled span timeline when one exists, and the
+/// per-loop search attribution from the evaluation.
+struct SlowEntry {
+  /// End-to-end latency — the sort key. For watchdog-flagged stalls this
+  /// is the age of the still-running evaluation when it was flagged.
+  uint64_t micros = 0;
+  /// Cross-link to the exported trace (0 when the request was unsampled).
+  uint64_t trace_id = 0;
+  std::string tenant;
+  std::string kind;  ///< ProblemKindName, empty when unknown
+  /// The sampled span timeline; null for unsampled requests. A stall
+  /// entry may carry a still-unfinished trace.
+  std::shared_ptr<const Trace> trace;
+  /// Per-loop search attribution; null for cache hits / coalesced copies.
+  std::shared_ptr<const SearchProfile> profile;
+  /// Extra context: abort reasons, "stalled in <loop> after N steps", ...
+  std::string note;
+};
 
 class SlowDecisionLog {
  public:
   /// capacity 0 disables the log (Offer becomes a cheap no-op).
   void Configure(size_t capacity);
 
-  /// Considers a finished trace for the log: kept if the log has room or
-  /// the trace is slower than the current fastest entry. Unfinished
-  /// traces are ignored.
-  void Offer(std::shared_ptr<const Trace> trace);
+  /// Considers an entry for the log: kept if the log has room or the
+  /// entry is slower than the current fastest kept one.
+  void Offer(SlowEntry entry);
 
   /// Entries sorted slowest-first.
-  std::vector<std::shared_ptr<const Trace>> Worst() const;
+  std::vector<SlowEntry> Worst() const;
 
   size_t size() const;
   size_t capacity() const;
 
  private:
-  // Ranked BELOW Trace::mu_: Offer compares Trace::total_micros() (which
-  // takes the trace mutex) while holding this lock.
+  // Entries are compared by their plain `micros` field — the trace inside
+  // an entry is never locked under this mutex.
   mutable Mutex mu_{LockRank::kObsSlowLog, "SlowDecisionLog::mu_"};
   size_t capacity_ GUARDED_BY(mu_) = 0;
   // Kept sorted slowest-first; at most capacity_ entries, so insertion is
   // O(capacity) — fine for the small N this log is meant for.
-  std::vector<std::shared_ptr<const Trace>> entries_ GUARDED_BY(mu_);
+  std::vector<SlowEntry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

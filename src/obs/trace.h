@@ -57,6 +57,20 @@ class Trace {
 
   uint64_t id() const { return id_; }
 
+  /// The trace's epoch on the steady clock; span offsets are relative to
+  /// this instant. Const member — safe to read without the mutex.
+  TraceTime start_time() const { return start_; }
+
+  /// Which execution track ran this request's evaluation: a worker-pool
+  /// index, or kInlineTrack for requests evaluated on the submitter's
+  /// thread. Stamped once by the evaluating thread; the trace exporter
+  /// uses it to lay requests out on per-worker timeline rows.
+  static constexpr int kInlineTrack = -1;
+  void SetTrack(int track) {
+    track_.store(track, std::memory_order_relaxed);
+  }
+  int track() const { return track_.load(std::memory_order_relaxed); }
+
   /// Closes the current phase (if any) and opens `name` at `now`. The
   /// shared boundary is what makes span durations sum to the total.
   void Phase(const std::string& name, TraceTime now = TraceClock::now());
@@ -92,6 +106,7 @@ class Trace {
 
   const uint64_t id_;
   const TraceTime start_;
+  std::atomic<int> track_{kInlineTrack};
 
   mutable Mutex mu_{LockRank::kObsTrace, "Trace::mu_"};
   std::vector<TraceSpan> spans_ GUARDED_BY(mu_);

@@ -75,6 +75,11 @@ struct Decision {
   /// at serve time — the field is never persisted). 0 when the decision
   /// never went through the service (DecideCold, hand-built decisions).
   uint64_t latency_micros = 0;
+  /// Per-loop search attribution for the evaluation that produced this
+  /// decision (null on cache hits, coalesced copies, sheds, and decisions
+  /// that never went through a service evaluation). Shared const: the
+  /// profile is sealed (Finish) before it is attached.
+  std::shared_ptr<const SearchProfile> profile;
 
   std::string ToString() const;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iomanip>
+#include <sstream>
 #include <utility>
 
 #include "cache/persist.h"
@@ -16,6 +18,10 @@ namespace {
 /// then execute inline instead of enqueueing: a worker blocking on work
 /// that only workers can drain would deadlock the pool.
 thread_local bool tls_on_worker_thread = false;
+
+/// Which worker-pool thread this is (trace-export track id);
+/// Trace::kInlineTrack on submitter threads.
+thread_local int tls_worker_index = obs::Trace::kInlineTrack;
 
 void AppendNote(Decision* decision, const char* note) {
   if (decision->note.empty()) {
@@ -186,7 +192,9 @@ CompletenessService::CompletenessService(ServiceOptions options)
                                   /*rate_per_sec=*/0.0, /*burst=*/0.0}) {
   tracer_.Configure(options_.trace_sample);
   slow_log_.Configure(options_.slow_log);
+  trace_sink_.Configure(options_.trace_ring);
   if (options_.metrics) {
+    windows_ = std::make_unique<Shard::Windows>();
     inflight_gauge_ = metrics_registry_.GetGauge(
         "relcomp_inflight_requests", {},
         "requests currently executing inside the service");
@@ -201,17 +209,34 @@ CompletenessService::CompletenessService(ServiceOptions options)
   }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+  if (options_.recorder_interval_ms > 0 || options_.watchdog_stall_micros > 0) {
+    recorder_.Configure(options_.recorder_ring);
+    obs::InstallAbortReportHook();
+    recorder_thread_ = std::thread([this] { RecorderLoop(); });
   }
 }
 
 CompletenessService::~CompletenessService() {
+  // The sampler reads queue/window/registry state the rest of this
+  // teardown dismantles, so it stops first.
+  if (recorder_thread_.joinable()) {
+    {
+      MutexLock lock(recorder_wake_mu_);
+      recorder_stop_ = true;
+    }
+    recorder_wake_cv_.NotifyAll();
+    recorder_thread_.join();
+  }
   queue_.Shutdown();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void CompletenessService::WorkerLoop() {
+void CompletenessService::WorkerLoop(int worker_index) {
   tls_on_worker_thread = true;
+  tls_worker_index = worker_index;
   sched::Task task;
   sched::TaskOutcome outcome;
   while (queue_.Pop(&task, &outcome)) {
@@ -284,6 +309,7 @@ Result<SettingHandle> CompletenessService::RegisterSetting(
   const uint64_t id = next_handle_id_++;
   auto shard = std::make_shared<Shard>(std::move(prepared).value(), key,
                                        resolved, std::move(shard_cache));
+  shard->id = id;
   InitShardMetrics(*shard, id);
   shards_.emplace(id, std::move(shard));
   handle_by_fingerprint_.emplace(key, id);
@@ -331,6 +357,7 @@ Decision CompletenessService::UnknownHandleDecision(SettingHandle handle) {
 
 void CompletenessService::InitShardMetrics(Shard& shard, uint64_t handle_id) {
   if (!options_.metrics) return;
+  shard.windows = std::make_unique<Shard::Windows>();
   const obs::LabelSet tenant{{"tenant", std::to_string(handle_id)}};
   shard.metrics.e2e_latency = metrics_registry_.GetHistogram(
       "relcomp_request_latency_micros", tenant,
@@ -393,7 +420,8 @@ void CompletenessService::CountAdmission(const Shard& shard,
 void CompletenessService::FinishRequest(Shard* shard,
                                         const std::shared_ptr<obs::Trace>& trace,
                                         sched::TimePoint submit,
-                                        Decision* decision) {
+                                        Decision* decision,
+                                        const char* kind) {
   const sched::TimePoint now = sched::Clock::now();
   const auto elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(now - submit);
@@ -403,11 +431,33 @@ void CompletenessService::FinishRequest(Shard* shard,
   if (shard != nullptr && shard->metrics.e2e_latency != nullptr) {
     shard->metrics.e2e_latency->Record(micros);
   }
+  if (shard != nullptr && shard->windows != nullptr) {
+    shard->windows->requests.Record(1, now);
+    shard->windows->latency.Record(micros, now);
+  }
+  if (windows_ != nullptr) {
+    windows_->requests.Record(1, now);
+    windows_->latency.Record(micros, now);
+  }
   if (trace != nullptr) {
     // The SAME instant closes the trace and stamps the latency: the span
     // durations sum to latency_micros exactly, not merely approximately.
     trace->Finish(TraceOutcome(*decision), now);
-    slow_log_.Offer(trace);
+    obs::SlowEntry entry;
+    entry.micros = micros;
+    entry.trace_id = trace->id();
+    if (shard != nullptr) entry.tenant = std::to_string(shard->id);
+    if (kind != nullptr) entry.kind = kind;
+    entry.trace = trace;
+    entry.profile = decision->profile;
+    slow_log_.Offer(std::move(entry));
+    obs::TraceRecord record;
+    record.trace = trace;
+    if (shard != nullptr) record.tenant = std::to_string(shard->id);
+    if (kind != nullptr) record.kind = kind;
+    record.profile = decision->profile;
+    record.worker = trace->track();
+    trace_sink_.Offer(std::move(record));
   }
 }
 
@@ -457,6 +507,85 @@ SearchOptions CompletenessService::EffectiveOptions(
         sched::CancelToken::AnyOf(effective.cancel, sched->cancel);
   }
   return effective;
+}
+
+Decision CompletenessService::RunEvaluation(
+    Shard& shard, const DecisionRequest& request, SearchOptions* effective,
+    const std::shared_ptr<obs::Trace>& trace) {
+  // One clock read anchors the trace's "evaluate" phase AND the profile's
+  // epoch, so profile slice offsets are offsets into the evaluate span
+  // (what the trace exporter nests sub-slices by).
+  auto profile = std::make_shared<SearchProfile>();
+  const obs::TraceTime eval_start = obs::TraceClock::now();
+  profile->Start(eval_start);
+  effective->profile = profile.get();
+  if (trace != nullptr) {
+    trace->Phase("evaluate", eval_start);
+    trace->SetTrack(tls_worker_index);
+  }
+
+  // Register with the stall watchdog for exactly the evaluation's
+  // lifetime. Heartbeats flow through the chained progress hook below;
+  // registering without enabling that hook would flag every long
+  // evaluation as stalled, so both are gated on the same condition.
+  const bool watched = options_.watchdog_stall_micros > 0;
+  obs::ActiveEvaluations::Registration registration;
+  obs::ActiveEvaluations::Record* heartbeat = nullptr;
+  if (watched) {
+    registration = active_.Register(std::to_string(shard.id),
+                                    ProblemKindName(request.kind),
+                                    trace != nullptr ? trace->id() : 0,
+                                    eval_start);
+    heartbeat = registration.record();
+  }
+
+  // Chain the checkpoint progress hook: watchdog heartbeat, then the
+  // trace mark, then whatever hook the request itself supplied (which may
+  // block — the heartbeat must land first so the watchdog sees the loop
+  // the request's hook is stuck under).
+  const SearchOptions::SearchProgressFn* original = effective->progress;
+  SearchOptions::SearchProgressFn progress_fn;
+  if (heartbeat != nullptr || trace != nullptr || original != nullptr) {
+    progress_fn = [&trace, heartbeat, original](const char* what,
+                                                uint64_t steps) {
+      if (heartbeat != nullptr) heartbeat->Heartbeat(what, steps);
+      if (trace != nullptr) {
+        trace->Mark(std::string("eval:") + what,
+                    "steps=" + std::to_string(steps));
+      }
+      if (original != nullptr && *original) (*original)(what, steps);
+    };
+    effective->progress = &progress_fn;
+  }
+
+  Decision decision = EvaluateRequest(request, shard.prepared, effective);
+
+  const obs::TraceTime eval_end = obs::TraceClock::now();
+  profile->Finish(eval_end);
+  if (trace != nullptr) trace->Phase("cache-store", eval_end);
+  decision.profile = std::move(profile);
+  RecordSearchProfile(shard, request, *decision.profile);
+  return decision;
+}
+
+void CompletenessService::RecordSearchProfile(const Shard& shard,
+                                              const DecisionRequest& request,
+                                              const SearchProfile& profile) {
+  if (!options_.metrics) return;
+  const std::string tenant = std::to_string(shard.id);
+  const char* kind = ProblemKindName(request.kind);
+  for (const SearchProfile::LoopTotal& total : profile.totals()) {
+    obs::Counter* steps = metrics_registry_.GetCounter(
+        "relcomp_search_steps_total",
+        {{"tenant", tenant}, {"kind", kind}, {"loop", total.loop}},
+        "search checkpoint steps charged, by core search loop");
+    if (steps != nullptr) steps->Inc(total.steps);
+    obs::Histogram* micros = metrics_registry_.GetHistogram(
+        "relcomp_search_loop_micros", {{"tenant", tenant},
+                                       {"loop", total.loop}},
+        "time one evaluation spent inside a core search loop, microseconds");
+    if (micros != nullptr) micros->Record(total.micros);
+  }
 }
 
 Decision CompletenessService::DecideOnShard(
@@ -587,18 +716,8 @@ Decision CompletenessService::DecideOnShard(
     // Coalescing off: plain cache-through evaluation under the merged
     // budget / deadline / token.
     SearchOptions effective = EffectiveOptions(shard, request, sched);
-    SearchOptions::SearchProgressFn progress_fn;
-    if (trace != nullptr) {
-      trace->Phase("evaluate");
-      progress_fn = [&trace](const char* what, uint64_t steps) {
-        trace->Mark(std::string("eval:") + what,
-                    "steps=" + std::to_string(steps));
-      };
-      effective.progress = &progress_fn;
-    }
-    Decision decision = EvaluateRequest(request, shard.prepared, &effective);
+    Decision decision = RunEvaluation(shard, request, &effective, trace);
     const bool aborted = IsAbortStatus(decision.status);
-    if (trace != nullptr) trace->Phase("cache-store");
     MutexLock lock(shard.mu);
     shard.counters.search += decision.stats;
     if (!decision.status.ok() && !aborted) ++shard.counters.errors;
@@ -644,18 +763,8 @@ Decision CompletenessService::EvaluateForGroup(
   // it stays valid for the whole search.
   effective.cancel = group->interest.token();
   effective.shared_deadline = &group->run_deadline;
-  SearchOptions::SearchProgressFn progress_fn;
-  if (trace != nullptr) {
-    trace->Phase("evaluate");
-    progress_fn = [&trace](const char* what, uint64_t steps) {
-      trace->Mark(std::string("eval:") + what,
-                  "steps=" + std::to_string(steps));
-    };
-    effective.progress = &progress_fn;
-  }
-  Decision decision = EvaluateRequest(request, shard.prepared, &effective);
+  Decision decision = RunEvaluation(shard, request, &effective, trace);
   const bool aborted = IsAbortStatus(decision.status);
-  if (trace != nullptr) trace->Phase("cache-store");
 
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
@@ -712,14 +821,15 @@ Decision CompletenessService::EvaluateForGroup(
       }
     }
     FinishRequest(&shard, members[i].trace, members[i].submit,
-                  &member_decision);
+                  &member_decision, ProblemKindName(request.kind));
     ResolveMember(members[i], std::move(member_decision));
   }
   return decision;
 }
 
 void CompletenessService::ShedGroup(Shard& shard, const RequestCacheKey& key,
-                                    const std::shared_ptr<FlightGroup>& group) {
+                                    const std::shared_ptr<FlightGroup>& group,
+                                    const char* kind) {
   const Decision shed = RejectedDecision();
   std::vector<FlightGroup::Member> members;
   std::vector<bool> member_cancelled;
@@ -744,7 +854,7 @@ void CompletenessService::ShedGroup(Shard& shard, const RequestCacheKey& key,
   for (size_t i = 0; i < members.size(); ++i) {
     Decision decision = member_cancelled[i] ? CancelledDecision() : shed;
     if (members[i].trace != nullptr) members[i].trace->Phase("shed");
-    FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
+    FinishRequest(&shard, members[i].trace, members[i].submit, &decision, kind);
     ResolveMember(members[i], std::move(decision));
   }
 }
@@ -759,7 +869,8 @@ Decision CompletenessService::Decide(const ServiceRequest& request) {
   Decision decision =
       DecideOnShard(*shard, request.request, nullptr, &request.sched,
                     /*count_request=*/true, trace);
-  FinishRequest(shard.get(), trace, submit, &decision);
+  FinishRequest(shard.get(), trace, submit, &decision,
+                ProblemKindName(request.request.kind));
   return decision;
 }
 
@@ -773,7 +884,8 @@ Decision CompletenessService::Decide(SettingHandle handle,
   if (trace != nullptr) trace->Phase("admit", submit);
   Decision decision = DecideOnShard(*shard, request, nullptr, nullptr,
                                     /*count_request=*/true, trace);
-  FinishRequest(shard.get(), trace, submit, &decision);
+  FinishRequest(shard.get(), trace, submit, &decision,
+                ProblemKindName(request.kind));
   return decision;
 }
 
@@ -865,7 +977,8 @@ void CompletenessService::SubmitRouted(
   for (size_t i = 0; i < routed.size(); ++i) {
     if (routed[i].shard == nullptr) {
       Decision unknown = UnknownHandleDecision(routed[i].handle);
-      FinishRequest(nullptr, nullptr, submit, &unknown);
+      FinishRequest(nullptr, nullptr, submit, &unknown,
+                    ProblemKindName(routed[i].request->kind));
       publish(i, std::move(unknown));
       continue;
     }
@@ -1011,7 +1124,7 @@ void CompletenessService::SubmitRouted(
         // The trace rides the primary slot only — one Finish, one slow-log
         // offer per sampled submission.
         FinishRequest(shard.get(), j == 0 ? trace : nullptr, submit,
-                      &member_decision);
+                      &member_decision, ProblemKindName(request->kind));
         publish(slots[j], std::move(member_decision));
       }
       if (remaining->fetch_sub(1) == 1) stream->Finish();
@@ -1095,7 +1208,8 @@ void CompletenessService::SubmitAsyncImpl(
   std::shared_ptr<Shard> shard = FindShard(request.setting);
   if (shard == nullptr) {
     Decision unknown = UnknownHandleDecision(request.setting);
-    FinishRequest(nullptr, nullptr, submit, &unknown);
+    FinishRequest(nullptr, nullptr, submit, &unknown,
+                  ProblemKindName(request.request.kind));
     deliver(std::move(unknown));
     return;
   }
@@ -1106,7 +1220,8 @@ void CompletenessService::SubmitAsyncImpl(
     Decision decision =
         DecideOnShard(*shard, request.request, nullptr, &request.sched,
                       /*count_request=*/true, trace);
-    FinishRequest(shard.get(), trace, submit, &decision);
+    FinishRequest(shard.get(), trace, submit, &decision,
+                  ProblemKindName(request.request.kind));
     deliver(std::move(decision));
     return;
   }
@@ -1129,7 +1244,8 @@ void CompletenessService::SubmitAsyncImpl(
                                      : "deadline passed at admission");
     }
     Decision decision = cancelled ? CancelledDecision() : ExpiredDecision();
-    FinishRequest(shard.get(), trace, submit, &decision);
+    FinishRequest(shard.get(), trace, submit, &decision,
+                  ProblemKindName(request.request.kind));
     deliver(std::move(decision));
     return;
   }
@@ -1173,7 +1289,8 @@ void CompletenessService::SubmitAsyncImpl(
           break;
         }
       }
-      FinishRequest(shard.get(), trace, submit, &decision);
+      FinishRequest(shard.get(), trace, submit, &decision,
+                    ProblemKindName(request.kind));
       FlightGroup::Member member;
       member.promise = promise;
       member.callback = on_complete;  // const capture: copy, not move
@@ -1240,7 +1357,8 @@ void CompletenessService::SubmitAsyncImpl(
     }
   }
   if (have_hit) {
-    FinishRequest(shard.get(), trace, submit, &hit);
+    FinishRequest(shard.get(), trace, submit, &hit,
+                  ProblemKindName(request.request.kind));
     deliver(std::move(hit));
     return;
   }
@@ -1258,6 +1376,9 @@ void CompletenessService::SubmitAsyncImpl(
     return;
   }
   if (trace != nullptr) trace->Phase("queue");
+  // The request is about to move into the task closure; the shed path
+  // below only needs its kind name (a static string).
+  const char* kind_name = ProblemKindName(request.request.kind);
   sched::Task task;
   task.tenant = request.setting.id;
   task.priority = sp.priority;
@@ -1268,7 +1389,7 @@ void CompletenessService::SubmitAsyncImpl(
     RunOwnerTask(shard, key, group, request, wait);
   };
   if (!queue_.Push(std::move(task))) {
-    ShedGroup(*shard, key, group);
+    ShedGroup(*shard, key, group, kind_name);
   }
 }
 
@@ -1360,7 +1481,8 @@ void CompletenessService::RunOwnerTask(
         Decision decision = member_cancelled[i] ? CancelledDecision()
                                                 : ExpiredDecision();
         if (members[i].trace != nullptr) members[i].trace->Phase("shed");
-        FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
+        FinishRequest(&shard, members[i].trace, members[i].submit, &decision,
+                      ProblemKindName(request.kind));
         ResolveMember(members[i], std::move(decision));
       }
       return;
@@ -1380,7 +1502,8 @@ void CompletenessService::RunOwnerTask(
         if (members[i].trace != nullptr) {
           members[i].trace->AnnotatePhase("served from cache at claim time");
         }
-        FinishRequest(&shard, members[i].trace, members[i].submit, &decision);
+        FinishRequest(&shard, members[i].trace, members[i].submit, &decision,
+                      ProblemKindName(request.kind));
         ResolveMember(members[i], std::move(decision));
       }
       return;
@@ -1460,6 +1583,8 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
     shards.reserve(shards_.size());
     for (const auto& [id, shard] : shards_) shards.emplace_back(id, shard);
   }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<std::pair<uint64_t, EngineCounters>> snapshots;
   snapshots.reserve(shards.size());
   for (const auto& [id, shard] : shards) {
@@ -1501,12 +1626,59 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
   dump.AddGauge("relcomp_slow_log_entries", {},
                 static_cast<int64_t>(slow_log_.size()),
                 "finished traces currently held by the slow-decision log");
+  dump.AddCounter("relcomp_watchdog_stalls_total", {},
+                  watchdog_stall_count_.load(std::memory_order_relaxed),
+                  "running evaluations flagged by the stall watchdog");
+  if (options_.trace_ring > 0) {
+    dump.AddGauge("relcomp_trace_ring_entries", {},
+                  static_cast<int64_t>(trace_sink_.size()),
+                  "finished traces retained for DumpTraces()");
+    dump.AddCounter("relcomp_trace_ring_dropped_total", {},
+                    trace_sink_.dropped(),
+                    "finished traces overwritten in the export ring");
+  }
+
+  // Sliding-window views: recent request rates (1s/10s/60s) and recent
+  // latency distributions, service-wide and per tenant. One clock read so
+  // every window row answers for the same instant.
+  if (windows_ != nullptr) {
+    const auto now = obs::WindowedCounter::Clock::now();
+    static constexpr uint64_t kWindows[] = {1, 10, 60};
+    for (const uint64_t secs : kWindows) {
+      dump.AddRate(
+          "relcomp_requests_rate" + std::to_string(secs) + "s", {},
+          windows_->requests.Rate(secs, now),
+          "delivered requests/sec over the trailing " +
+              std::to_string(secs) + "s, all tenants");
+      for (const auto& [id, shard] : shards) {
+        if (shard->windows == nullptr) continue;
+        dump.AddRate("relcomp_tenant_requests_rate" + std::to_string(secs) +
+                         "s",
+                     {{"tenant", std::to_string(id)}},
+                     shard->windows->requests.Rate(secs, now),
+                     "delivered requests/sec over the trailing " +
+                         std::to_string(secs) + "s");
+      }
+    }
+    static constexpr uint64_t kLatencyWindows[] = {10, 60};
+    for (const uint64_t secs : kLatencyWindows) {
+      dump.AddHistogram(
+          "relcomp_request_latency_recent" + std::to_string(secs) +
+              "s_micros",
+          {}, windows_->latency.Snapshot(secs, now),
+          "end-to-end latency of requests delivered in the trailing " +
+              std::to_string(secs) + "s, all tenants, microseconds");
+    }
+  }
   return dump.Render(format);
 }
 
-std::vector<std::shared_ptr<const obs::Trace>>
-CompletenessService::SlowDecisions() const {
+std::vector<obs::SlowEntry> CompletenessService::SlowDecisions() const {
   return slow_log_.Worst();
+}
+
+std::string CompletenessService::DumpTraces() const {
+  return obs::RenderChromeTrace(trace_sink_.Snapshot());
 }
 
 Result<cache::CacheStats> CompletenessService::CacheStats(
@@ -1569,6 +1741,186 @@ Status CompletenessService::ClearCache(SettingHandle handle) {
   if (shard == nullptr) return UnknownHandleDecision(handle).status;
   shard->cache->Clear();
   return Status::OK();
+}
+
+void CompletenessService::RecorderLoop() {
+  using std::chrono::microseconds;
+  // Tick at the finer of the two cadences being served: the sampling
+  // interval, and half the stall threshold (so a stall is flagged within
+  // one threshold period of the heartbeat going quiet).
+  uint64_t tick_us = options_.recorder_interval_ms * 1000;
+  if (options_.watchdog_stall_micros > 0) {
+    const uint64_t half =
+        std::max<uint64_t>(options_.watchdog_stall_micros / 2, 100);
+    tick_us = tick_us == 0 ? half : std::min(tick_us, half);
+  }
+  const uint64_t interval_us = options_.recorder_interval_ms * 1000;
+  // Start "due": the first tick takes the first sample.
+  auto last_sample =
+      std::chrono::steady_clock::now() - microseconds(interval_us);
+  for (;;) {
+    {
+      MutexLock lock(recorder_wake_mu_);
+      if (!recorder_stop_) {
+        recorder_wake_cv_.WaitFor(recorder_wake_mu_, microseconds(tick_us));
+      }
+      if (recorder_stop_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+
+    bool flagged_stall = false;
+    if (options_.watchdog_stall_micros > 0) {
+      for (const auto& record : active_.Snapshot()) {
+        const auto last_heartbeat = obs::ActiveEvaluations::Clock::duration(
+            record->last_heartbeat.load(std::memory_order_relaxed));
+        const int64_t age_us = std::chrono::duration_cast<microseconds>(
+                                   now.time_since_epoch() - last_heartbeat)
+                                   .count();
+        if (age_us < 0 ||
+            static_cast<uint64_t>(age_us) <= options_.watchdog_stall_micros) {
+          continue;
+        }
+        // exchange(): each stalled evaluation is flagged exactly once,
+        // even across ticks while it stays stuck.
+        if (record->flagged.exchange(true, std::memory_order_relaxed)) {
+          continue;
+        }
+        watchdog_stall_count_.fetch_add(1, std::memory_order_relaxed);
+        flagged_stall = true;
+        const char* loop = record->loop.load(std::memory_order_relaxed);
+        const uint64_t steps = record->steps.load(std::memory_order_relaxed);
+        const std::string where =
+            std::string("tenant=") + record->tenant + " kind=" + record->kind +
+            " loop=" + (loop != nullptr ? loop : "(before first checkpoint)") +
+            " steps=" + std::to_string(steps);
+        obs::SlowEntry entry;
+        entry.micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<microseconds>(now - record->start)
+                .count());
+        entry.trace_id = record->trace_id;
+        entry.tenant = record->tenant;
+        entry.kind = record->kind;
+        entry.note = "watchdog: no checkpoint progress for " +
+                     std::to_string(age_us) + "us; " + where;
+        slow_log_.Offer(std::move(entry));
+        recorder_.Annotate("watchdog: evaluation stalled, " + where, now);
+      }
+    }
+
+    if (interval_us > 0 && now - last_sample >= microseconds(interval_us)) {
+      last_sample = now;
+      obs::RecorderSample sample;
+      sample.at = now;
+      if (inflight_gauge_ != nullptr) sample.inflight = inflight_gauge_->value();
+      if (windows_ != nullptr) {
+        sample.rate_1s = windows_->requests.Rate(1, now);
+        sample.rate_10s = windows_->requests.Rate(10, now);
+        sample.p95_10s = static_cast<uint64_t>(
+            windows_->latency.Snapshot(10, now).Quantile(0.95));
+      }
+      sample.queue_depth = queue_.depth();
+      sample.active = active_.size();
+      sample.stalled = watchdog_stall_count_.load(std::memory_order_relaxed);
+      recorder_.Add(std::move(sample));
+      obs::PublishAbortReport(ObsReport());
+    } else if (flagged_stall) {
+      // No sample due, but the vitals just changed in the way the abort
+      // report most needs to show.
+      obs::PublishAbortReport(ObsReport());
+    }
+  }
+}
+
+std::string CompletenessService::ObsReport() const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto us_since = [now](std::chrono::steady_clock::time_point at) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(now - at)
+        .count();
+  };
+  std::ostringstream out;
+  out << "=== relcomp obs report ===\n";
+  out << "in-flight: "
+      << (inflight_gauge_ != nullptr ? inflight_gauge_->value() : 0)
+      << "  queue depth: " << queue_.depth()
+      << "  active evaluations: " << active_.size() << "  watchdog stalls: "
+      << watchdog_stall_count_.load(std::memory_order_relaxed) << "\n";
+  if (windows_ != nullptr) {
+    const obs::HistogramData recent = windows_->latency.Snapshot(10, now);
+    out << "rates: " << std::fixed << std::setprecision(1)
+        << windows_->requests.Rate(1, now) << "/s (1s), "
+        << windows_->requests.Rate(10, now) << "/s (10s), "
+        << windows_->requests.Rate(60, now) << "/s (60s)\n";
+    out << "latency (10s window): p50=" << std::setprecision(0)
+        << recent.Quantile(0.5) << "us p95=" << recent.Quantile(0.95)
+        << "us p99=" << recent.Quantile(0.99) << "us max=" << recent.max
+        << "us n=" << recent.count << "\n";
+  }
+
+  std::vector<std::pair<uint64_t, std::shared_ptr<Shard>>> shards;
+  {
+    MutexLock lock(registry_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) shards.emplace_back(id, shard);
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, shard] : shards) {
+    if (shard->windows == nullptr) continue;
+    out << "tenant " << id << ": " << std::setprecision(1)
+        << shard->windows->requests.Rate(10, now) << "/s (10s), queued "
+        << queue_.TenantDepth(id) << "\n";
+  }
+
+  const auto active = active_.Snapshot();
+  if (!active.empty()) {
+    out << "active evaluations:\n";
+    for (const auto& record : active) {
+      const char* loop = record->loop.load(std::memory_order_relaxed);
+      const auto heartbeat_age =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now.time_since_epoch() -
+              obs::ActiveEvaluations::Clock::duration(
+                  record->last_heartbeat.load(std::memory_order_relaxed)))
+              .count();
+      out << "  eval#" << record->id << " tenant=" << record->tenant
+          << " kind=" << record->kind;
+      if (record->trace_id != 0) out << " trace#" << record->trace_id;
+      out << " loop=" << (loop != nullptr ? loop : "-")
+          << " steps=" << record->steps.load(std::memory_order_relaxed)
+          << " running=" << us_since(record->start)
+          << "us heartbeat_age=" << heartbeat_age << "us";
+      if (record->flagged.load(std::memory_order_relaxed)) out << " [STALLED]";
+      out << "\n";
+    }
+  }
+
+  const auto samples = recorder_.Snapshot();
+  if (!samples.empty()) {
+    out << "flight recorder (" << samples.size() << " samples, oldest first):\n";
+    for (const obs::RecorderSample& sample : samples) {
+      out << "  t-" << std::setprecision(1)
+          << static_cast<double>(us_since(sample.at)) / 1e6 << "s ";
+      if (!sample.annotation.empty()) {
+        out << sample.annotation << "\n";
+        continue;
+      }
+      out << "inflight=" << sample.inflight << " rate1s=" << sample.rate_1s
+          << " rate10s=" << sample.rate_10s << " p95_10s=" << sample.p95_10s
+          << "us queue=" << sample.queue_depth << " active=" << sample.active
+          << " stalled=" << sample.stalled << "\n";
+    }
+  }
+
+  const auto slow = slow_log_.Worst();
+  if (!slow.empty()) {
+    const obs::SlowEntry& worst = slow.front();
+    out << "slow log: " << slow.size() << " entries, worst " << worst.micros
+        << "us tenant=" << worst.tenant << " kind=" << worst.kind;
+    if (worst.trace_id != 0) out << " trace#" << worst.trace_id;
+    if (!worst.note.empty()) out << " (" << worst.note << ")";
+    out << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace relcomp

@@ -78,9 +78,12 @@
 #include "cache/budget.h"
 #include "cache/shard_cache.h"
 #include "core/prepared_setting.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sched/cancel.h"
 #include "sched/policy.h"
 #include "sched/queue.h"
@@ -192,6 +195,28 @@ struct ServiceOptions {
   bool metrics = true;
   uint64_t trace_sample = 0;
   size_t slow_log = 0;
+  /// Bounded ring of the most recent finished SAMPLED traces, exported by
+  /// DumpTraces() as a Chrome trace_event / Perfetto-compatible JSON
+  /// timeline (per-request rows plus per-worker rows with the search
+  /// profile's per-loop sub-slices). 0 = no trace retention (DumpTraces
+  /// renders an empty timeline); needs trace_sample to ever fill.
+  size_t trace_ring = 0;
+  /// Flight-recorder sampling period in milliseconds: a background thread
+  /// snapshots the system's vitals (in-flight, recent rates, windowed p95,
+  /// queue depth, active/stalled evaluations) into a bounded ring read by
+  /// ObsReport(), and republishes the abort-path report each tick. 0 =
+  /// no periodic sampling (the thread still runs if the watchdog is on).
+  uint64_t recorder_interval_ms = 0;
+  /// Flight-recorder ring capacity (samples + annotations retained).
+  size_t recorder_ring = 120;
+  /// Stall watchdog threshold: a running evaluation whose cooperative
+  /// checkpoints have not heartbeat'd for this many microseconds is
+  /// flagged (once) — counted in relcomp_watchdog_stalls_total, annotated
+  /// in the flight recorder, and entered into the slow-decision log with
+  /// the loop tag and step count it stalled in. 0 = watchdog off. The
+  /// watchdog observes heartbeats only at checkpoint granularity, so the
+  /// threshold must comfortably exceed checkpoint_interval's wall time.
+  uint64_t watchdog_stall_micros = 0;
 };
 
 /// One decision of a streamed batch: `index` positions it in the submitted
@@ -356,10 +381,27 @@ class CompletenessService {
   std::string DumpMetrics(
       obs::DumpFormat format = obs::DumpFormat::kPrometheus) const;
 
-  /// The slow-decision log's current contents: the N worst end-to-end
-  /// traces, slowest first. Empty unless ServiceOptions::slow_log and
-  /// trace_sample are both set.
-  std::vector<std::shared_ptr<const obs::Trace>> SlowDecisions() const;
+  /// The slow-decision log's current contents, slowest first: the N worst
+  /// end-to-end deliveries, each carrying its latency, trace id, tenant,
+  /// problem kind, the full trace, and the evaluation's SearchProfile
+  /// (null for cache hits / coalesced joins / sheds — nothing searched).
+  /// Watchdog-flagged stalls also land here, annotated via `note`. Empty
+  /// unless ServiceOptions::slow_log and trace_sample are both set.
+  std::vector<obs::SlowEntry> SlowDecisions() const;
+
+  /// Renders the trace ring as a Chrome trace_event JSON document (loads
+  /// in ui.perfetto.dev / chrome://tracing). Empty timeline unless
+  /// ServiceOptions::trace_ring and trace_sample are both set.
+  std::string DumpTraces() const;
+
+  /// A plain-text operational dashboard: in-flight and queue depth, recent
+  /// windowed rates and latency quantiles, per-tenant request rates, the
+  /// active-evaluation table (loop tag, steps, heartbeat age, stall flag),
+  /// the watchdog stall count, and the flight recorder's retained samples.
+  /// This is also the report the lock-rank abort hook dumps to stderr —
+  /// republished every recorder tick so a crashing process prints its
+  /// last-known vitals. Safe to call while serving.
+  std::string ObsReport() const;
 
  private:
   /// Dual-digest registry identity of a setting — the RequestCacheKey
@@ -448,7 +490,17 @@ class CompletenessService {
     PreparedSetting prepared;
     const SettingKey setting_key;
     const ShardOptions options;  ///< resolved (no kInherit markers)
+    uint64_t id = 0;        // handle id; set once at registration, then
+                            // read-only (doubles as the tenant label)
     ShardMetrics metrics;   // set once at registration, then read-only
+    /// Sliding-window views of this tenant's recent traffic (1s/10s/60s
+    /// request rates and recent latency quantiles in DumpMetrics /
+    /// ObsReport). Internally synchronized; null when metrics are off.
+    struct Windows {
+      obs::WindowedCounter requests;
+      obs::WindowedHistogram latency;
+    };
+    std::unique_ptr<Windows> windows;
     uint64_t refcount = 1;  // guarded by registry_mu_ (not expressible as
                             // GUARDED_BY: the outer service's mutex is not
                             // nameable from a nested struct)
@@ -506,14 +558,19 @@ class CompletenessService {
                              const sched::SchedParams* sched);
 
   /// The one delivery choke point: stamps Decision::latency_micros
-  /// (submit → now), records it in the shard's end-to-end histogram, and —
-  /// when the request carried a trace — finishes the trace (closing any
-  /// open phase at the SAME instant the latency is measured, so span
-  /// durations sum exactly to the stamped latency) and offers it to the
-  /// slow-decision log. `shard` may be null (unknown-handle deliveries).
-  /// Call at most once per (trace, decision) pair.
+  /// (submit → now), records it in the shard's end-to-end histogram and
+  /// the shard + service sliding windows, and — when the request carried
+  /// a trace — finishes the trace (closing any open phase at the SAME
+  /// instant the latency is measured, so span durations sum exactly to
+  /// the stamped latency), offers a SlowEntry (latency, trace id, tenant,
+  /// `kind`, trace, search profile) to the slow-decision log, and offers
+  /// the finished trace to the export ring. `shard` may be null
+  /// (unknown-handle deliveries); `kind` is the delivery's
+  /// ProblemKindName (empty-string/null tolerated). Call at most once per
+  /// (trace, decision) pair.
   void FinishRequest(Shard* shard, const std::shared_ptr<obs::Trace>& trace,
-                     sched::TimePoint submit, Decision* decision);
+                     sched::TimePoint submit, Decision* decision,
+                     const char* kind);
 
   /// The evaluation-time SearchOptions for one request on `shard`: the
   /// shard's default step budget (for requests that left max_steps at the
@@ -523,6 +580,25 @@ class CompletenessService {
   static SearchOptions EffectiveOptions(const Shard& shard,
                                         const DecisionRequest& request,
                                         const sched::SchedParams* sched);
+
+  /// The instrumented core of every evaluation: anchors a SearchProfile at
+  /// the same instant the trace's "evaluate" phase opens (so profile slice
+  /// offsets are offsets into the evaluate span), registers the run with
+  /// the stall watchdog, chains the checkpoint progress hook (heartbeat →
+  /// trace mark → the request's own hook), runs EvaluateRequest, and
+  /// attaches the finished profile to the Decision, feeding the per-loop
+  /// step/latency metric families. Runs OUTSIDE shard.mu (the evaluation
+  /// is long); `effective`'s profile/progress fields are overwritten.
+  Decision RunEvaluation(Shard& shard, const DecisionRequest& request,
+                         SearchOptions* effective,
+                         const std::shared_ptr<obs::Trace>& trace);
+
+  /// Charges one finished evaluation's per-loop attribution into the
+  /// relcomp_search_steps_total{tenant,kind,loop} counters and the
+  /// relcomp_search_loop_micros{tenant,loop} histograms. No-op when
+  /// metrics are off.
+  void RecordSearchProfile(const Shard& shard, const DecisionRequest& request,
+                           const SearchProfile& profile);
 
   /// Records one participant's deadline in the group's shared run
   /// deadline (monotonic max; kNoDeadline lifts it entirely). Called at
@@ -550,7 +626,7 @@ class CompletenessService {
   /// report kUnavailable unless individually cancelled. No-op if
   /// evaluation already started.
   void ShedGroup(Shard& shard, const RequestCacheKey& key,
-                 const std::shared_ptr<FlightGroup>& group)
+                 const std::shared_ptr<FlightGroup>& group, const char* kind)
       EXCLUDES(shard.mu);
 
   /// The queued owner task of an admission-time flight group: records the
@@ -588,7 +664,14 @@ class CompletenessService {
   std::vector<RoutedRequest> RouteBatch(
       const std::vector<ServiceRequest>& requests);
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
+
+  /// The sampler/watchdog thread body: sleeps on recorder_wake_mu_ in
+  /// recorder-tick-sized slices (woken early by shutdown), scans the
+  /// active-evaluation registry for stalls, snapshots vitals into the
+  /// flight recorder on the configured cadence, and republishes the
+  /// abort-path report. All work happens OUTSIDE the wake mutex.
+  void RecorderLoop();
 
   const ServiceOptions options_;
 
@@ -626,9 +709,19 @@ class CompletenessService {
   obs::MetricsRegistry metrics_registry_;
   obs::Tracer tracer_;
   obs::SlowDecisionLog slow_log_;
+  obs::TraceSink trace_sink_;        ///< export ring behind DumpTraces()
+  obs::ActiveEvaluations active_;    ///< running evaluations (watchdog prey)
+  obs::FlightRecorder recorder_;     ///< periodic vitals ring
   obs::Gauge* inflight_gauge_ = nullptr;          ///< null when metrics off
   obs::Histogram* sched_queue_wait_ = nullptr;    ///< queue-level, all tenants
   obs::Histogram* sched_token_wait_ = nullptr;    ///< admission-block time
+  /// Service-wide sliding windows (all tenants merged); null when metrics
+  /// are off, like the per-shard ones.
+  std::unique_ptr<Shard::Windows> windows_;
+  /// Evaluations the watchdog has flagged as stalled, cumulative. Kept as
+  /// a plain atomic (not only a registry counter) so ObsReport and the
+  /// metrics-off configuration still see it.
+  std::atomic<uint64_t> watchdog_stall_count_{0};
 
   // The scheduler subsystem: a policy-driven multi-tenant queue (tenant =
   // setting shard) feeding the shared worker pool. Workers drain the queue
@@ -636,6 +729,17 @@ class CompletenessService {
   // destruction still resolve.
   sched::FairQueue queue_;
   std::vector<std::thread> workers_;
+
+  // The sampler/watchdog thread, started after the workers when the
+  // recorder or watchdog is configured and stopped FIRST in the
+  // destructor (it reads members the teardown below dismantles). The wake
+  // mutex exists only so shutdown can interrupt the tick sleep; the loop
+  // never does work under it.
+  mutable Mutex recorder_wake_mu_{LockRank::kObsRecorderWake,
+                                  "CompletenessService::recorder_wake_mu_"};
+  CondVar recorder_wake_cv_;
+  bool recorder_stop_ GUARDED_BY(recorder_wake_mu_) = false;
+  std::thread recorder_thread_;
 };
 
 }  // namespace relcomp

@@ -1,5 +1,30 @@
 #include "util/mutex.h"
 
+#include <atomic>
+
+namespace relcomp {
+namespace {
+
+std::atomic<AbortReportFn> g_abort_report_hook{nullptr};
+
+}  // namespace
+
+void SetLockRankAbortHook(AbortReportFn fn) {
+  g_abort_report_hook.store(fn, std::memory_order_release);
+}
+
+namespace lockrank_internal {
+
+void RunAbortReportHook() {
+  if (AbortReportFn fn =
+          g_abort_report_hook.load(std::memory_order_acquire)) {
+    fn();
+  }
+}
+
+}  // namespace lockrank_internal
+}  // namespace relcomp
+
 #if RELCOMP_LOCK_RANK_CHECKS
 
 #include <cstdio>
@@ -58,6 +83,9 @@ void DumpCallStack() {
 [[noreturn]] void Die(const HeldStack& stack) {
   DumpHeldStack(stack);
   DumpCallStack();
+  // Last-gasp forensics: let the obs layer dump its pre-rendered report
+  // (flight-recorder ring, active evaluations) before the process dies.
+  RunAbortReportHook();
   std::fflush(stderr);
   std::abort();
 }

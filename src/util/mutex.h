@@ -54,13 +54,32 @@ enum class LockRank : int {
   // CacheBudget::mu_ — the budget's registration map; leaf of the cache
   // chain (never held while calling back into a cache).
   kCacheBudget = 50,
+  // CompletenessService::recorder_wake_mu_ — the sampler thread's sleep
+  // mutex. The sampler does all its work (scans, renders, metric reads)
+  // strictly outside this lock; it exists only to make shutdown wake the
+  // WaitFor. Kept below the obs leaves so the wait itself can never
+  // invert against them even if the loop is later restructured.
+  kObsRecorderWake = 58,
   // FairQueue::mu_ — scheduler queue state; leaf (tasks run unlocked).
   kSchedQueue = 60,
   // Stream<T>::mu_ — per-stream channel state; leaf.
   kSchedStream = 65,
-  // SlowDecisionLog::mu_ — ranked BELOW trace because Offer() compares
-  // Trace::total_micros() (which takes the trace mutex) while holding it.
+  // WindowedCounter/WindowedHistogram::mu_ — sliding-window slot rings;
+  // leaf (Record/Snapshot touch only the ring).
+  kObsWindow = 67,
+  // ActiveEvaluations::mu_ — the registry of running evaluations the stall
+  // watchdog scans; leaf (per-record heartbeats are lock-free atomics).
+  kObsActive = 68,
+  // FlightRecorder::mu_ — the bounded ring of periodic samples; leaf.
+  kObsRecorder = 69,
+  // SlowDecisionLog::mu_ — holds plain SlowEntry values (the trace inside
+  // an entry is only read, never locked, under this mutex); ranked below
+  // the obs leaves it historically preceded.
   kObsSlowLog = 70,
+  // TraceSink::mu_ — the bounded ring of finished trace records; leaf
+  // (records are offered after the trace is sealed and the export renderer
+  // reads traces outside this lock).
+  kObsTraceSink = 72,
   // MetricsRegistry::mu_ — instrument family map; leaf (instrument
   // updates themselves are lock-free atomics).
   kObsMetrics = 75,
@@ -73,6 +92,18 @@ enum class LockRank : int {
   // The process-wide symbol intern table; leaf.
   kInterner = 95,
 };
+
+/// Hook run from the lock-rank checker's abort path, after the held-lock
+/// and call stacks print but before std::abort(), so a higher layer can
+/// dump last-gasp forensics (the obs layer registers a flight-recorder /
+/// ObsReport dump). The hook runs on the dying thread which may hold
+/// arbitrary locks — it must not lock, allocate, or block; in practice it
+/// fwrites a pre-rendered buffer. A plain function pointer (not
+/// std::function) because util cannot depend on obs and the call site must
+/// stay allocation-free. Registration is accepted even when
+/// RELCOMP_LOCK_RANK_CHECKS is off (the hook just never fires).
+using AbortReportFn = void (*)();
+void SetLockRankAbortHook(AbortReportFn fn);
 
 #if RELCOMP_LOCK_RANK_CHECKS
 namespace lockrank_internal {

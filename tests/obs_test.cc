@@ -41,6 +41,7 @@ using obs::LabelSet;
 using obs::MetricsDump;
 using obs::MetricsRegistry;
 using obs::SlowDecisionLog;
+using obs::SlowEntry;
 using obs::Trace;
 using obs::Tracer;
 using obs::TraceTime;
@@ -366,26 +367,49 @@ std::shared_ptr<Trace> FinishedTrace(uint64_t id, uint64_t total_micros) {
   return trace;
 }
 
-TEST(SlowDecisionLogTest, KeepsWorstTracesBounded) {
+SlowEntry EntryOf(uint64_t id, uint64_t micros) {
+  SlowEntry entry;
+  entry.micros = micros;
+  entry.trace_id = id;
+  entry.tenant = "7";
+  entry.kind = "RCDP_STRONG";
+  entry.trace = FinishedTrace(id, micros);
+  return entry;
+}
+
+TEST(SlowDecisionLogTest, KeepsWorstEntriesBounded) {
   SlowDecisionLog log;
   EXPECT_EQ(log.capacity(), 0u);
-  log.Offer(FinishedTrace(1, 999));  // disabled: dropped
+  log.Offer(EntryOf(1, 999));  // disabled: dropped
   EXPECT_EQ(log.size(), 0u);
 
   log.Configure(2);
-  log.Offer(FinishedTrace(1, 10));
-  log.Offer(FinishedTrace(2, 30));
-  log.Offer(FinishedTrace(3, 20));
-  log.Offer(FinishedTrace(4, 40));
-  // An unfinished trace has no defensible latency yet and is ignored.
-  log.Offer(std::make_shared<Trace>(5, At(0)));
+  log.Offer(EntryOf(1, 10));
+  log.Offer(EntryOf(2, 30));
+  log.Offer(EntryOf(3, 20));
+  log.Offer(EntryOf(4, 40));
 
   const auto worst = log.Worst();
   ASSERT_EQ(worst.size(), 2u);
-  EXPECT_EQ(worst[0]->total_micros(), 40u);
-  EXPECT_EQ(worst[1]->total_micros(), 30u);
+  EXPECT_EQ(worst[0].micros, 40u);
+  EXPECT_EQ(worst[1].micros, 30u);
+  // The cross-linking identity fields ride each entry.
+  EXPECT_EQ(worst[0].trace_id, 4u);
+  EXPECT_EQ(worst[0].tenant, "7");
+  EXPECT_EQ(worst[0].kind, "RCDP_STRONG");
+  ASSERT_NE(worst[0].trace, nullptr);
+  EXPECT_EQ(worst[0].trace->total_micros(), 40u);
   EXPECT_EQ(log.size(), 2u);
   EXPECT_EQ(log.capacity(), 2u);
+
+  // Entries need no trace at all (the watchdog's stall entries): ranked
+  // purely by the stamped micros.
+  SlowEntry stall;
+  stall.micros = 99;
+  stall.note = "watchdog: stalled";
+  log.Offer(std::move(stall));
+  EXPECT_EQ(log.Worst().front().micros, 99u);
+  EXPECT_EQ(log.Worst().front().trace, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -605,10 +629,15 @@ TEST(ServiceObsTest, TracedBatchTimelineAccountsForLatencyExactly) {
   ASSERT_EQ(decisions.size(), 2u);
   for (const Decision& decision : decisions) EXPECT_OK(decision.status);
 
-  const auto traces = service.SlowDecisions();
-  ASSERT_EQ(traces.size(), 2u);  // sample=1: every submission traced
+  const auto entries = service.SlowDecisions();
+  ASSERT_EQ(entries.size(), 2u);  // sample=1: every submission traced
   std::vector<uint64_t> totals;
-  for (const auto& trace : traces) {
+  for (const auto& entry : entries) {
+    const auto& trace = entry.trace;
+    EXPECT_EQ(entry.trace_id, trace->id());
+    EXPECT_EQ(entry.micros, trace->total_micros());
+    EXPECT_FALSE(entry.tenant.empty());
+    EXPECT_FALSE(entry.kind.empty());
     ASSERT_TRUE(trace->finished());
     // The acceptance criterion: the span timeline covers the request's
     // whole life, so durations sum EXACTLY to the end-to-end total (phases
@@ -641,7 +670,8 @@ TEST(ServiceObsTest, TracedBatchTimelineAccountsForLatencyExactly) {
   const std::vector<Decision> again = service.SubmitBatch(handle, requests);
   for (const Decision& decision : again) EXPECT_TRUE(decision.from_cache);
   bool saw_hit_trace = false;
-  for (const auto& trace : service.SlowDecisions()) {
+  for (const auto& entry : service.SlowDecisions()) {
+    const auto& trace = entry.trace;
     const obs::TraceSpan* lookup = nullptr;
     if (HasSpan(*trace, "cache-lookup", &lookup) && lookup->note == "hit") {
       EXPECT_FALSE(HasSpan(*trace, "evaluate")) << trace->ToString();
@@ -760,7 +790,8 @@ TEST(ServiceObsTest, CoalescedWaiterTraceRecordsTheJoin) {
   EXPECT_NE(d2.note.find("coalesced"), std::string::npos) << d2.note;
 
   bool saw_join = false;
-  for (const auto& trace : service.SlowDecisions()) {
+  for (const auto& entry : service.SlowDecisions()) {
+    const auto& trace = entry.trace;
     const obs::TraceSpan* join = nullptr;
     if (HasSpan(*trace, "coalesce-join", &join)) {
       saw_join = true;
@@ -787,11 +818,11 @@ TEST(ServiceObsTest, EvaluationProgressMarksLandInTraces) {
   request.request.options.checkpoint_interval = 1024;
   service.SubmitAsync(std::move(request)).get();
 
-  const auto traces = service.SlowDecisions();
-  ASSERT_FALSE(traces.empty());
+  const auto entries = service.SlowDecisions();
+  ASSERT_FALSE(entries.empty());
   size_t eval_marks = 0;
-  for (const auto& trace : traces) {
-    for (const obs::TraceSpan& span : trace->spans()) {
+  for (const auto& entry : entries) {
+    for (const obs::TraceSpan& span : entry.trace->spans()) {
       if (span.name.rfind("eval:", 0) == 0) {
         ++eval_marks;
         EXPECT_EQ(span.start_micros, span.end_micros);  // zero-width mark

@@ -72,6 +72,11 @@ struct CliOptions {
   std::string metrics_dump;   // "" = off, else "prom" | "json"
   uint64_t trace_sample = 0;  // sample every Nth submission (0 = off)
   size_t slow_log = 0;        // keep the N worst traces (0 = off)
+  std::string trace_dump;     // write a Chrome/Perfetto trace JSON here
+  size_t trace_ring = 0;      // retained traces (0 + --trace-dump = 256)
+  bool obs_report = false;    // print the ObsReport() dashboard
+  uint64_t recorder_interval_ms = 0;  // flight-recorder cadence (0 = off)
+  uint64_t watchdog_stall_us = 0;     // stall threshold (0 = off)
 };
 
 /// One registered setting and its share of the workload.
@@ -339,6 +344,18 @@ int main(int argc, char** argv) {
       cli.trace_sample = ParseCount("--trace-sample", next("--trace-sample"));
     } else if (arg == "--slow-log") {
       cli.slow_log = ParseCount("--slow-log", next("--slow-log"));
+    } else if (arg == "--trace-dump") {
+      cli.trace_dump = next("--trace-dump");
+    } else if (arg == "--trace-ring") {
+      cli.trace_ring = ParseCount("--trace-ring", next("--trace-ring"));
+    } else if (arg == "--obs-report") {
+      cli.obs_report = true;
+    } else if (arg == "--recorder-interval-ms") {
+      cli.recorder_interval_ms = ParseCount("--recorder-interval-ms",
+                                            next("--recorder-interval-ms"));
+    } else if (arg == "--watchdog-stall-us") {
+      cli.watchdog_stall_us =
+          ParseCount("--watchdog-stall-us", next("--watchdog-stall-us"));
     } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
@@ -424,7 +441,19 @@ int main(int argc, char** argv) {
           "                    timeline (admit, queue, evaluate, cache\n"
           "                    outcome); 0 = off\n"
           "  --slow-log N      keep and print the N slowest sampled\n"
-          "                    request timelines (needs --trace-sample)\n",
+          "                    request timelines (needs --trace-sample)\n"
+          "  --trace-dump F    write retained traces to F as Chrome\n"
+          "                    trace_event JSON (open in ui.perfetto.dev);\n"
+          "                    per-worker rows nest each evaluation's\n"
+          "                    per-loop sub-slices (needs --trace-sample)\n"
+          "  --trace-ring N    retain the last N finished traces for\n"
+          "                    --trace-dump (default 256 when dumping)\n"
+          "  --obs-report      print the operational dashboard (windowed\n"
+          "                    rates, active evaluations, flight recorder)\n"
+          "  --recorder-interval-ms N  sample system vitals into the\n"
+          "                    flight recorder every N ms (0 = off)\n"
+          "  --watchdog-stall-us N  flag evaluations whose checkpoints\n"
+          "                    stop heartbeating for N us (0 = off)\n",
           kinds.c_str(),
           static_cast<unsigned long long>(SearchOptions::kDefaultMaxSteps));
       return 0;
@@ -462,6 +491,11 @@ int main(int argc, char** argv) {
   service_options.default_max_queue = cli.default_max_queue;
   service_options.trace_sample = cli.trace_sample;
   service_options.slow_log = cli.slow_log;
+  service_options.trace_ring =
+      cli.trace_ring > 0 ? cli.trace_ring
+                         : (cli.trace_dump.empty() ? 0 : 256);
+  service_options.recorder_interval_ms = cli.recorder_interval_ms;
+  service_options.watchdog_stall_micros = cli.watchdog_stall_us;
 
   CompletenessService service(service_options);
   // Warm start BEFORE registration: staged snapshot entries are replayed
@@ -678,9 +712,35 @@ int main(int argc, char** argv) {
     if (cli.trace_sample == 0) {
       std::printf("  (empty: --slow-log needs --trace-sample to feed it)\n");
     }
-    for (const auto& trace : worst) {
-      std::printf("%s\n", trace->ToString().c_str());
+    for (const auto& entry : worst) {
+      std::printf("%llu us  tenant=%s kind=%s%s%s\n",
+                  static_cast<unsigned long long>(entry.micros),
+                  entry.tenant.c_str(), entry.kind.c_str(),
+                  entry.trace_id != 0
+                      ? ("  trace#" + std::to_string(entry.trace_id)).c_str()
+                      : "",
+                  entry.note.empty() ? "" : ("  " + entry.note).c_str());
+      if (entry.profile != nullptr) {
+        std::printf("  search: %s\n", entry.profile->ToString().c_str());
+      }
+      if (entry.trace != nullptr) {
+        std::printf("%s\n", entry.trace->ToString().c_str());
+      }
     }
+  }
+
+  if (!cli.trace_dump.empty()) {
+    std::ofstream out(cli.trace_dump, std::ios::binary | std::ios::trunc);
+    if (!out) return Fail(cli.trace_dump + ": cannot open for writing");
+    out << service.DumpTraces();
+    if (!out.flush()) return Fail(cli.trace_dump + ": write failed");
+    std::printf("\n  trace timeline written to '%s' (open in "
+                "ui.perfetto.dev)\n",
+                cli.trace_dump.c_str());
+  }
+
+  if (cli.obs_report) {
+    std::printf("\n%s", service.ObsReport().c_str());
   }
 
   if (cli.compare) {

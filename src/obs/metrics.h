@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
+#include "obs/metric_names.h"
 #include "util/mutex.h"
 
 namespace relcomp {
@@ -76,6 +77,25 @@ class MetricsDump {
   void AddRate(const std::string& name, const LabelSet& labels, double value,
                const std::string& help = "");
 
+  /// Registry-constant flavors (obs/metric_names.h): name and help come
+  /// from the family, so a row's identity can never be a loose string.
+  void AddCounter(const MetricFamily& family, const LabelSet& labels,
+                  uint64_t value) {
+    AddCounter(family.name, labels, value, family.help);
+  }
+  void AddGauge(const MetricFamily& family, const LabelSet& labels,
+                int64_t value) {
+    AddGauge(family.name, labels, value, family.help);
+  }
+  void AddHistogram(const MetricFamily& family, const LabelSet& labels,
+                    const HistogramData& data) {
+    AddHistogram(family.name, labels, data, family.help);
+  }
+  void AddRate(const MetricFamily& family, const LabelSet& labels,
+               double value) {
+    AddRate(family.name, labels, value, family.help);
+  }
+
   std::string Render(DumpFormat format) const;
 
  private:
@@ -112,6 +132,20 @@ class MetricsRegistry {
                   const std::string& help = "");
   Histogram* GetHistogram(const std::string& name, LabelSet labels = {},
                           const std::string& help = "");
+
+  /// Registry-constant flavors (obs/metric_names.h) — the production call
+  /// sites: the family carries the canonical name and help text, so no
+  /// caller spells a metric name as a string literal (relcomp_lint rule
+  /// `metric-registry` bans that outside the registry header).
+  Counter* GetCounter(const MetricFamily& family, LabelSet labels = {}) {
+    return GetCounter(family.name, std::move(labels), family.help);
+  }
+  Gauge* GetGauge(const MetricFamily& family, LabelSet labels = {}) {
+    return GetGauge(family.name, std::move(labels), family.help);
+  }
+  Histogram* GetHistogram(const MetricFamily& family, LabelSet labels = {}) {
+    return GetHistogram(family.name, std::move(labels), family.help);
+  }
 
   /// Writes every registered instrument into `dump`, families in name
   /// order, instruments in label order.

@@ -195,16 +195,11 @@ CompletenessService::CompletenessService(ServiceOptions options)
   trace_sink_.Configure(options_.trace_ring);
   if (options_.metrics) {
     windows_ = std::make_unique<Shard::Windows>();
-    inflight_gauge_ = metrics_registry_.GetGauge(
-        "relcomp_inflight_requests", {},
-        "requests currently executing inside the service");
-    sched_queue_wait_ = metrics_registry_.GetHistogram(
-        "relcomp_sched_queue_wait_micros", {},
-        "in-queue residency of every popped task, microseconds");
-    sched_token_wait_ = metrics_registry_.GetHistogram(
-        "relcomp_sched_token_wait_micros", {},
-        "time producers spent blocked on admission (quota / rate limit) "
-        "before a task was admitted, microseconds");
+    inflight_gauge_ = metrics_registry_.GetGauge(obs::kMetricInflightRequests);
+    sched_queue_wait_ =
+        metrics_registry_.GetHistogram(obs::kMetricSchedQueueWaitMicros);
+    sched_token_wait_ =
+        metrics_registry_.GetHistogram(obs::kMetricSchedTokenWaitMicros);
     queue_.AttachMetrics(sched_queue_wait_, sched_token_wait_);
   }
   workers_.reserve(options_.num_workers);
@@ -215,7 +210,7 @@ CompletenessService::CompletenessService(ServiceOptions options)
   if (options_.recorder_interval_ms > 0 || options_.watchdog_stall_micros > 0) {
     recorder_.Configure(options_.recorder_ring);
     obs::InstallAbortReportHook();
-    recorder_thread_ = std::thread([this] { RecorderLoop(); });
+    recorder_thread_ = JoinableThread([this] { RecorderLoop(); });
   }
 }
 
@@ -228,10 +223,10 @@ CompletenessService::~CompletenessService() {
       recorder_stop_ = true;
     }
     recorder_wake_cv_.NotifyAll();
-    recorder_thread_.join();
+    recorder_thread_.Join();
   }
   queue_.Shutdown();
-  for (std::thread& worker : workers_) worker.join();
+  for (JoinableThread& worker : workers_) worker.Join();
 }
 
 void CompletenessService::WorkerLoop(int worker_index) {
@@ -359,45 +354,38 @@ void CompletenessService::InitShardMetrics(Shard& shard, uint64_t handle_id) {
   if (!options_.metrics) return;
   shard.windows = std::make_unique<Shard::Windows>();
   const obs::LabelSet tenant{{"tenant", std::to_string(handle_id)}};
-  shard.metrics.e2e_latency = metrics_registry_.GetHistogram(
-      "relcomp_request_latency_micros", tenant,
-      "end-to-end latency, submission to delivery, microseconds");
-  shard.metrics.queue_wait = metrics_registry_.GetHistogram(
-      "relcomp_queue_wait_micros", tenant,
-      "scheduler queue residency of this tenant's tasks, microseconds");
+  shard.metrics.e2e_latency =
+      metrics_registry_.GetHistogram(obs::kMetricRequestLatencyMicros, tenant);
+  shard.metrics.queue_wait =
+      metrics_registry_.GetHistogram(obs::kMetricQueueWaitMicros, tenant);
   const std::vector<ProblemKind>& kinds = AllProblemKinds();
   shard.metrics.by_kind.assign(kinds.size(), nullptr);
   for (size_t i = 0; i < kinds.size(); ++i) {
     obs::LabelSet labels = tenant;
     labels.emplace_back("kind", ProblemKindName(kinds[i]));
-    shard.metrics.by_kind[i] = metrics_registry_.GetCounter(
-        "relcomp_requests_total", labels,
-        "requests submitted, by problem kind");
+    shard.metrics.by_kind[i] =
+        metrics_registry_.GetCounter(obs::kMetricRequestsTotal, labels);
   }
   static constexpr const char* kPriorityNames[sched::kNumPriorities] = {
       "high", "normal", "low"};
   for (size_t i = 0; i < sched::kNumPriorities; ++i) {
     obs::LabelSet labels = tenant;
     labels.emplace_back("priority", kPriorityNames[i]);
-    shard.metrics.by_priority[i] = metrics_registry_.GetCounter(
-        "relcomp_priority_requests_total", labels,
-        "requests submitted, by scheduling priority class");
+    shard.metrics.by_priority[i] =
+        metrics_registry_.GetCounter(obs::kMetricPriorityRequestsTotal, labels);
   }
   cache::CacheEventSink sink;
-  sink.hits = metrics_registry_.GetCounter(
-      "relcomp_cache_hits_total", tenant, "shard cache lookup hits");
-  sink.misses = metrics_registry_.GetCounter(
-      "relcomp_cache_misses_total", tenant, "shard cache lookup misses");
-  sink.evictions = metrics_registry_.GetCounter(
-      "relcomp_cache_evictions_total", tenant,
-      "cache entries evicted under capacity or shared-budget pressure");
+  sink.hits = metrics_registry_.GetCounter(obs::kMetricCacheHitsTotal, tenant);
+  sink.misses =
+      metrics_registry_.GetCounter(obs::kMetricCacheMissesTotal, tenant);
+  sink.evictions =
+      metrics_registry_.GetCounter(obs::kMetricCacheEvictionsTotal, tenant);
   sink.admission_rejects = metrics_registry_.GetCounter(
-      "relcomp_cache_admission_rejects_total", tenant,
-      "computed decisions the cache refused to admit");
-  sink.resident_bytes = metrics_registry_.GetGauge(
-      "relcomp_cache_resident_bytes", tenant, "resident cache bytes");
-  sink.resident_entries = metrics_registry_.GetGauge(
-      "relcomp_cache_resident_entries", tenant, "resident cache entries");
+      obs::kMetricCacheAdmissionRejectsTotal, tenant);
+  sink.resident_bytes =
+      metrics_registry_.GetGauge(obs::kMetricCacheResidentBytes, tenant);
+  sink.resident_entries =
+      metrics_registry_.GetGauge(obs::kMetricCacheResidentEntries, tenant);
   shard.cache->AttachEvents(sink);
 }
 
@@ -576,14 +564,12 @@ void CompletenessService::RecordSearchProfile(const Shard& shard,
   const char* kind = ProblemKindName(request.kind);
   for (const SearchProfile::LoopTotal& total : profile.totals()) {
     obs::Counter* steps = metrics_registry_.GetCounter(
-        "relcomp_search_steps_total",
-        {{"tenant", tenant}, {"kind", kind}, {"loop", total.loop}},
-        "search checkpoint steps charged, by core search loop");
+        obs::kMetricSearchStepsTotal,
+        {{"tenant", tenant}, {"kind", kind}, {"loop", total.loop}});
     if (steps != nullptr) steps->Inc(total.steps);
     obs::Histogram* micros = metrics_registry_.GetHistogram(
-        "relcomp_search_loop_micros", {{"tenant", tenant},
-                                       {"loop", total.loop}},
-        "time one evaluation spent inside a core search loop, microseconds");
+        obs::kMetricSearchLoopMicros,
+        {{"tenant", tenant}, {"loop", total.loop}});
     if (micros != nullptr) micros->Record(total.micros);
   }
 }
@@ -1609,33 +1595,25 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
   for (const Outcome& outcome : kOutcomes) {
     for (const auto& [id, counters] : snapshots) {
       dump.AddCounter(
-          "relcomp_decisions_total",
+          obs::kMetricDecisionsTotal,
           {{"outcome", outcome.name}, {"tenant", std::to_string(id)}},
-          counters.*outcome.field,
-          "request outcomes; the five outcomes partition requests exactly");
+          counters.*outcome.field);
     }
   }
   for (const auto& [id, counters] : snapshots) {
-    dump.AddCounter("relcomp_errors_total",
-                    {{"tenant", std::to_string(id)}}, counters.errors,
-                    "decider errors (not part of the outcome partition: an "
-                    "errored evaluation still counts as a miss)");
+    dump.AddCounter(obs::kMetricErrorsTotal, {{"tenant", std::to_string(id)}},
+                    counters.errors);
   }
-  dump.AddCounter("relcomp_traces_sampled_total", {}, tracer_.sampled(),
-                  "requests sampled into a span-timeline trace");
-  dump.AddGauge("relcomp_slow_log_entries", {},
-                static_cast<int64_t>(slow_log_.size()),
-                "finished traces currently held by the slow-decision log");
-  dump.AddCounter("relcomp_watchdog_stalls_total", {},
-                  watchdog_stall_count_.load(std::memory_order_relaxed),
-                  "running evaluations flagged by the stall watchdog");
+  dump.AddCounter(obs::kMetricTracesSampledTotal, {}, tracer_.sampled());
+  dump.AddGauge(obs::kMetricSlowLogEntries, {},
+                static_cast<int64_t>(slow_log_.size()));
+  dump.AddCounter(obs::kMetricWatchdogStallsTotal, {},
+                  watchdog_stall_count_.load(std::memory_order_relaxed));
   if (options_.trace_ring > 0) {
-    dump.AddGauge("relcomp_trace_ring_entries", {},
-                  static_cast<int64_t>(trace_sink_.size()),
-                  "finished traces retained for DumpTraces()");
-    dump.AddCounter("relcomp_trace_ring_dropped_total", {},
-                    trace_sink_.dropped(),
-                    "finished traces overwritten in the export ring");
+    dump.AddGauge(obs::kMetricTraceRingEntries, {},
+                  static_cast<int64_t>(trace_sink_.size()));
+    dump.AddCounter(obs::kMetricTraceRingDroppedTotal, {},
+                    trace_sink_.dropped());
   }
 
   // Sliding-window views: recent request rates (1s/10s/60s) and recent
@@ -1645,29 +1623,19 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
     const auto now = obs::WindowedCounter::Clock::now();
     static constexpr uint64_t kWindows[] = {1, 10, 60};
     for (const uint64_t secs : kWindows) {
-      dump.AddRate(
-          "relcomp_requests_rate" + std::to_string(secs) + "s", {},
-          windows_->requests.Rate(secs, now),
-          "delivered requests/sec over the trailing " +
-              std::to_string(secs) + "s, all tenants");
+      dump.AddRate(obs::RequestsRateFamily(secs), {},
+                   windows_->requests.Rate(secs, now));
       for (const auto& [id, shard] : shards) {
         if (shard->windows == nullptr) continue;
-        dump.AddRate("relcomp_tenant_requests_rate" + std::to_string(secs) +
-                         "s",
+        dump.AddRate(obs::TenantRequestsRateFamily(secs),
                      {{"tenant", std::to_string(id)}},
-                     shard->windows->requests.Rate(secs, now),
-                     "delivered requests/sec over the trailing " +
-                         std::to_string(secs) + "s");
+                     shard->windows->requests.Rate(secs, now));
       }
     }
     static constexpr uint64_t kLatencyWindows[] = {10, 60};
     for (const uint64_t secs : kLatencyWindows) {
-      dump.AddHistogram(
-          "relcomp_request_latency_recent" + std::to_string(secs) +
-              "s_micros",
-          {}, windows_->latency.Snapshot(secs, now),
-          "end-to-end latency of requests delivered in the trailing " +
-              std::to_string(secs) + "s, all tenants, microseconds");
+      dump.AddHistogram(obs::RecentLatencyFamily(secs), {},
+                        windows_->latency.Snapshot(secs, now));
     }
   }
   return dump.Render(format);

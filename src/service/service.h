@@ -71,7 +71,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -90,6 +89,7 @@
 #include "sched/stream.h"
 #include "service/decision.h"
 #include "util/mutex.h"
+#include "util/thread.h"
 
 namespace relcomp {
 
@@ -728,7 +728,7 @@ class CompletenessService {
   // before honoring shutdown, so async submissions accepted before
   // destruction still resolve.
   sched::FairQueue queue_;
-  std::vector<std::thread> workers_;
+  std::vector<JoinableThread> workers_;
 
   // The sampler/watchdog thread, started after the workers when the
   // recorder or watchdog is configured and stopped FIRST in the
@@ -739,7 +739,7 @@ class CompletenessService {
                                   "CompletenessService::recorder_wake_mu_"};
   CondVar recorder_wake_cv_;
   bool recorder_stop_ GUARDED_BY(recorder_wake_mu_) = false;
-  std::thread recorder_thread_;
+  JoinableThread recorder_thread_;
 };
 
 }  // namespace relcomp

@@ -1,0 +1,64 @@
+// relcomp::JoinableThread — the project's only sanctioned thread handle.
+//
+// A thin wrapper over std::thread whose destructor joins instead of calling
+// std::terminate, so a thread member can never outlive the object whose
+// state it touches just because a destructor forgot the join. Raw
+// std::thread is a banned construct outside src/util/ (relcomp_lint rule
+// `banned-constructs`): every long-lived thread in the system goes through
+// this wrapper, which keeps "who joins this and when" a type-level property
+// instead of a per-destructor convention.
+//
+// Deliberately minimal: no detach (a detached thread cannot be proven quiet
+// at shutdown, which is exactly the bug class this wrapper removes), no
+// interruption (the codebase signals shutdown through its own flags and
+// CondVars), movable so it can live in containers.
+#ifndef RELCOMP_UTIL_THREAD_H_
+#define RELCOMP_UTIL_THREAD_H_
+
+#include <thread>
+#include <utility>
+
+namespace relcomp {
+
+class JoinableThread {
+ public:
+  /// An empty handle; joinable() is false until a thread is assigned.
+  JoinableThread() = default;
+
+  /// Starts a thread running `fn(args...)`, exactly like std::thread.
+  template <class Fn, class... Args>
+  explicit JoinableThread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  JoinableThread(JoinableThread&& other) noexcept = default;
+
+  /// Move-assignment joins the currently held thread first (std::thread
+  /// would terminate), so overwriting a live handle is safe, just blocking.
+  JoinableThread& operator=(JoinableThread&& other) noexcept {
+    if (this != &other) {
+      Join();
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+
+  JoinableThread(const JoinableThread&) = delete;
+  JoinableThread& operator=(const JoinableThread&) = delete;
+
+  ~JoinableThread() { Join(); }
+
+  bool joinable() const { return thread_.joinable(); }
+
+  /// Joins if joinable; no-op (not an error) on an empty or already-joined
+  /// handle, so shutdown paths can call it unconditionally.
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_THREAD_H_

@@ -1,0 +1,3 @@
+namespace relcomp {
+inline int Answer() { return 42; }
+}  // namespace relcomp

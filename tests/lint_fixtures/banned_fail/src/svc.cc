@@ -1,0 +1,16 @@
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace relcomp {
+
+std::mutex g_mu;
+
+void Work() {
+  std::lock_guard<std::mutex> hold(g_mu);
+  std::thread worker([] {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  worker.join();
+}
+
+}  // namespace relcomp

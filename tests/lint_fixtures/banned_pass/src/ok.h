@@ -1,0 +1,8 @@
+#ifndef FIXTURE_OK_H_
+#define FIXTURE_OK_H_
+
+namespace relcomp {
+inline int Answer() { return 42; }
+}  // namespace relcomp
+
+#endif  // FIXTURE_OK_H_

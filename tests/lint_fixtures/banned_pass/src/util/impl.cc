@@ -1,0 +1,9 @@
+#include <mutex>
+
+namespace relcomp {
+
+// src/util/ is where the sanctioned wrappers live: raw primitives are
+// allowed here and only here.
+std::mutex g_wrapped;
+
+}  // namespace relcomp

@@ -1,0 +1,14 @@
+namespace relcomp {
+
+// A search loop that never polls a checkpoint: the rule must flag the
+// `while` below (and only it — the inner `for` is part of the same nest).
+int CountDown(int n) {
+  int steps = 0;
+  while (n > 0) {
+    --n;
+    for (int i = 0; i < 2; ++i) ++steps;
+  }
+  return steps;
+}
+
+}  // namespace relcomp

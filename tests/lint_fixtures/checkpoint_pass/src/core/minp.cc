@@ -1,0 +1,32 @@
+namespace relcomp {
+
+// Direct poll: the loop body Ticks.
+int CountDown(SearchCheckpoint& checkpoint, int n) {
+  int steps = 0;
+  while (n > 0) {
+    checkpoint.Tick();
+    --n;
+    ++steps;
+  }
+  return steps;
+}
+
+// Transitive poll: PollOnce Ticks, so a loop calling it has evidence via
+// the polling-function fixpoint.
+int PollOnce(SearchCheckpoint& checkpoint) { return checkpoint.Tick(); }
+
+int Sum(SearchCheckpoint& checkpoint, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += PollOnce(checkpoint);
+  return total;
+}
+
+// Waived loop: bounded, documented, accepted.
+int Fixed() {
+  int total = 0;
+  // LINT:waive(checkpoint-coverage, three iterations by construction)
+  for (int i = 0; i < 3; ++i) ++total;
+  return total;
+}
+
+}  // namespace relcomp

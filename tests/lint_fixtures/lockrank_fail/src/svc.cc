@@ -1,0 +1,20 @@
+#include "util/mutex.h"
+
+namespace relcomp {
+
+class Widget {
+ public:
+  void Bad() {
+    MutexLock outer(b_mu_);
+    {
+      MutexLock inner(a_mu_);
+    }
+  }
+
+ private:
+  Mutex a_mu_{LockRank::kAlpha, "Widget::a_mu_"};
+  Mutex b_mu_{LockRank::kBeta, "Widget::b_mu_"};
+  Mutex c_mu_{LockRank::kGamma, "Widget::c_mu_"};
+};
+
+}  // namespace relcomp

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_UTIL_MUTEX_H_
+#define FIXTURE_UTIL_MUTEX_H_
+
+namespace relcomp {
+
+enum class LockRank : int {
+  kAlpha = 10,
+  kBeta = 20,
+};
+
+class Mutex {};
+class MutexLock {};
+
+}  // namespace relcomp
+
+#endif  // FIXTURE_UTIL_MUTEX_H_

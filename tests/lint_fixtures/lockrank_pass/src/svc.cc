@@ -1,0 +1,19 @@
+#include "util/mutex.h"
+
+namespace relcomp {
+
+class Widget {
+ public:
+  void Good() {
+    MutexLock outer(a_mu_);
+    {
+      MutexLock inner(b_mu_);
+    }
+  }
+
+ private:
+  Mutex a_mu_{LockRank::kAlpha, "Widget::a_mu_"};
+  Mutex b_mu_{LockRank::kBeta, "Widget::b_mu_"};
+};
+
+}  // namespace relcomp

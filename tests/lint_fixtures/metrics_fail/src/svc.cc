@@ -1,0 +1,5 @@
+namespace relcomp {
+
+const char* MetricName() { return "relcomp_bogus_total"; }
+
+}  // namespace relcomp

@@ -1,0 +1,10 @@
+#ifndef FIXTURE_OBS_METRIC_NAMES_H_
+#define FIXTURE_OBS_METRIC_NAMES_H_
+
+#define FIXTURE_METRIC_FAMILIES(X)                                 \
+  X(RequestsTotal, "relcomp_requests_total", kCounter, "tenant",   \
+    "requests submitted")                                          \
+  X(InflightRequests, "relcomp_inflight_requests", kGauge, "",     \
+    "requests currently executing")
+
+#endif  // FIXTURE_OBS_METRIC_NAMES_H_

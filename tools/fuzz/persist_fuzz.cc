@@ -1,0 +1,85 @@
+// Fuzz harness for the snapshot parser (cache::DecodeSnapshot) — the one
+// place the process parses bytes it did not produce in this run: a
+// warm-start snapshot comes from disk, survives restarts, and may be
+// truncated, bit-rotted, or written by a different build.
+//
+// The property checked is stronger than "does not crash": any input the
+// parser ACCEPTS must re-encode and re-decode to the same shape
+// (round-trip closure), so an asymmetric reader/writer pair trips the
+// harness even when it corrupts silently instead of crashing.
+//
+// Two build modes:
+//   - libFuzzer (clang, -fsanitize=fuzzer,address; RELCOMP_BUILD_FUZZERS):
+//     the CI fuzz-smoke job runs a short bounded session from the seed
+//     corpus in tests/fuzz_corpus/persist/.
+//   - standalone regression driver (RELCOMP_FUZZ_STANDALONE, any
+//     compiler): replays the corpus files named on the command line (or
+//     found in corpus directories) through the same entry point, so
+//     tier-1 exercises every past finding under plain gcc.
+#include <cstdint>
+#include <string>
+
+#include "cache/persist.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  relcomp::Result<relcomp::cache::Snapshot> decoded =
+      relcomp::cache::DecodeSnapshot(bytes);
+  if (decoded.ok()) {
+    const std::string reencoded = relcomp::cache::EncodeSnapshot(*decoded);
+    relcomp::Result<relcomp::cache::Snapshot> again =
+        relcomp::cache::DecodeSnapshot(reencoded);
+    if (!again.ok() || again->shards.size() != decoded->shards.size() ||
+        again->TotalEntries() != decoded->TotalEntries()) {
+      __builtin_trap();  // round-trip closure violated
+    }
+  }
+  return 0;
+}
+
+#ifdef RELCOMP_FUZZ_STANDALONE
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+std::string ReadAll(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: persist_fuzz_regression <corpus-file-or-dir>...\n");
+    return 2;
+  }
+  for (const std::filesystem::path& path : inputs) {
+    const std::string bytes = ReadAll(path);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::printf("ok %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+  }
+  std::printf("replayed %zu corpus input(s)\n", inputs.size());
+  return 0;
+}
+#endif  // RELCOMP_FUZZ_STANDALONE

@@ -1,0 +1,170 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace relcomp {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> LexCpp(const std::string& src) {
+  std::vector<Token> out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+  // True until the first token of a physical line — a '#' here starts a
+  // preprocessor directive.
+  bool at_line_start = true;
+
+  auto push = [&](Token::Kind kind, std::string text, int tok_line) {
+    out.push_back(Token{kind, std::move(text), tok_line});
+    at_line_start = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {  // line continuation
+      ++line;
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      push(Token::Kind::kComment, src.substr(start, i - start), line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      push(Token::Kind::kComment, src.substr(start, i - start), start_line);
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      const size_t start = i;
+      ++i;
+      while (i < n && std::isspace(static_cast<unsigned char>(src[i])) &&
+             src[i] != '\n') {
+        ++i;
+      }
+      while (i < n && IsIdentChar(src[i])) ++i;
+      // "#include": swallow the rest of the line so <paths> and "paths"
+      // never masquerade as comparisons or string literals.
+      std::string head = src.substr(start, i - start);
+      if (head == "#include") {
+        while (i < n && src[i] != '\n') ++i;
+      }
+      push(Token::Kind::kDirective, std::move(head), line);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      std::string word = src.substr(start, i - start);
+      // Raw string literal: an encoding prefix ending in R, directly
+      // followed by `"delim( ... )delim"`.
+      if (i < n && src[i] == '"' && !word.empty() && word.back() == 'R' &&
+          (word == "R" || word == "LR" || word == "uR" || word == "UR" ||
+           word == "u8R")) {
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && src[i] != '(') delim += src[i++];
+        if (i < n) ++i;  // '('
+        const std::string closer = ")" + delim + "\"";
+        const size_t body_start = i;
+        const int tok_line = line;
+        size_t end = src.find(closer, i);
+        if (end == std::string::npos) end = n;
+        for (size_t k = body_start; k < end; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        push(Token::Kind::kString, src.substr(body_start, end - body_start),
+             tok_line);
+        i = (end == n) ? n : end + closer.size();
+        continue;
+      }
+      push(Token::Kind::kIdent, std::move(word), line);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = src[i];
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && i + 1 < n &&
+                   std::isalnum(static_cast<unsigned char>(src[i + 1]))) {
+          i += 2;  // digit separator
+        } else if ((d == '+' || d == '-') &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, src.substr(start, i - start), line);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int tok_line = line;
+      ++i;
+      const size_t start = i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           src.substr(start, i - start), tok_line);
+      if (i < n) ++i;  // closing quote
+      continue;
+    }
+    // Punctuation; fuse only the pairs the rules match on.
+    if (i + 1 < n) {
+      const char d = src[i + 1];
+      if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+          (c == '#' && d == '#')) {
+        push(Token::Kind::kPunct, src.substr(i, 2), line);
+        i += 2;
+        continue;
+      }
+    }
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace relcomp

@@ -1,0 +1,47 @@
+// A minimal C++ lexer for relcomp_lint: splits a translation unit into
+// identifiers, literals, punctuation, comments, and preprocessor directive
+// markers, with 1-based line numbers. It does NOT preprocess — macro bodies
+// lex as ordinary tokens (which is exactly what the metric-registry rule
+// needs to read the X-macro table), and backslash-newline is whitespace.
+//
+// Deliberately lossy where the rules don't care: numbers keep their raw
+// spelling, strings keep their uninterpreted contents, and multi-character
+// punctuation is only fused where a rule matches on it ("::", "->", "##").
+#ifndef RELCOMP_TOOLS_LINT_LEXER_H_
+#define RELCOMP_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace relcomp {
+namespace lint {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kString,     // text is the contents, quotes stripped, escapes kept raw
+    kChar,       // character literal, quotes stripped
+    kPunct,      // single char, or one of "::", "->", "##"
+    kComment,    // full comment text including the // or /* */ markers
+    kDirective,  // the directive head only: "#include", "#pragma", ...
+  };
+
+  Kind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+
+  bool Is(Kind k, const char* t) const { return kind == k && text == t; }
+  bool IsPunct(const char* t) const { return Is(Kind::kPunct, t); }
+  bool IsIdent(const char* t) const { return Is(Kind::kIdent, t); }
+};
+
+/// Lexes `source` (one file's contents). Never fails: unrecognized bytes
+/// become single-character punctuation, and an unterminated string or
+/// comment is closed at end of file.
+std::vector<Token> LexCpp(const std::string& source);
+
+}  // namespace lint
+}  // namespace relcomp
+
+#endif  // RELCOMP_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,120 @@
+// relcomp_lint — a project-specific static analyzer that machine-checks
+// the cross-file invariants relcomp's correctness story leans on but a
+// compiler cannot see:
+//
+//   checkpoint-coverage  every loop in the core search files polls a
+//                        SearchCheckpoint (cancellation/deadline/step
+//                        budget) or carries an explicit waiver
+//   lock-rank-sync       the LockRank enum, every Mutex construction
+//                        site, and the README lock-rank table agree; no
+//                        statically visible MutexLock nesting acquires an
+//                        equal-or-lower rank
+//   metric-registry      every relcomp_* metric family is declared once
+//                        in src/obs/metric_names.h, no metric name is
+//                        spelled as a loose string literal elsewhere in
+//                        src/, and the README metric table matches the
+//                        registry row for row
+//   banned-constructs    raw std::mutex / std::lock_guard /
+//                        std::condition_variable / std::thread /
+//                        std::rand / sleep_for outside src/util/, and
+//                        headers without an include guard
+//
+// Any finding can be waived at the offending line (same line or the line
+// above) with:   // LINT:waive(<rule-id>, <reason>)
+//
+// The analysis is token-level and heuristic by design: it prefers loud
+// false positives (waivable, with a reason that documents the exception)
+// over silent false negatives, and it never needs a compilation database
+// or a specific compiler.
+#ifndef RELCOMP_TOOLS_LINT_LINT_H_
+#define RELCOMP_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace relcomp {
+namespace lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path relative to the lint root, e.g. "src/core/minp.cc"
+  int line = 0;
+  std::string message;
+};
+
+/// One lexed file. Comment tokens are removed after waiver extraction so
+/// rules never take evidence from prose; directives are kept for the
+/// header-guard check.
+struct SourceFile {
+  std::string rel_path;
+  std::vector<Token> tokens;
+};
+
+/// The unit every rule runs over: all .h/.cc files under <root>/src and
+/// <root>/tools, plus README.md split into lines. Missing pieces load as
+/// empty — each rule degrades gracefully, which is what lets the fixture
+/// corpus exercise one rule with a three-file micro-tree.
+struct Tree {
+  std::string root;
+  std::vector<SourceFile> files;
+  std::vector<std::string> readme_lines;  // empty if README.md is absent
+};
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  void (*fn)(const Tree&, std::vector<Finding>*);
+};
+
+/// All rules in reporting order.
+const std::vector<Rule>& AllRules();
+
+struct Options {
+  std::string root = ".";
+  std::vector<std::string> rules;  // empty = run every rule
+};
+
+/// Loads the tree under opts.root, runs the selected rules, drops waived
+/// findings, and returns the rest sorted by (file, line, rule). On a load
+/// failure (no src/ or tools/ under root) sets *error and returns empty.
+std::vector<Finding> RunLint(const Options& opts, std::string* error);
+
+/// "path:line: error: [rule] message" — the gcc-style format editors and
+/// CI annotations already understand.
+std::string FormatFinding(const Finding& f);
+
+// ---- shared helpers (exposed for the rule implementations and tests) ----
+
+/// Index of the punctuation matching the opener at `open_idx` ("(", "{" or
+/// "["), counting only that pair; npos if unbalanced.
+size_t MatchForward(const std::vector<Token>& toks, size_t open_idx);
+
+/// A heuristically detected function definition: `name` is the last
+/// identifier before the parameter list, the body is toks[body_begin,
+/// body_end) between its braces.
+struct FunctionDef {
+  std::string name;
+  size_t body_begin = 0;
+  size_t body_end = 0;
+};
+
+/// Scans a token stream for function definitions (free functions, member
+/// definitions, class-inline methods). Token-level heuristic: misses
+/// nothing the rules currently care about, but may return the occasional
+/// macro-invocation-with-block as a "function" — callers must tolerate
+/// junk entries.
+std::vector<FunctionDef> FindFunctions(const std::vector<Token>& toks);
+
+// The individual rules (registered in AllRules; exposed for tests).
+void CheckpointCoverageRule(const Tree& tree, std::vector<Finding>* out);
+void LockRankSyncRule(const Tree& tree, std::vector<Finding>* out);
+void MetricRegistryRule(const Tree& tree, std::vector<Finding>* out);
+void BannedConstructsRule(const Tree& tree, std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace relcomp
+
+#endif  // RELCOMP_TOOLS_LINT_LINT_H_

@@ -1,0 +1,74 @@
+// relcomp_lint CLI. Exit status: 0 clean, 1 findings, 2 usage or I/O
+// error. Findings print to stdout in gcc format so editors and CI
+// annotations pick them up; diagnostics go to stderr.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void PrintUsage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: relcomp_lint [--root DIR] [--rule ID]... [--list-rules]\n"
+      "\n"
+      "Checks relcomp's cross-file invariants over DIR (default: .).\n"
+      "Waive a finding at its line (or the line above) with:\n"
+      "    // LINT:waive(<rule-id>, <reason>)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  relcomp::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      opts.rules.push_back(argv[++i]);
+    } else if (arg == "--list-rules") {
+      for (const relcomp::lint::Rule& rule : relcomp::lint::AllRules()) {
+        std::printf("%-22s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "relcomp_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  for (const std::string& id : opts.rules) {
+    bool known = false;
+    for (const relcomp::lint::Rule& rule : relcomp::lint::AllRules()) {
+      known = known || id == rule.id;
+    }
+    if (!known) {
+      std::fprintf(stderr, "relcomp_lint: unknown rule '%s'\n", id.c_str());
+      return 2;
+    }
+  }
+
+  std::string error;
+  const std::vector<relcomp::lint::Finding> findings =
+      relcomp::lint::RunLint(opts, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "relcomp_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const relcomp::lint::Finding& f : findings) {
+    std::printf("%s\n", relcomp::lint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "relcomp_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// banned-constructs: the raw primitives every project swears off after
+// the first deadlock postmortem. Outside src/util/ (where the sanctioned
+// wrappers live) nothing may reach for:
+//
+//   std::mutex / std::lock_guard / std::scoped_lock      -> relcomp::Mutex
+//      / std::condition_variable[_any] / std::unique_lock   + MutexLock
+//                                                           + CondVar
+//   std::thread                                          -> JoinableThread
+//   std::rand / std::srand      -> seeded, reproducible generators
+//   sleep_for / sleep_until     -> CondVar::WaitFor (wakeable at shutdown)
+//
+// and every header must open with an include guard (#ifndef or
+// #pragma once). Scope: src/ and tools/ — bench/ and tests/ drive the
+// system from outside and may use raw threads to do it.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace relcomp {
+namespace lint {
+namespace {
+
+constexpr const char* kRule = "banned-constructs";
+
+bool InScope(const std::string& rel_path) {
+  if (rel_path.rfind("src/util/", 0) == 0) return false;
+  return rel_path.rfind("src/", 0) == 0 || rel_path.rfind("tools/", 0) == 0;
+}
+
+const std::map<std::string, std::string>& BannedStdNames() {
+  static const std::map<std::string, std::string> kBanned = {
+      {"mutex", "use relcomp::Mutex (util/mutex.h): it carries a LockRank "
+                "and thread-safety annotations"},
+      {"lock_guard", "use relcomp::MutexLock (util/mutex.h)"},
+      {"scoped_lock", "use relcomp::MutexLock (util/mutex.h)"},
+      {"unique_lock", "use relcomp::MutexLock (util/mutex.h)"},
+      {"condition_variable", "use relcomp::CondVar (util/mutex.h)"},
+      {"condition_variable_any", "use relcomp::CondVar (util/mutex.h)"},
+      {"thread", "use relcomp::JoinableThread (util/thread.h): its "
+                 "destructor joins instead of terminating"},
+      {"rand", "use a seeded generator so runs stay reproducible"},
+      {"srand", "use a seeded generator so runs stay reproducible"},
+  };
+  return kBanned;
+}
+
+}  // namespace
+
+void BannedConstructsRule(const Tree& tree, std::vector<Finding>* out) {
+  for (const SourceFile& f : tree.files) {
+    if (!InScope(f.rel_path)) continue;
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].IsIdent("std") && i + 2 < t.size() && t[i + 1].IsPunct("::") &&
+          t[i + 2].kind == Token::Kind::kIdent) {
+        const auto it = BannedStdNames().find(t[i + 2].text);
+        if (it != BannedStdNames().end()) {
+          out->push_back(Finding{kRule, f.rel_path, t[i].line,
+                                 "std::" + t[i + 2].text +
+                                     " is banned outside src/util/; " +
+                                     it->second});
+        }
+      }
+      if (t[i].kind == Token::Kind::kIdent &&
+          (t[i].text == "sleep_for" || t[i].text == "sleep_until")) {
+        out->push_back(Finding{
+            kRule, f.rel_path, t[i].line,
+            t[i].text + " is banned outside src/util/; sleep on a "
+                        "relcomp::CondVar::WaitFor so shutdown can wake "
+                        "the thread immediately"});
+      }
+    }
+    // Headers must open with an include guard.
+    if (f.rel_path.size() > 2 &&
+        f.rel_path.compare(f.rel_path.size() - 2, 2, ".h") == 0) {
+      const Token* first_directive = nullptr;
+      for (const Token& tok : t) {
+        if (tok.kind == Token::Kind::kDirective) {
+          first_directive = &tok;
+          break;
+        }
+      }
+      bool guarded = false;
+      if (first_directive != nullptr) {
+        if (first_directive->text == "#ifndef") guarded = true;
+        if (first_directive->text == "#pragma") guarded = true;
+      }
+      if (!guarded) {
+        out->push_back(Finding{
+            kRule, f.rel_path, 1,
+            "header has no include guard; open with #ifndef "
+            "RELCOMP_..._H_ (project style) or #pragma once"});
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace relcomp

@@ -1,0 +1,170 @@
+// checkpoint-coverage: every loop in the files implementing the paper's
+// search procedures must poll a SearchCheckpoint — the PR-4 guarantee that
+// cancellation, deadlines, and step budgets reach every unbounded loop —
+// or carry an explicit waiver naming why it is bounded.
+//
+// "Polls" is computed as a fixpoint over the core files: the seed set is
+// the checkpoint surface itself (Tick / Poll / Heartbeat /
+// SearchCheckpoint), and a function defined in a core file becomes polling
+// if its body mentions any polling name. A loop has evidence if its body
+// mentions any polling name; only the outermost loop of an evidence-free
+// nest is reported (fixing the outer loop fixes the nest).
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace relcomp {
+namespace lint {
+namespace {
+
+const char* const kCoreStems[] = {"ground", "enumerate", "minp",
+                                  "rcdp",   "rcqp",      "bounded",
+                                  "consistency", "tractable"};
+
+bool IsCoreSearchFile(const std::string& rel_path) {
+  for (const char* stem : kCoreStems) {
+    const std::string base = std::string("src/core/") + stem;
+    if (rel_path == base + ".cc" || rel_path == base + ".h") return true;
+  }
+  return false;
+}
+
+struct Loop {
+  size_t kw;  // token index of for/while/do
+  size_t body_begin;
+  size_t body_end;
+  int line;
+};
+
+/// Finds every for/while/do loop in [0, toks.size()). The body span of a
+/// braced loop is the tokens between its braces; a single-statement body
+/// runs to the terminating ';' at paren/brace depth zero. The `while` of a
+/// do-while is consumed with its `do` and never double-counted.
+std::vector<Loop> FindLoops(const std::vector<Token>& toks) {
+  std::vector<Loop> loops;
+  std::set<size_t> dowhile_tails;
+  const size_t n = toks.size();
+
+  auto body_after = [&](size_t pos, size_t* begin, size_t* end) {
+    if (pos < n && toks[pos].IsPunct("{")) {
+      const size_t close = MatchForward(toks, pos);
+      if (close == std::string::npos) return false;
+      *begin = pos + 1;
+      *end = close;
+      return true;
+    }
+    int paren = 0;
+    int brace = 0;
+    for (size_t j = pos; j < n; ++j) {
+      const Token& t = toks[j];
+      if (t.IsPunct("(")) ++paren;
+      if (t.IsPunct(")")) --paren;
+      if (t.IsPunct("{")) ++brace;
+      if (t.IsPunct("}")) --brace;
+      if (t.IsPunct(";") && paren == 0 && brace == 0) {
+        *begin = pos;
+        *end = j;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Token::Kind::kIdent) continue;
+    if ((t.text == "for" || t.text == "while") &&
+        dowhile_tails.count(i) == 0) {
+      if (i + 1 >= n || !toks[i + 1].IsPunct("(")) continue;
+      const size_t close = MatchForward(toks, i + 1);
+      if (close == std::string::npos) continue;
+      Loop loop{i, 0, 0, t.line};
+      if (body_after(close + 1, &loop.body_begin, &loop.body_end)) {
+        loops.push_back(loop);
+      }
+    } else if (t.text == "do" && i + 1 < n && toks[i + 1].IsPunct("{")) {
+      Loop loop{i, 0, 0, t.line};
+      if (!body_after(i + 1, &loop.body_begin, &loop.body_end)) continue;
+      loops.push_back(loop);
+      // Mark the trailing `while` so it is not counted as its own loop.
+      const size_t after = loop.body_end + 1;
+      if (after < n && toks[after].IsIdent("while")) {
+        dowhile_tails.insert(after);
+      }
+    }
+  }
+  return loops;
+}
+
+}  // namespace
+
+void CheckpointCoverageRule(const Tree& tree, std::vector<Finding>* out) {
+  std::vector<const SourceFile*> core_files;
+  for (const SourceFile& f : tree.files) {
+    if (IsCoreSearchFile(f.rel_path)) core_files.push_back(&f);
+  }
+  if (core_files.empty()) return;
+
+  // Fixpoint: which functions defined in the core files transitively reach
+  // a checkpoint poll?
+  std::set<std::string> polling = {"Tick", "Poll", "Heartbeat",
+                                   "SearchCheckpoint"};
+  struct Fn {
+    const SourceFile* file;
+    FunctionDef def;
+  };
+  std::vector<Fn> fns;
+  for (const SourceFile* f : core_files) {
+    for (FunctionDef& d : FindFunctions(f->tokens)) {
+      fns.push_back(Fn{f, std::move(d)});
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fn& fn : fns) {
+      if (polling.count(fn.def.name) != 0) continue;
+      for (size_t i = fn.def.body_begin; i < fn.def.body_end; ++i) {
+        const Token& t = fn.file->tokens[i];
+        if (t.kind == Token::Kind::kIdent && polling.count(t.text) != 0) {
+          polling.insert(fn.def.name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const SourceFile* f : core_files) {
+    const std::vector<Loop> loops = FindLoops(f->tokens);
+    for (const Loop& loop : loops) {
+      bool outermost = true;
+      for (const Loop& other : loops) {
+        if (other.body_begin <= loop.kw && loop.kw < other.body_end) {
+          outermost = false;
+          break;
+        }
+      }
+      if (!outermost) continue;
+      bool evidence = false;
+      for (size_t i = loop.body_begin; i < loop.body_end && !evidence; ++i) {
+        const Token& t = f->tokens[i];
+        evidence = t.kind == Token::Kind::kIdent && polling.count(t.text) != 0;
+      }
+      if (!evidence) {
+        out->push_back(Finding{
+            "checkpoint-coverage", f->rel_path, loop.line,
+            "loop in a core search file never polls a SearchCheckpoint "
+            "(Tick/Poll/Heartbeat, directly or via a polling callee); add "
+            "a checkpoint.Tick() or waive with // "
+            "LINT:waive(checkpoint-coverage, <why bounded>)"});
+      }
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace relcomp

@@ -1,0 +1,278 @@
+// lock-rank-sync: keeps the three copies of the lock order honest —
+//
+//   1. every `LockRank::kX` spelled anywhere must name a member of the
+//      enum in src/util/mutex.h (catches construction with an
+//      unregistered rank);
+//   2. the README "Lock-rank table" must list exactly the enum's
+//      (rank value, constant) pairs — no drift in either direction;
+//   3. a statically visible MutexLock nested inside another MutexLock
+//      scope must acquire a strictly higher rank, resolving each lock's
+//      mutex to its declared rank via the same file, the paired
+//      header/source, or a globally unique declaration (ambiguous names
+//      are skipped — the runtime checker still covers them).
+//
+// The runtime rank checker catches dynamic orderings; this rule catches
+// the ones visible in a single function body at review time, before any
+// test runs.
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace relcomp {
+namespace lint {
+namespace {
+
+constexpr const char* kMutexHeader = "src/util/mutex.h";
+constexpr const char* kRule = "lock-rank-sync";
+
+const SourceFile* FindFile(const Tree& tree, const std::string& rel_path) {
+  for (const SourceFile& f : tree.files) {
+    if (f.rel_path == rel_path) return &f;
+  }
+  return nullptr;
+}
+
+/// Parses `enum class LockRank : int { kName = value, ... }`.
+std::map<std::string, int> ParseLockRankEnum(const SourceFile& mutex_h) {
+  std::map<std::string, int> ranks;
+  const std::vector<Token>& t = mutex_h.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].IsIdent("enum") && t[i + 1].IsIdent("class") &&
+          t[i + 2].IsIdent("LockRank"))) {
+      continue;
+    }
+    size_t j = i + 3;
+    while (j < t.size() && !t[j].IsPunct("{")) ++j;
+    const size_t close = MatchForward(t, j);
+    if (close == std::string::npos) return ranks;
+    for (size_t k = j + 1; k + 2 < close; ++k) {
+      if (t[k].kind == Token::Kind::kIdent && t[k + 1].IsPunct("=") &&
+          t[k + 2].kind == Token::Kind::kNumber) {
+        ranks[t[k].text] = std::atoi(t[k + 2].text.c_str());
+        k += 2;
+      }
+    }
+    return ranks;
+  }
+  return ranks;
+}
+
+/// `Mutex <name>{LockRank::kX, ...}` or `Mutex <name>(LockRank::kX, ...)`
+/// declaration sites, mapped name -> enum constant.
+std::map<std::string, std::string> FindMutexDecls(const SourceFile& f) {
+  std::map<std::string, std::string> decls;
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i + 5 < t.size(); ++i) {
+    if (!(t[i].IsIdent("Mutex") && t[i + 1].kind == Token::Kind::kIdent &&
+          (t[i + 2].IsPunct("{") || t[i + 2].IsPunct("(")) &&
+          t[i + 3].IsIdent("LockRank") && t[i + 4].IsPunct("::") &&
+          t[i + 5].kind == Token::Kind::kIdent)) {
+      continue;
+    }
+    decls[t[i + 1].text] = t[i + 5].text;
+  }
+  return decls;
+}
+
+std::string PairedPath(const std::string& rel_path) {
+  const size_t dot = rel_path.rfind('.');
+  if (dot == std::string::npos) return "";
+  const std::string ext = rel_path.substr(dot);
+  if (ext == ".cc") return rel_path.substr(0, dot) + ".h";
+  if (ext == ".h") return rel_path.substr(0, dot) + ".cc";
+  return "";
+}
+
+struct TableRow {
+  int line;  // 1-based README line
+  int rank;
+  std::string constant;
+};
+
+/// Rows of the README "### Lock-rank table": `| <rank> | \`kConstant\` |
+/// ...`. Returns false if the heading is absent (nothing to check).
+bool ParseReadmeTable(const std::vector<std::string>& lines,
+                      std::vector<TableRow>* rows, int* heading_line) {
+  size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    if (lines[i].find("### Lock-rank table") != std::string::npos) break;
+  }
+  if (i == lines.size()) return false;
+  *heading_line = static_cast<int>(i) + 1;
+  for (++i; i < lines.size(); ++i) {
+    const std::string& ln = lines[i];
+    if (ln.rfind("#", 0) == 0) break;  // next heading ends the section
+    if (ln.empty() || ln[0] != '|') continue;
+    // cell 1: the rank
+    size_t p = 1;
+    while (p < ln.size() && std::isspace(static_cast<unsigned char>(ln[p]))) {
+      ++p;
+    }
+    if (p >= ln.size() || !std::isdigit(static_cast<unsigned char>(ln[p]))) {
+      continue;  // header or separator row
+    }
+    TableRow row;
+    row.line = static_cast<int>(i) + 1;
+    row.rank = std::atoi(ln.c_str() + p);
+    // cell 2: the first backticked span is the enum constant
+    const size_t bar = ln.find('|', p);
+    const size_t tick = ln.find('`', bar == std::string::npos ? p : bar);
+    const size_t tick2 =
+        tick == std::string::npos ? tick : ln.find('`', tick + 1);
+    if (tick2 == std::string::npos) continue;
+    row.constant = ln.substr(tick + 1, tick2 - tick - 1);
+    rows->push_back(row);
+  }
+  return true;
+}
+
+}  // namespace
+
+void LockRankSyncRule(const Tree& tree, std::vector<Finding>* out) {
+  const SourceFile* mutex_h = FindFile(tree, kMutexHeader);
+  if (mutex_h == nullptr) return;  // fixture tree without the header
+  const std::map<std::string, int> ranks = ParseLockRankEnum(*mutex_h);
+  if (ranks.empty()) return;
+
+  // 1. Every LockRank::kX names a registered rank.
+  for (const SourceFile& f : tree.files) {
+    const std::vector<Token>& t = f.tokens;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].IsIdent("LockRank") && t[i + 1].IsPunct("::") &&
+          t[i + 2].kind == Token::Kind::kIdent &&
+          ranks.count(t[i + 2].text) == 0) {
+        out->push_back(Finding{
+            kRule, f.rel_path, t[i + 2].line,
+            "LockRank::" + t[i + 2].text + " is not a member of the " +
+                "LockRank enum in " + kMutexHeader +
+                "; register the rank (and its README table row) first"});
+      }
+    }
+  }
+
+  // 2. README table <-> enum bijection.
+  std::vector<TableRow> rows;
+  int heading_line = 0;
+  if (ParseReadmeTable(tree.readme_lines, &rows, &heading_line)) {
+    std::set<std::string> seen;
+    for (const TableRow& row : rows) {
+      const auto it = ranks.find(row.constant);
+      if (it == ranks.end()) {
+        out->push_back(Finding{
+            kRule, "README.md", row.line,
+            "lock-rank table lists `" + row.constant +
+                "` which is not a LockRank enum member"});
+      } else if (it->second != row.rank) {
+        out->push_back(Finding{
+            kRule, "README.md", row.line,
+            "lock-rank table says `" + row.constant + "` = " +
+                std::to_string(row.rank) + " but the enum says " +
+                std::to_string(it->second)});
+      }
+      if (!seen.insert(row.constant).second) {
+        out->push_back(Finding{kRule, "README.md", row.line,
+                               "lock-rank table lists `" + row.constant +
+                                   "` more than once"});
+      }
+    }
+    for (const auto& [name, value] : ranks) {
+      if (seen.count(name) == 0) {
+        out->push_back(Finding{
+            kRule, "README.md", heading_line,
+            "LockRank::" + name + " (= " + std::to_string(value) +
+                ") has no row in the README lock-rank table"});
+      }
+    }
+  }
+
+  // 3. Statically visible MutexLock nesting must strictly ascend.
+  // Resolution maps: per file, plus a global map for names that are
+  // unambiguous across the whole tree.
+  std::map<std::string, std::map<std::string, std::string>> decls_by_file;
+  std::map<std::string, std::set<std::string>> global_candidates;
+  for (const SourceFile& f : tree.files) {
+    auto decls = FindMutexDecls(f);
+    for (const auto& [name, constant] : decls) {
+      global_candidates[name].insert(constant);
+    }
+    decls_by_file[f.rel_path] = std::move(decls);
+  }
+
+  auto resolve = [&](const SourceFile& f,
+                     const std::string& name) -> std::string {
+    for (const std::string& candidate : {name, name + "_"}) {
+      const auto& here = decls_by_file[f.rel_path];
+      auto it = here.find(candidate);
+      if (it != here.end()) return it->second;
+      const std::string paired = PairedPath(f.rel_path);
+      auto pit = decls_by_file.find(paired);
+      if (pit != decls_by_file.end()) {
+        it = pit->second.find(candidate);
+        if (it != pit->second.end()) return it->second;
+      }
+      auto git = global_candidates.find(candidate);
+      if (git != global_candidates.end() && git->second.size() == 1) {
+        return *git->second.begin();
+      }
+    }
+    return "";
+  };
+
+  for (const SourceFile& f : tree.files) {
+    const std::vector<Token>& t = f.tokens;
+    struct Held {
+      int depth;
+      int rank;
+      std::string name;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].IsPunct("{")) ++depth;
+      if (t[i].IsPunct("}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      if (!(t[i].IsIdent("MutexLock") && i + 2 < t.size() &&
+            t[i + 1].kind == Token::Kind::kIdent && t[i + 2].IsPunct("("))) {
+        continue;
+      }
+      const size_t close = MatchForward(t, i + 2);
+      if (close == std::string::npos) continue;
+      // The guarded mutex is the last identifier of the argument
+      // expression (`mu_`, `t.mu`, `budget_->pressure_mu()`).
+      std::string name;
+      for (size_t j = i + 3; j < close; ++j) {
+        if (t[j].kind == Token::Kind::kIdent) name = t[j].text;
+      }
+      int rank = -1;
+      if (!name.empty()) {
+        const std::string constant = resolve(f, name);
+        auto it = ranks.find(constant);
+        if (it != ranks.end()) rank = it->second;
+      }
+      if (rank >= 0) {
+        for (const Held& h : held) {
+          if (h.rank >= rank) {
+            out->push_back(Finding{
+                kRule, f.rel_path, t[i].line,
+                "MutexLock acquires '" + name + "' (rank " +
+                    std::to_string(rank) + ") while '" + h.name +
+                    "' (rank " + std::to_string(h.rank) +
+                    ") is held in an enclosing scope; ranks must strictly "
+                    "ascend"});
+            break;
+          }
+        }
+      }
+      held.push_back(Held{depth, rank, name});
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace relcomp

@@ -1,0 +1,221 @@
+// metric-registry: src/obs/metric_names.h is the single source of truth
+// for every relcomp_* metric family. This rule
+//
+//   1. parses the X-macro table (symbol, name, kind, label keys) and
+//      rejects duplicate names;
+//   2. bans `relcomp_*` string literals in src/ outside the registry
+//      header, so no call site or test fixture can invent a family the
+//      registry does not know;
+//   3. checks the README "Metric reference" table against the registry in
+//      both directions: every row must name a registered family with the
+//      matching type and label set, and every family must have a row.
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace relcomp {
+namespace lint {
+namespace {
+
+constexpr const char* kRegistryHeader = "src/obs/metric_names.h";
+constexpr const char* kRule = "metric-registry";
+
+struct Family {
+  std::string kind;    // "counter", "gauge", "histogram", "rate"
+  std::string labels;  // comma-joined label keys, "" if unlabeled
+  int line = 0;
+};
+
+std::string KindWord(const std::string& enumerator) {
+  if (enumerator == "kCounter") return "counter";
+  if (enumerator == "kGauge") return "gauge";
+  if (enumerator == "kHistogram") return "histogram";
+  if (enumerator == "kRate") return "rate";
+  return enumerator;
+}
+
+/// Parses X(Sym, "name", kKind, "labels", "help"...) rows out of the
+/// registry header's token stream. Adjacent string literals concatenate.
+std::map<std::string, Family> ParseRegistry(const SourceFile& header,
+                                            std::vector<Finding>* out) {
+  std::map<std::string, Family> families;
+  const std::vector<Token>& t = header.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].IsIdent("X") && t[i + 1].IsPunct("("))) continue;
+    const size_t close = MatchForward(t, i + 1);
+    if (close == std::string::npos) continue;
+    // Split the argument tokens on depth-1 commas.
+    std::vector<std::vector<const Token*>> argv(1);
+    int depth = 0;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (t[j].IsPunct("(") || t[j].IsPunct("{")) ++depth;
+      if (t[j].IsPunct(")") || t[j].IsPunct("}")) --depth;
+      if (t[j].IsPunct(",") && depth == 0) {
+        argv.emplace_back();
+      } else {
+        argv.back().push_back(&t[j]);
+      }
+    }
+    if (argv.size() < 4) continue;
+    auto joined_string = [](const std::vector<const Token*>& arg) {
+      std::string s;
+      for (const Token* tok : arg) {
+        if (tok->kind != Token::Kind::kString) return std::string("\x01");
+        s += tok->text;
+      }
+      return s;
+    };
+    const std::string name = joined_string(argv[1]);
+    const std::string labels = joined_string(argv[3]);
+    if (name == "\x01" || labels == "\x01" || argv[0].empty() ||
+        argv[2].empty() || argv[2][0]->kind != Token::Kind::kIdent) {
+      continue;
+    }
+    Family fam{KindWord(argv[2][0]->text), labels, argv[0][0]->line};
+    if (!families.emplace(name, fam).second) {
+      out->push_back(Finding{kRule, header.rel_path, fam.line,
+                             "metric family '" + name +
+                                 "' is declared more than once in the "
+                                 "registry"});
+    }
+  }
+  return families;
+}
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// `tenant, kind` -> `tenant,kind`; an em dash or empty cell -> "".
+std::string NormalizeLabels(const std::string& cell) {
+  std::string out;
+  for (char c : cell) {
+    if (!std::isspace(static_cast<unsigned char>(c)) && c != '`') out += c;
+  }
+  if (out == "\xe2\x80\x94" || out == "-") return "";
+  return out;
+}
+
+struct TableRow {
+  int line;
+  std::string name;
+  std::string kind;
+  std::string labels;
+};
+
+bool ParseReadmeTable(const std::vector<std::string>& lines,
+                      std::vector<TableRow>* rows, int* heading_line) {
+  size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    if (lines[i].find("### Metric reference") != std::string::npos) break;
+  }
+  if (i == lines.size()) return false;
+  *heading_line = static_cast<int>(i) + 1;
+  for (++i; i < lines.size(); ++i) {
+    const std::string& ln = lines[i];
+    if (ln.rfind("#", 0) == 0) break;
+    if (ln.empty() || ln[0] != '|') continue;
+    // | `name` | type | labels | meaning |
+    std::vector<std::string> cells;
+    size_t start = 1;
+    for (size_t p = 1; p <= ln.size(); ++p) {
+      if (p == ln.size() || ln[p] == '|') {
+        cells.push_back(Trim(ln.substr(start, p - start)));
+        start = p + 1;
+      }
+    }
+    if (cells.size() < 3) continue;
+    const size_t tick = cells[0].find('`');
+    const size_t tick2 =
+        tick == std::string::npos ? tick : cells[0].find('`', tick + 1);
+    if (tick2 == std::string::npos) continue;  // header / separator row
+    TableRow row;
+    row.line = static_cast<int>(i) + 1;
+    row.name = cells[0].substr(tick + 1, tick2 - tick - 1);
+    row.kind = Trim(cells[1]);
+    row.labels = NormalizeLabels(cells[2]);
+    if (row.name.rfind("relcomp_", 0) == 0) rows->push_back(row);
+  }
+  return true;
+}
+
+}  // namespace
+
+void MetricRegistryRule(const Tree& tree, std::vector<Finding>* out) {
+  const SourceFile* registry = nullptr;
+  for (const SourceFile& f : tree.files) {
+    if (f.rel_path == kRegistryHeader) registry = &f;
+  }
+  if (registry == nullptr) return;  // fixture tree without a registry
+  const std::map<std::string, Family> families = ParseRegistry(*registry, out);
+
+  // 2. No relcomp_* literal outside the registry header. Scoped to src/:
+  // that is where metrics are emitted; tools and tests interact with
+  // metrics through the registry constants they link against.
+  for (const SourceFile& f : tree.files) {
+    if (f.rel_path == kRegistryHeader ||
+        f.rel_path.rfind("src/", 0) != 0) {
+      continue;
+    }
+    for (const Token& t : f.tokens) {
+      if (t.kind == Token::Kind::kString &&
+          t.text.find("relcomp_") != std::string::npos) {
+        out->push_back(Finding{
+            kRule, f.rel_path, t.line,
+            "metric name literal \"" + t.text +
+                "\" outside the registry; use the kMetric* constant from " +
+                kRegistryHeader + " (add a family row there if it is new)"});
+      }
+    }
+  }
+
+  // 3. README table <-> registry bijection.
+  std::vector<TableRow> rows;
+  int heading_line = 0;
+  if (!ParseReadmeTable(tree.readme_lines, &rows, &heading_line)) return;
+  std::set<std::string> seen;
+  for (const TableRow& row : rows) {
+    const auto it = families.find(row.name);
+    if (it == families.end()) {
+      out->push_back(Finding{kRule, "README.md", row.line,
+                             "metric table lists `" + row.name +
+                                 "` which is not in the registry"});
+      continue;
+    }
+    if (row.kind != it->second.kind) {
+      out->push_back(Finding{
+          kRule, "README.md", row.line,
+          "metric table says `" + row.name + "` is a " + row.kind +
+              " but the registry says " + it->second.kind});
+    }
+    if (row.labels != it->second.labels) {
+      out->push_back(Finding{
+          kRule, "README.md", row.line,
+          "metric table labels for `" + row.name + "` are `" + row.labels +
+              "` but the registry says `" + it->second.labels + "`"});
+    }
+    if (!seen.insert(row.name).second) {
+      out->push_back(Finding{kRule, "README.md", row.line,
+                             "metric table lists `" + row.name +
+                                 "` more than once"});
+    }
+  }
+  for (const auto& [name, family] : families) {
+    if (seen.count(name) == 0) {
+      out->push_back(Finding{
+          kRule, "README.md", heading_line,
+          "registry family '" + name +
+              "' has no row in the README metric table"});
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace relcomp

@@ -1,0 +1,231 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace relcomp {
+namespace net {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool IsMethodToken(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalpha(c) != 0;
+  });
+}
+
+/// Position just past the blank line ending the head, or npos. Accepts
+/// CRLF (the wire form) and bare LF (hand-typed clients, tests).
+size_t FindHeadEnd(const std::string& buffer) {
+  const size_t crlf = buffer.find("\r\n\r\n");
+  const size_t lf = buffer.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) {
+    return std::string::npos;
+  }
+  if (crlf == std::string::npos) return lf + 2;
+  if (lf == std::string::npos) return crlf + 4;
+  return lf + 1 < crlf ? lf + 2 : crlf + 4;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("connection");
+  if (version == "HTTP/1.0") {
+    return connection != nullptr && Lower(*connection) == "keep-alive";
+  }
+  return connection == nullptr || Lower(*connection) != "close";
+}
+
+std::string HttpRequest::Path() const {
+  const size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+ParseState HttpRequestParser::Feed(const char* data, size_t n) {
+  if (state_ == ParseState::kError) return state_;
+  if (n > 0) buffer_.append(data, n);
+  if (state_ == ParseState::kComplete) return state_;  // awaiting Consume
+  return TryParse();
+}
+
+ParseState HttpRequestParser::Consume() {
+  if (state_ != ParseState::kComplete) return state_;
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  request_ = HttpRequest{};
+  state_ = ParseState::kNeedMore;
+  return TryParse();
+}
+
+ParseState HttpRequestParser::Fail(int code, std::string message) {
+  state_ = ParseState::kError;
+  error_code_ = code;
+  error_message_ = std::move(message);
+  return state_;
+}
+
+ParseState HttpRequestParser::TryParse() {
+  const size_t head_end = FindHeadEnd(buffer_);
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_head_bytes) + " bytes");
+    }
+    return state_;  // kNeedMore
+  }
+  if (head_end > limits_.max_head_bytes) {
+    return Fail(431, "request head exceeds " +
+                         std::to_string(limits_.max_head_bytes) + " bytes");
+  }
+
+  // Split the head into lines; tolerate both CRLF and bare LF.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < head_end) {
+    size_t eol = buffer_.find('\n', pos);
+    if (eol == std::string::npos || eol >= head_end) break;
+    size_t len = eol - pos;
+    if (len > 0 && buffer_[pos + len - 1] == '\r') --len;
+    lines.push_back(buffer_.substr(pos, len));
+    pos = eol + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return Fail(400, "empty request line");
+  }
+
+  HttpRequest request;
+  {
+    const std::string& line = lines[0];
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos) {
+      return Fail(400, "malformed request line: \"" + line + "\"");
+    }
+    request.method = line.substr(0, sp1);
+    request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    request.version = line.substr(sp2 + 1);
+    if (!IsMethodToken(request.method) || request.target.empty()) {
+      return Fail(400, "malformed request line: \"" + line + "\"");
+    }
+    if (request.version.rfind("HTTP/", 0) != 0) {
+      return Fail(400, "malformed HTTP version: \"" + request.version + "\"");
+    }
+    if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+      return Fail(505, "unsupported HTTP version: " + request.version);
+    }
+  }
+
+  size_t content_length = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;  // the blank terminator line
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Fail(400, "malformed header line: \"" + line + "\"");
+    }
+    std::string name = Lower(Trim(line.substr(0, colon)));
+    std::string value = Trim(line.substr(colon + 1));
+    if (name == "transfer-encoding") {
+      return Fail(501, "transfer-encoding is not supported");
+    }
+    if (name == "content-length") {
+      content_length = 0;
+      if (value.empty()) return Fail(400, "empty content-length");
+      for (const char c : value) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+          return Fail(400, "malformed content-length: \"" + value + "\"");
+        }
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+        if (content_length > limits_.max_body_bytes) {
+          return Fail(413, "request body exceeds " +
+                               std::to_string(limits_.max_body_bytes) +
+                               " bytes");
+        }
+      }
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  if (buffer_.size() < head_end + content_length) {
+    return state_;  // kNeedMore: body still in flight
+  }
+  request.body = buffer_.substr(head_end, content_length);
+  consumed_ = head_end + content_length;
+  request_ = std::move(request);
+  state_ = ParseState::kComplete;
+  return state_;
+}
+
+const char* HttpStatusReason(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool head_only,
+                              bool keep_alive) {
+  std::string out;
+  out.reserve(128 + (head_only ? 0 : response.body.size()));
+  out += "HTTP/1.1 " + std::to_string(response.code) + " " +
+         HttpStatusReason(response.code) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace relcomp

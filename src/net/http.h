@@ -1,0 +1,121 @@
+// HTTP/1.1 message types, an incremental request parser, and response
+// serialization. The parser is a byte-feed state machine: bytes arrive
+// in whatever segmentation the kernel produced (torn reads, several
+// pipelined requests per read), and the parser only ever consumes
+// complete syntactic units, so callers never re-frame the stream.
+//
+// Scope is deliberately what an operational endpoint needs and nothing
+// more: GET/HEAD-style requests with optional Content-Length bodies.
+// Chunked transfer encoding is rejected as unsupported (501).
+#ifndef RELCOMP_NET_HTTP_H_
+#define RELCOMP_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace relcomp {
+namespace net {
+
+/// One parsed request. Header names are lower-cased at parse time so
+/// lookups are case-insensitive per RFC 9110.
+struct HttpRequest {
+  std::string method;   ///< as sent, e.g. "GET"
+  std::string target;   ///< request-target, e.g. "/metrics?name=x"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// The value of `lower_name` (must be lower case), or null.
+  const std::string* FindHeader(const std::string& lower_name) const;
+
+  /// Connection persistence: HTTP/1.1 defaults to keep-alive unless the
+  /// client sent "Connection: close"; HTTP/1.0 defaults to close.
+  bool KeepAlive() const;
+
+  /// `target` with any query string stripped: "/metrics?x=1" → "/metrics".
+  std::string Path() const;
+};
+
+/// Incremental HTTP/1.1 request parser.
+///
+///   HttpRequestParser parser;
+///   ParseState st = parser.Feed(buf, n);
+///   while (st == ParseState::kComplete) {
+///     Respond(parser.request());
+///     st = parser.Consume();  // re-parses any pipelined remainder
+///   }
+///   if (st == ParseState::kError) { Respond(parser.error_code()); close; }
+///
+/// Feed never throws away unconsumed bytes: a request torn across reads
+/// completes on a later Feed, and bytes after a complete request wait
+/// for Consume. An error state is terminal for the connection.
+enum class ParseState { kNeedMore, kComplete, kError };
+
+class HttpRequestParser {
+ public:
+  struct Limits {
+    /// Request line + headers cap; exceeding it is 431.
+    size_t max_head_bytes = 16 * 1024;
+    /// Content-Length cap; exceeding it is 413.
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  HttpRequestParser() : HttpRequestParser(Limits{}) {}
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends `n` bytes and attempts to complete a request. n == 0 is a
+  /// pure re-parse of buffered bytes.
+  ParseState Feed(const char* data, size_t n);
+
+  /// Drops the completed request and re-parses the retained remainder
+  /// (pipelining). Only valid in kComplete.
+  ParseState Consume();
+
+  ParseState state() const { return state_; }
+
+  /// Valid in kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid in kError: the HTTP status to answer before closing
+  /// (400 malformed, 413 body too large, 431 head too large,
+  /// 501 unsupported transfer encoding, 505 unsupported version).
+  int error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  ParseState Fail(int code, std::string message);
+  ParseState TryParse();
+
+  Limits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< bytes of buffer_ the completed request used
+  HttpRequest request_;
+  ParseState state_ = ParseState::kNeedMore;
+  int error_code_ = 0;
+  std::string error_message_;
+};
+
+/// One response; the server serializes it (net/http_server.h).
+struct HttpResponse {
+  int code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection
+  /// (e.g. "Allow" on a 405).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// The canonical reason phrase ("OK", "Not Found", ...).
+const char* HttpStatusReason(int code);
+
+/// Full wire form. `head_only` omits the body (HEAD) but keeps the
+/// Content-Length the GET would have carried.
+std::string SerializeResponse(const HttpResponse& response, bool head_only,
+                              bool keep_alive);
+
+}  // namespace net
+}  // namespace relcomp
+
+#endif  // RELCOMP_NET_HTTP_H_

@@ -1,0 +1,103 @@
+// A small dependency-free HTTP/1.1 server: one accept-loop thread, a
+// bounded pool of connection workers, and a caller-supplied handler.
+// This is the serving substrate for the observability endpoint
+// (obs/http_endpoint.h) and, deliberately, for the future
+// relcomp_server front door — nothing in here knows about metrics or
+// the service.
+//
+// Threading/locking: the only lock is the pending-connection queue
+// (LockRank::kNetHttpServer). Workers pop a connection under it and
+// release it before any parsing or handler work, so handler code may
+// take arbitrary service/obs locks without ordering constraints
+// against the server. The handler must be thread-safe: up to
+// `worker_threads` invocations run concurrently.
+//
+// Shutdown: Stop() (also run by the destructor) closes the listener,
+// wakes every worker, abandons queued-but-unserved connections, and
+// joins all threads. In-flight connections notice the stop flag at
+// their next readiness poll (≤100 ms) and close after the response in
+// progress is written — graceful for the sub-second handlers this
+// serves, with no unbounded linger.
+#ifndef RELCOMP_NET_HTTP_SERVER_H_
+#define RELCOMP_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread.h"
+
+namespace relcomp {
+namespace net {
+
+struct HttpServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with HttpServer::port().
+  uint16_t port = 0;
+  /// Concurrent connection workers (min 1).
+  size_t worker_threads = 2;
+  /// Accepted connections waiting for a worker; beyond this the server
+  /// answers 503 and closes instead of queueing unboundedly.
+  size_t max_pending_connections = 64;
+  /// Request head cap (431 beyond it).
+  size_t max_head_bytes = 16 * 1024;
+  /// A keep-alive connection idle longer than this is closed.
+  uint64_t idle_timeout_ms = 5000;
+};
+
+/// Maps one parsed request to a response. Invoked concurrently.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop + workers. One-shot:
+  /// a started (even a stopped) server is not restartable.
+  Status Start(const HttpServerOptions& options, HttpHandler handler);
+
+  /// Graceful shutdown; idempotent, safe on a never-started server.
+  void Stop();
+
+  /// The bound port (resolves port 0), valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(Socket conn);
+
+  HttpServerOptions options_;
+  HttpHandler handler_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> serving_{false};
+
+  mutable Mutex mu_{LockRank::kNetHttpServer, "HttpServer::mu_"};
+  CondVar pending_cv_;
+  std::deque<Socket> pending_ GUARDED_BY(mu_);
+
+  JoinableThread acceptor_;
+  std::vector<JoinableThread> workers_;
+};
+
+}  // namespace net
+}  // namespace relcomp
+
+#endif  // RELCOMP_NET_HTTP_SERVER_H_

@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace relcomp {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Builds a sockaddr_in from a numeric IPv4 address; no resolver.
+Status FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: \"" + host +
+                                   "\" (the net layer has no resolver; use "
+                                   "e.g. 127.0.0.1 or 0.0.0.0)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<size_t> Socket::Read(char* buf, size_t n) {
+  if (fd_ < 0) return Status::Internal("Read on a closed socket");
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("recv"));
+  }
+}
+
+Status Socket::WriteAll(const char* data, size_t n) {
+  if (fd_ < 0) return Status::Internal("WriteAll on a closed socket");
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t wrote = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    return Status::Internal(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Result<bool> Socket::WaitReadable(int timeout_ms) {
+  if (fd_ < 0) return Status::Internal("WaitReadable on a closed socket");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;
+    if (ready == 0) return false;
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("poll"));
+  }
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  sockaddr_in addr;
+  RELCOMP_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Status::Internal(Errno("socket"));
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Status::Internal(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(Errno("bind " + host + ":" +
+                                  std::to_string(port)));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return Status::Internal(Errno("listen"));
+  }
+  return sock;
+}
+
+Result<Socket> AcceptOn(Socket& listener) {
+  for (;;) {
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // The ready connection can vanish before accept (peer reset) or be
+    // taken by a concurrent acceptor; the caller just polls again.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("accept: connection no longer pending");
+    }
+    return Status::Internal(Errno("accept"));
+  }
+}
+
+Result<uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  RELCOMP_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return Status::Internal(Errno("socket"));
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("connect " + host + ":" +
+                                  std::to_string(port)));
+  }
+}
+
+void SleepForMs(uint64_t ms) {
+  // poll with no fds is the portable "nanosleep without <thread>". EINTR
+  // retries the same slice (overshoot is fine for a serve-loop linger,
+  // an undershot wait is not); any other failure gives up rather than spin.
+  uint64_t remaining = ms;
+  while (remaining > 0) {
+    const int slice =
+        remaining > 1000000000ULL ? 1000000000 : static_cast<int>(remaining);
+    const int rc = ::poll(nullptr, 0, slice);
+    if (rc == 0) {
+      remaining -= static_cast<uint64_t>(slice);
+      continue;
+    }
+    if (errno != EINTR) return;
+  }
+}
+
+}  // namespace net
+}  // namespace relcomp

@@ -1,0 +1,90 @@
+// Thin RAII wrappers over the POSIX TCP socket API. This is the ONLY
+// place in src/ (outside src/util/) allowed to touch raw socket
+// syscalls — relcomp_lint rule `banned-constructs` confines
+// socket/bind/listen/accept/recv/send/poll and friends to src/net/, so
+// every networked subsystem (the observability endpoint today, the
+// relcomp_server binary protocol tomorrow) goes through these wrappers
+// and inherits the same EINTR, SIGPIPE, and shutdown discipline.
+//
+// Deliberately dependency-free and minimal: numeric IPv4 addresses only
+// (no resolver), blocking I/O with poll-based readiness waits. Callers
+// provide their own threading (see net/http_server.h).
+#ifndef RELCOMP_NET_SOCKET_H_
+#define RELCOMP_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace relcomp {
+namespace net {
+
+/// An owned socket file descriptor; closes on destruction, move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// Shuts down both directions without closing the descriptor: any
+  /// thread blocked reading or writing this socket wakes immediately
+  /// (the close itself stays with the owner, so no fd reuse races).
+  void ShutdownBoth();
+
+  /// Reads up to `n` bytes. Returns the byte count, 0 on orderly EOF.
+  /// EINTR is retried; other errors surface as a non-OK status.
+  Result<size_t> Read(char* buf, size_t n);
+
+  /// Writes all `n` bytes (short writes are resumed, EINTR retried,
+  /// SIGPIPE suppressed — a vanished peer is a Status, not a signal).
+  Status WriteAll(const char* data, size_t n);
+
+  /// Blocks until the socket is readable (data or EOF pending), up to
+  /// `timeout_ms`. Returns true when readable, false on timeout.
+  Result<bool> WaitReadable(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening TCP socket on `host:port` (numeric IPv4 only,
+/// e.g. "127.0.0.1" or "0.0.0.0"; port 0 picks an ephemeral port —
+/// read it back with LocalPort). SO_REUSEADDR is set so restarts do
+/// not fight TIME_WAIT.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog = 64);
+
+/// Accepts one pending connection; call after WaitReadable on the
+/// listener. An accept race lost to another thread is a retryable
+/// condition, reported as kUnavailable.
+Result<Socket> AcceptOn(Socket& listener);
+
+/// The locally bound port (resolves port 0 after ListenTcp).
+Result<uint16_t> LocalPort(const Socket& socket);
+
+/// Connects to `host:port` (numeric IPv4 only). Used by benches and
+/// tests to drive a server through a real kernel socketpair.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Blocks the calling thread for `ms` milliseconds (poll-based; no
+/// std::this_thread). For front-end serve loops like the CLI's
+/// --serve-ms linger — NOT for in-service threads, which must sleep on
+/// a CondVar so shutdown can wake them.
+void SleepForMs(uint64_t ms);
+
+}  // namespace net
+}  // namespace relcomp
+
+#endif  // RELCOMP_NET_SOCKET_H_

@@ -111,7 +111,20 @@ struct MetricFamily {
   X(RequestLatencyRecent60sMicros,                                           \
     "relcomp_request_latency_recent60s_micros", kHistogram, "",              \
     "end-to-end latency of requests delivered in the trailing 60s, all "     \
-    "tenants, microseconds")
+    "tenants, microseconds")                                                 \
+  X(HttpRequestsTotal, "relcomp_http_requests_total", kCounter,              \
+    "code,path",                                                             \
+    "observability endpoint requests served, by path and response code")     \
+  X(HttpInflightRequests, "relcomp_http_inflight_requests", kGauge, "",      \
+    "observability endpoint requests currently being handled")               \
+  X(HttpHandlerLatencyMicros, "relcomp_http_handler_latency_micros",         \
+    kHistogram, "path",                                                      \
+    "observability endpoint handler latency (route + render + dump locks), " \
+    "microseconds")                                                          \
+  X(BuildInfo, "relcomp_build_info", kGauge, "git,version",                  \
+    "always 1; the labels identify the running binary")                      \
+  X(UptimeSeconds, "relcomp_uptime_seconds", kGauge, "",                     \
+    "seconds since this CompletenessService was constructed")
 // clang-format on
 
 #define RELCOMP_OBS_DECLARE_METRIC(sym, name, kind, labels, help) \

@@ -8,6 +8,7 @@
 
 #include "cache/persist.h"
 #include "core/fingerprint.h"
+#include "util/build_info.h"
 
 namespace relcomp {
 
@@ -215,6 +216,9 @@ CompletenessService::CompletenessService(ServiceOptions options)
 }
 
 CompletenessService::~CompletenessService() {
+  // The observability endpoint's handler threads call back into this
+  // service, so it stops before anything else is dismantled.
+  StopObs();
   // The sampler reads queue/window/registry state the rest of this
   // teardown dismantles, so it stops first.
   if (recorder_thread_.joinable()) {
@@ -1604,6 +1608,14 @@ std::string CompletenessService::DumpMetrics(obs::DumpFormat format) const {
     dump.AddCounter(obs::kMetricErrorsTotal, {{"tenant", std::to_string(id)}},
                     counters.errors);
   }
+  // Binary identity + uptime, so a scrape can tell which relcomp build
+  // answered it and how long the process has been serving.
+  dump.AddGauge(obs::kMetricBuildInfo,
+                {{"git", BuildGitRevision()}, {"version", BuildVersion()}}, 1);
+  dump.AddGauge(obs::kMetricUptimeSeconds, {},
+                std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - start_time_)
+                    .count());
   dump.AddCounter(obs::kMetricTracesSampledTotal, {}, tracer_.sampled());
   dump.AddGauge(obs::kMetricSlowLogEntries, {},
                 static_cast<int64_t>(slow_log_.size()));
@@ -1839,28 +1851,7 @@ std::string CompletenessService::ObsReport() const {
         << queue_.TenantDepth(id) << "\n";
   }
 
-  const auto active = active_.Snapshot();
-  if (!active.empty()) {
-    out << "active evaluations:\n";
-    for (const auto& record : active) {
-      const char* loop = record->loop.load(std::memory_order_relaxed);
-      const auto heartbeat_age =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              now.time_since_epoch() -
-              obs::ActiveEvaluations::Clock::duration(
-                  record->last_heartbeat.load(std::memory_order_relaxed)))
-              .count();
-      out << "  eval#" << record->id << " tenant=" << record->tenant
-          << " kind=" << record->kind;
-      if (record->trace_id != 0) out << " trace#" << record->trace_id;
-      out << " loop=" << (loop != nullptr ? loop : "-")
-          << " steps=" << record->steps.load(std::memory_order_relaxed)
-          << " running=" << us_since(record->start)
-          << "us heartbeat_age=" << heartbeat_age << "us";
-      if (record->flagged.load(std::memory_order_relaxed)) out << " [STALLED]";
-      out << "\n";
-    }
-  }
+  if (active_.size() > 0) out << RenderActiveEvaluations();
 
   const auto samples = recorder_.Snapshot();
   if (!samples.empty()) {
@@ -1889,6 +1880,107 @@ std::string CompletenessService::ObsReport() const {
     out << "\n";
   }
   return out.str();
+}
+
+std::string CompletenessService::RenderActiveEvaluations() const {
+  const auto now = std::chrono::steady_clock::now();
+  const auto active = active_.Snapshot();
+  std::ostringstream out;
+  out << "active evaluations: " << active.size() << "\n";
+  for (const auto& record : active) {
+    const char* loop = record->loop.load(std::memory_order_relaxed);
+    const auto heartbeat_age =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now.time_since_epoch() -
+            obs::ActiveEvaluations::Clock::duration(
+                record->last_heartbeat.load(std::memory_order_relaxed)))
+            .count();
+    const auto running =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              record->start)
+            .count();
+    out << "  eval#" << record->id << " tenant=" << record->tenant
+        << " kind=" << record->kind;
+    if (record->trace_id != 0) out << " trace#" << record->trace_id;
+    out << " loop=" << (loop != nullptr ? loop : "-")
+        << " steps=" << record->steps.load(std::memory_order_relaxed)
+        << " running=" << running << "us heartbeat_age=" << heartbeat_age
+        << "us";
+    if (record->flagged.load(std::memory_order_relaxed)) out << " [STALLED]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string CompletenessService::RenderSlowLog() const {
+  const auto slow = slow_log_.Worst();
+  std::ostringstream out;
+  out << "slow decisions: " << slow.size() << " (slowest first)\n";
+  for (const obs::SlowEntry& entry : slow) {
+    out << "  " << entry.micros << "us tenant=" << entry.tenant
+        << " kind=" << (entry.kind.empty() ? "-" : entry.kind);
+    if (entry.trace_id != 0) out << " trace#" << entry.trace_id;
+    if (!entry.note.empty()) out << " (" << entry.note << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status CompletenessService::ServeObs(const obs::ObsHttpOptions& options) {
+  // The surfaces are the public dump methods, bound to `this`; each runs
+  // on an endpoint worker thread and takes only the locks the dump call
+  // always took. Safe for the life of the service: the destructor stops
+  // the endpoint before any other teardown.
+  obs::ObsSurfaces surfaces;
+  surfaces.metrics_prometheus = [this] {
+    return DumpMetrics(obs::DumpFormat::kPrometheus);
+  };
+  surfaces.metrics_json = [this] {
+    return DumpMetrics(obs::DumpFormat::kJson);
+  };
+  surfaces.traces_json = [this] { return DumpTraces(); };
+  surfaces.slow_text = [this] { return RenderSlowLog(); };
+  surfaces.report_text = [this] { return ObsReport(); };
+  surfaces.active_text = [this] { return RenderActiveEvaluations(); };
+  surfaces.ready = [this] {
+    // Ready = at least one registered setting, and the worker pool is
+    // live (a zero-worker service runs every submission inline, so the
+    // pool is vacuously live).
+    const bool pool_live = options_.num_workers == 0 || !workers_.empty();
+    return pool_live && num_settings() > 0;
+  };
+  auto endpoint = std::make_unique<obs::HttpEndpoint>(
+      std::move(surfaces), options_.metrics ? &metrics_registry_ : nullptr);
+  RELCOMP_RETURN_IF_ERROR(endpoint->Start(options));
+  {
+    MutexLock lock(registry_mu_);
+    if (obs_endpoint_ == nullptr) {
+      obs_endpoint_ = std::move(endpoint);
+      return Status::OK();
+    }
+  }
+  // Lost a ServeObs race (or the service already serves): the freshly
+  // started loser stops outside the lock — its handler threads may be
+  // serving a request that wants registry_mu_.
+  endpoint.reset();
+  return Status::InvalidArgument(
+      "ServeObs: this service already has a live observability endpoint");
+}
+
+void CompletenessService::StopObs() {
+  std::unique_ptr<obs::HttpEndpoint> endpoint;
+  {
+    MutexLock lock(registry_mu_);
+    endpoint = std::move(obs_endpoint_);
+  }
+  // Stopped (joining handler threads that may take registry_mu_) with
+  // the lock released.
+  endpoint.reset();
+}
+
+uint16_t CompletenessService::obs_port() const {
+  MutexLock lock(registry_mu_);
+  return obs_endpoint_ != nullptr ? obs_endpoint_->port() : 0;
 }
 
 }  // namespace relcomp

@@ -67,6 +67,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -78,6 +79,7 @@
 #include "cache/shard_cache.h"
 #include "core/prepared_setting.h"
 #include "obs/export.h"
+#include "obs/http_endpoint.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/slowlog.h"
@@ -402,6 +404,29 @@ class CompletenessService {
   /// republished every recorder tick so a crashing process prints its
   /// last-known vitals. Safe to call while serving.
   std::string ObsReport() const;
+
+  /// The slow-decision log as text, slowest first — the /slow endpoint.
+  std::string RenderSlowLog() const;
+
+  /// The active-evaluation table as text — the /debug/active endpoint
+  /// (the same table ObsReport embeds, without the rest of the report).
+  std::string RenderActiveEvaluations() const;
+
+  /// Starts the live observability HTTP endpoint: /metrics (Prometheus),
+  /// /metrics.json, /traces (Perfetto-compatible JSON), /slow, /report,
+  /// /debug/active, /healthz, /readyz — the surfaces above, served live.
+  /// Scrapes run on the endpoint's own threads and take only the locks
+  /// the dump calls always took; the decision hot path is untouched.
+  /// One endpoint per service; a second call is an error. The endpoint
+  /// stops at StopObs() or destruction.
+  Status ServeObs(const obs::ObsHttpOptions& options);
+
+  /// Stops the endpoint and joins its threads; no-op when not serving.
+  void StopObs();
+
+  /// The endpoint's bound TCP port (resolves an ephemeral port 0
+  /// request), or 0 when not serving.
+  uint16_t obs_port() const;
 
  private:
   /// Dual-digest registry identity of a setting — the RequestCacheKey
@@ -740,6 +765,16 @@ class CompletenessService {
   CondVar recorder_wake_cv_;
   bool recorder_stop_ GUARDED_BY(recorder_wake_mu_) = false;
   JoinableThread recorder_thread_;
+
+  /// The live observability endpoint; null until ServeObs. Its handler
+  /// threads call back into `this`, so the destructor stops it before
+  /// ANY other teardown. Guarded for create/stop races; StopObs releases
+  /// the lock before joining (handlers take registry_mu_ themselves).
+  std::unique_ptr<obs::HttpEndpoint> obs_endpoint_ GUARDED_BY(registry_mu_);
+
+  /// Construction instant, behind the uptime metric.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace relcomp

@@ -1,0 +1,23 @@
+// Build identity for the running binary, surfaced by the
+// relcomp_build_info metric so a scrape can tell WHICH relcomp answered
+// it. The values are compile-time: CMake passes the git revision via
+// -DRELCOMP_GIT_REV (falling back to "unknown" outside a git checkout)
+// and the project version via -DRELCOMP_VERSION.
+#ifndef RELCOMP_UTIL_BUILD_INFO_H_
+#define RELCOMP_UTIL_BUILD_INFO_H_
+
+#ifndef RELCOMP_VERSION
+#define RELCOMP_VERSION "0.0.0-dev"
+#endif
+#ifndef RELCOMP_GIT_REV
+#define RELCOMP_GIT_REV "unknown"
+#endif
+
+namespace relcomp {
+
+inline const char* BuildVersion() { return RELCOMP_VERSION; }
+inline const char* BuildGitRevision() { return RELCOMP_GIT_REV; }
+
+}  // namespace relcomp
+
+#endif  // RELCOMP_UTIL_BUILD_INFO_H_

@@ -54,6 +54,11 @@ enum class LockRank : int {
   // CacheBudget::mu_ — the budget's registration map; leaf of the cache
   // chain (never held while calling back into a cache).
   kCacheBudget = 50,
+  // net::HttpServer::mu_ — the pending-connection queue of the embedded
+  // observability endpoint. Workers pop a connection under this lock and
+  // release it before parsing or invoking a handler, so the rank never
+  // nests with the service/obs locks the handlers take.
+  kNetHttpServer = 56,
   // CompletenessService::recorder_wake_mu_ — the sampler thread's sleep
   // mutex. The sampler does all its work (scans, renders, metric reads)
   // strictly outside this lock; it exists only to make shutdown wake the

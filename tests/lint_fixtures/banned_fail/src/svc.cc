@@ -13,4 +13,9 @@ void Work() {
   worker.join();
 }
 
+int Open() {
+  int fd = socket(2, 1, 0);
+  return ::shutdown(fd, 2) + fd;
+}
+
 }  // namespace relcomp

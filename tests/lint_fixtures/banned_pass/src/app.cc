@@ -1,0 +1,13 @@
+namespace relcomp {
+
+// Member calls and names qualified into another namespace share their
+// spelling with socket syscalls but are not syscalls.
+int Use(Conn* conn, Chan& chan) {
+  int sent = conn->send(1);
+  int accepted = chan.accept(2);
+  auto bound = std::bind(Use, conn, chan);
+  (void)bound;
+  return sent + accepted;
+}
+
+}  // namespace relcomp

@@ -1,0 +1,15 @@
+namespace relcomp {
+namespace net {
+
+// src/net/ is where the sanctioned socket wrappers live: raw socket
+// syscalls are allowed here and only here.
+int OpenListener() {
+  int fd = ::socket(2, 1, 0);
+  ::bind(fd, nullptr, 0);
+  ::listen(fd, 8);
+  poll(nullptr, 0, 0);
+  return fd;
+}
+
+}  // namespace net
+}  // namespace relcomp

@@ -100,7 +100,9 @@ TEST(BannedRule, FlagsRawPrimitivesAndMissingGuard) {
   // Line 10 carries two findings: std::lock_guard and its std::mutex
   // template argument.
   EXPECT_TRUE(Has(fs, "banned-constructs", "src/svc.cc", 10));
-  EXPECT_EQ(fs.size(), 6u);
+  EXPECT_TRUE(Has(fs, "banned-constructs", "src/svc.cc", 17));  // socket(
+  EXPECT_TRUE(Has(fs, "banned-constructs", "src/svc.cc", 18));  // ::shutdown(
+  EXPECT_EQ(fs.size(), 8u);
 }
 
 TEST(BannedRule, AllowsRawPrimitivesInsideUtil) {

@@ -14,11 +14,18 @@ across commits:
 Usage:
     tools/bench_report.py --build-dir build [--out BENCH_trajectory.json]
         [--filter REGEX] [--repetitions N] [--bench NAME ...]
+        [--compare] [--compare-threshold 0.25] [--compare-filter ^BM_Service_]
 
 By default every bench_* executable found in the build directory runs with
 --benchmark_repetitions=N (default 3) and the per-benchmark median of
 real_time is kept. Only the standard library is used; the script exits
 nonzero if any benchmark binary fails.
+
+--compare diffs the new snapshot against the PREVIOUS trajectory entry
+and warns (never fails: shared CI runners are noisy) about key
+benchmarks whose median regressed by more than the threshold. Under
+GITHUB_ACTIONS the warnings use the ::warning annotation format so they
+surface on the workflow run page.
 """
 
 import argparse
@@ -75,6 +82,38 @@ def git_rev():
         return "unknown"
 
 
+def compare_snapshots(previous, current, threshold, name_filter):
+    """Prints per-benchmark regressions beyond `threshold`; returns count."""
+    import re
+    pattern = re.compile(name_filter)
+    github = os.environ.get("GITHUB_ACTIONS") == "true"
+    regressions = 0
+    prev_benches = previous.get("benchmarks", {})
+    for name, row in sorted(current.get("benchmarks", {}).items()):
+        if not pattern.search(name):
+            continue
+        base = prev_benches.get(name)
+        if base is None or base.get("real_time_ns", 0) <= 0:
+            continue
+        ratio = row["real_time_ns"] / base["real_time_ns"]
+        if ratio > 1.0 + threshold:
+            regressions += 1
+            message = (
+                "%s regressed %.0f%% vs previous snapshot (%s): "
+                "%.0f ns -> %.0f ns median"
+                % (name, (ratio - 1.0) * 100.0, previous.get("git", "?"),
+                   base["real_time_ns"], row["real_time_ns"]))
+            if github:
+                print("::warning title=bench regression::%s" % message)
+            else:
+                print("bench_report: WARNING: %s" % message)
+    matched = sum(1 for n in current.get("benchmarks", {}) if pattern.search(n))
+    print("bench_report: compare vs %s: %d key benchmark(s) checked, "
+          "%d regression(s) beyond %.0f%%"
+          % (previous.get("git", "?"), matched, regressions, threshold * 100))
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build")
@@ -85,6 +124,15 @@ def main():
     parser.add_argument("--bench", action="append", default=[],
                         help="benchmark binary name (repeatable; default: "
                              "every bench_* in the build dir)")
+    parser.add_argument("--compare", action="store_true",
+                        help="warn when a key benchmark's median regressed "
+                             "vs the previous trajectory entry")
+    parser.add_argument("--compare-threshold", type=float, default=0.25,
+                        help="relative regression that triggers a warning "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--compare-filter", default="^BM_Service_",
+                        help="regex selecting the key benchmarks to compare "
+                             "(default ^BM_Service_)")
     args = parser.parse_args()
 
     # Median over repetitions, keyed by benchmark name with the
@@ -117,6 +165,12 @@ def main():
             trajectory = json.load(f)
         if not isinstance(trajectory, list):
             sys.exit("bench_report: %r is not a JSON array" % args.out)
+    if args.compare:
+        if trajectory:
+            compare_snapshots(trajectory[-1], snapshot,
+                              args.compare_threshold, args.compare_filter)
+        else:
+            print("bench_report: compare skipped (no previous snapshot)")
     trajectory.append(snapshot)
     with open(args.out, "w") as f:
         json.dump(trajectory, f, indent=2)

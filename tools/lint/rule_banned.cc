@@ -9,6 +9,13 @@
 //   std::rand / std::srand      -> seeded, reproducible generators
 //   sleep_for / sleep_until     -> CondVar::WaitFor (wakeable at shutdown)
 //
+// Raw socket and readiness syscalls (socket/bind/listen/accept/recv/
+// send/poll/select and friends) are confined to src/net/, whose
+// wrappers own the EINTR, SIGPIPE, and shutdown discipline — everything
+// else goes through net::Socket. Member calls (x.send(...)) and
+// qualified names from other namespaces (std::bind) are not syscalls
+// and pass.
+//
 // and every header must open with an include guard (#ifndef or
 // #pragma once). Scope: src/ and tools/ — bench/ and tests/ drive the
 // system from outside and may use raw threads to do it.
@@ -46,6 +53,47 @@ const std::map<std::string, std::string>& BannedStdNames() {
   return kBanned;
 }
 
+/// Socket-layer syscalls confined to src/net/ (the wrappers there own
+/// the EINTR/SIGPIPE/shutdown discipline).
+const std::map<std::string, int>& SocketSyscallNames() {
+  static const std::map<std::string, int> kSyscalls = {
+      {"socket", 0},      {"bind", 0},         {"listen", 0},
+      {"accept", 0},      {"accept4", 0},      {"connect", 0},
+      {"recv", 0},        {"recvfrom", 0},     {"send", 0},
+      {"sendto", 0},      {"setsockopt", 0},   {"getsockopt", 0},
+      {"getsockname", 0}, {"getpeername", 0},  {"getaddrinfo", 0},
+      {"shutdown", 0},    {"poll", 0},         {"ppoll", 0},
+      {"select", 0},
+      {"epoll_create1", 0}, {"epoll_ctl", 0},  {"epoll_wait", 0},
+  };
+  return kSyscalls;
+}
+
+/// True when token `i` is a call to a raw socket syscall: the name
+/// followed by `(`, not a member call (`.x(` / `->x(`) and not a name
+/// qualified into some namespace (`std::bind(`). A bare global
+/// qualification `::socket(` IS the syscall idiom and matches.
+bool IsSocketSyscall(const std::vector<Token>& t, size_t i) {
+  if (t[i].kind != Token::Kind::kIdent) return false;
+  if (SocketSyscallNames().count(t[i].text) == 0) return false;
+  if (i + 1 >= t.size() || !t[i + 1].IsPunct("(")) return false;
+  if (i > 0 && (t[i - 1].IsPunct(".") || t[i - 1].IsPunct("->"))) return false;
+  if (i > 0 && t[i - 1].IsPunct("::")) {
+    // Qualified: only the global-namespace form is the syscall. The
+    // lexer files keywords under kIdent, so `return ::send(...)` must
+    // still read as global, not as a name qualified into `return`.
+    static const std::map<std::string, int> kExprKeywords = {
+        {"return", 0}, {"throw", 0}, {"else", 0},      {"do", 0},
+        {"case", 0},   {"co_return", 0}, {"co_yield", 0}, {"co_await", 0},
+    };
+    if (i > 1 && t[i - 2].kind == Token::Kind::kIdent &&
+        kExprKeywords.count(t[i - 2].text) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void BannedConstructsRule(const Tree& tree, std::vector<Finding>* out) {
@@ -62,6 +110,14 @@ void BannedConstructsRule(const Tree& tree, std::vector<Finding>* out) {
                                      " is banned outside src/util/; " +
                                      it->second});
         }
+      }
+      if (f.rel_path.rfind("src/net/", 0) != 0 && IsSocketSyscall(t, i)) {
+        out->push_back(Finding{
+            kRule, f.rel_path, t[i].line,
+            t[i].text + "() is a raw socket syscall, confined to src/net/; "
+                        "go through net::Socket (net/socket.h) so the "
+                        "EINTR/SIGPIPE/shutdown discipline stays in one "
+                        "place"});
       }
       if (t[i].kind == Token::Kind::kIdent &&
           (t[i].text == "sleep_for" || t[i].text == "sleep_until")) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "net/socket.h"
 #include "service/service.h"
 #include "query/parser.h"
 
@@ -77,6 +78,8 @@ struct CliOptions {
   bool obs_report = false;    // print the ObsReport() dashboard
   uint64_t recorder_interval_ms = 0;  // flight-recorder cadence (0 = off)
   uint64_t watchdog_stall_us = 0;     // stall threshold (0 = off)
+  std::string obs_listen;  // HOST:PORT for the live endpoint ("" = off)
+  uint64_t serve_ms = 0;   // keep serving this long after the reports
 };
 
 /// One registered setting and its share of the workload.
@@ -356,6 +359,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--watchdog-stall-us") {
       cli.watchdog_stall_us =
           ParseCount("--watchdog-stall-us", next("--watchdog-stall-us"));
+    } else if (arg == "--obs-listen") {
+      cli.obs_listen = next("--obs-listen");
+      if (cli.obs_listen.rfind(':') == std::string::npos) {
+        return Fail("--obs-listen expects HOST:PORT, got '" + cli.obs_listen +
+                    "'");
+      }
+    } else if (arg == "--serve-ms") {
+      cli.serve_ms = ParseCount("--serve-ms", next("--serve-ms"));
     } else if (arg == "--problem") {
       cli.problems.clear();
       for (const std::string& name : SplitCommas(next("--problem"))) {
@@ -453,7 +464,14 @@ int main(int argc, char** argv) {
           "  --recorder-interval-ms N  sample system vitals into the\n"
           "                    flight recorder every N ms (0 = off)\n"
           "  --watchdog-stall-us N  flag evaluations whose checkpoints\n"
-          "                    stop heartbeating for N us (0 = off)\n",
+          "                    stop heartbeating for N us (0 = off)\n"
+          "  --obs-listen HOST:PORT\n"
+          "                    serve the live observability endpoint\n"
+          "                    (/metrics, /traces, /report, /healthz, ...)\n"
+          "                    while the batch runs; PORT 0 picks a free\n"
+          "                    port and prints it\n"
+          "  --serve-ms N      keep the endpoint up N ms after the final\n"
+          "                    reports (so a scraper can collect them)\n",
           kinds.c_str(),
           static_cast<unsigned long long>(SearchOptions::kDefaultMaxSteps));
       return 0;
@@ -523,6 +541,23 @@ int main(int argc, char** argv) {
     load.handle = *handle;
   }
   auto prep_end = std::chrono::steady_clock::now();
+
+  // Start the live endpoint BEFORE the batch so scrapes can overlap the
+  // contended workload — that concurrency is the whole point of serving.
+  if (!cli.obs_listen.empty()) {
+    const size_t colon = cli.obs_listen.rfind(':');
+    obs::ObsHttpOptions obs_options;
+    obs_options.host = cli.obs_listen.substr(0, colon);
+    obs_options.port = static_cast<uint16_t>(
+        ParseCount("--obs-listen port", cli.obs_listen.substr(colon + 1)));
+    Status served = service.ServeObs(obs_options);
+    if (!served.ok()) {
+      return Fail(cli.obs_listen + ": " + served.ToString());
+    }
+    std::printf("obs: listening on http://%s:%u/\n", obs_options.host.c_str(),
+                service.obs_port());
+    std::fflush(stdout);
+  }
 
   // One batch interleaving every setting's requests round-robin — the
   // multi-tenant traffic shape; --repeat resubmits the same batch (the
@@ -777,6 +812,14 @@ int main(int argc, char** argv) {
                                      ? obs::DumpFormat::kJson
                                      : obs::DumpFormat::kPrometheus)
                     .c_str());
+  }
+  if (!cli.obs_listen.empty() && cli.serve_ms > 0) {
+    std::printf("\nobs: serving http://127.0.0.1:%u/ for %llu ms more "
+                "(Ctrl-C to stop)\n",
+                service.obs_port(),
+                static_cast<unsigned long long>(cli.serve_ms));
+    std::fflush(stdout);
+    net::SleepForMs(cli.serve_ms);
   }
   return 0;
 }
